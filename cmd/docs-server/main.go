@@ -1,0 +1,40 @@
+// Command docs-server runs the DOCS system as an HTTP service: a requester
+// publishes tasks with POST /publish, workers obtain assignments with
+// GET /request and answer with POST /submit, and the requester reads
+// inferred truths from GET /results. See server.go for the full API.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"docs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	storePath := flag.String("store", "", "optional JSON path persisting worker statistics across campaigns")
+	golden := flag.Int("golden", 0, "golden task count (0 = default 20, negative = disabled)")
+	hitSize := flag.Int("hit", 0, "tasks per assignment (0 = default 20)")
+	perTask := flag.Int("redundancy", 0, "max answers per task (0 = unlimited)")
+	flag.Parse()
+
+	srv, err := newServer(docs.Config{
+		StorePath:      *storePath,
+		GoldenCount:    *golden,
+		HITSize:        *hitSize,
+		AnswersPerTask: *perTask,
+	})
+	if err != nil {
+		log.Fatalf("docs-server: %v", err)
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("docs-server listening on %s", *addr)
+	log.Fatal(hs.ListenAndServe())
+}

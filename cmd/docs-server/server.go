@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"docs"
+)
+
+// server exposes a DOCS campaign over a JSON HTTP API, the deployment
+// shape of Figure 1 (the paper serves AMT workers through a web frontend).
+//
+//	POST /publish  {"tasks":[{"id":0,"text":"...","choices":["a","b"],"golden_truth":-1}]}
+//	GET  /request?worker=W&k=20        → {"tasks":[...]}
+//	POST /submit   {"worker":"W","task":0,"choice":1}
+//	GET  /result?task=0                → current inferred truth
+//	GET  /results                      → final inference over all answers
+//	GET  /worker?id=W                  → quality vector
+//	GET  /domains                      → domain names
+//	GET  /healthz
+type server struct {
+	mu        sync.Mutex
+	sys       *docs.System
+	cfg       docs.Config
+	published bool
+}
+
+func newServer(cfg docs.Config) (*server, error) {
+	sys, err := docs.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &server{sys: sys, cfg: cfg}, nil
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /publish", s.handlePublish)
+	mux.HandleFunc("GET /request", s.handleRequest)
+	mux.HandleFunc("POST /submit", s.handleSubmit)
+	mux.HandleFunc("GET /result", s.handleResult)
+	mux.HandleFunc("GET /results", s.handleResults)
+	mux.HandleFunc("GET /worker", s.handleWorker)
+	mux.HandleFunc("GET /domains", s.handleDomains)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+type taskJSON struct {
+	ID          int      `json:"id"`
+	Text        string   `json:"text"`
+	Choices     []string `json:"choices"`
+	GoldenTruth int      `json:"golden_truth"`
+}
+
+type publishRequest struct {
+	Tasks []taskJSON `json:"tasks"`
+}
+
+func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	var req publishRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return
+	}
+	if len(req.Tasks) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("no tasks"))
+		return
+	}
+	tasks := make([]docs.Task, 0, len(req.Tasks))
+	for _, t := range req.Tasks {
+		tasks = append(tasks, docs.Task{ID: t.ID, Text: t.Text, Choices: t.Choices, GoldenTruth: t.GoldenTruth})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.published {
+		writeErr(w, http.StatusConflict, fmt.Errorf("tasks already published"))
+		return
+	}
+	if err := s.sys.Publish(tasks); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.published = true
+	writeJSON(w, http.StatusOK, map[string]any{
+		"published": len(tasks),
+		"golden":    s.sys.GoldenTaskIDs(),
+	})
+}
+
+func (s *server) handleRequest(w http.ResponseWriter, r *http.Request) {
+	worker := r.URL.Query().Get("worker")
+	if worker == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing worker"))
+		return
+	}
+	k := 0
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		var err error
+		if k, err = strconv.Atoi(ks); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid k: %w", err))
+			return
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.published {
+		writeErr(w, http.StatusConflict, fmt.Errorf("no tasks published"))
+		return
+	}
+	tasks, err := s.sys.Request(worker, k)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]taskJSON, 0, len(tasks))
+	for _, t := range tasks {
+		// Golden truth is never leaked to workers.
+		out = append(out, taskJSON{ID: t.ID, Text: t.Text, Choices: t.Choices, GoldenTruth: docs.NoTruth})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tasks": out})
+}
+
+type submitRequest struct {
+	Worker string `json:"worker"`
+	Task   int    `json:"task"`
+	Choice int    `json:"choice"`
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.published {
+		writeErr(w, http.StatusConflict, fmt.Errorf("no tasks published"))
+		return
+	}
+	if err := s.sys.Submit(req.Worker, req.Task, req.Choice); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.URL.Query().Get("task"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid task: %w", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := s.sys.CurrentResult(id)
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	results, err := s.sys.Results()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func (s *server) handleWorker(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing id"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"worker":  id,
+		"quality": s.sys.WorkerQuality(id),
+		"domains": s.sys.DomainNames(),
+	})
+}
+
+func (s *server) handleDomains(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"domains": s.sys.DomainNames()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are out; nothing more to do but note it.
+		fmt.Printf("docs-server: encode response: %v\n", err)
+	}
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

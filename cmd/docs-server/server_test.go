@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"docs"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *server) {
+	t.Helper()
+	srv, err := newServer(docs.Config{GoldenCount: -1, HITSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding %s %s: %v", method, url, err)
+	}
+	return resp, out
+}
+
+func publishBody() map[string]any {
+	return map[string]any{
+		"tasks": []map[string]any{
+			{"id": 0, "text": "Does Michael Jordan win more NBA championships than Kobe Bryant?",
+				"choices": []string{"yes", "no"}, "golden_truth": -1},
+			{"id": 1, "text": "Which food contains more calories, Chocolate or Honey?",
+				"choices": []string{"Chocolate", "Honey"}, "golden_truth": -1},
+			{"id": 2, "text": "Compare the height of Mount Everest and K2.",
+				"choices": []string{"Everest", "K2"}, "golden_truth": -1},
+		},
+	}
+}
+
+func TestServerLifecycle(t *testing.T) {
+	ts, _ := testServer(t)
+
+	if resp, _ := doJSON(t, "GET", ts.URL+"/healthz", nil); resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// Requests before publish are rejected.
+	if resp, _ := doJSON(t, "GET", ts.URL+"/request?worker=w1", nil); resp.StatusCode != http.StatusConflict {
+		t.Errorf("pre-publish request = %d, want 409", resp.StatusCode)
+	}
+
+	resp, out := doJSON(t, "POST", ts.URL+"/publish", publishBody())
+	if resp.StatusCode != 200 {
+		t.Fatalf("publish = %d: %s", resp.StatusCode, out["error"])
+	}
+
+	// Double publish conflicts.
+	if resp, _ := doJSON(t, "POST", ts.URL+"/publish", publishBody()); resp.StatusCode != http.StatusConflict {
+		t.Errorf("double publish = %d, want 409", resp.StatusCode)
+	}
+
+	// Worker requests tasks.
+	resp, out = doJSON(t, "GET", ts.URL+"/request?worker=w1&k=2", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("request = %d", resp.StatusCode)
+	}
+	var batch []struct {
+		ID          int      `json:"id"`
+		Choices     []string `json:"choices"`
+		GoldenTruth int      `json:"golden_truth"`
+	}
+	if err := json.Unmarshal(out["tasks"], &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 {
+		t.Fatalf("requested 2 tasks, got %d", len(batch))
+	}
+	for _, b := range batch {
+		if b.GoldenTruth != -1 {
+			t.Error("golden truth leaked to worker")
+		}
+	}
+
+	// Submit answers.
+	for _, b := range batch {
+		resp, out = doJSON(t, "POST", ts.URL+"/submit",
+			map[string]any{"worker": "w1", "task": b.ID, "choice": 0})
+		if resp.StatusCode != 200 {
+			t.Fatalf("submit = %d: %s", resp.StatusCode, out["error"])
+		}
+	}
+	// Duplicate answer rejected.
+	resp, _ = doJSON(t, "POST", ts.URL+"/submit",
+		map[string]any{"worker": "w1", "task": batch[0].ID, "choice": 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("duplicate submit = %d, want 400", resp.StatusCode)
+	}
+
+	// Current result.
+	resp, _ = doJSON(t, "GET", ts.URL+"/result?task=0", nil)
+	if resp.StatusCode != 200 {
+		t.Errorf("result = %d", resp.StatusCode)
+	}
+
+	// Worker profile and domains.
+	resp, out = doJSON(t, "GET", ts.URL+"/worker?id=w1", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("worker = %d", resp.StatusCode)
+	}
+	var domains []string
+	if err := json.Unmarshal(out["domains"], &domains); err != nil {
+		t.Fatal(err)
+	}
+	if len(domains) != 26 {
+		t.Errorf("domains = %d, want 26", len(domains))
+	}
+
+	// Final results.
+	resp, out = doJSON(t, "GET", ts.URL+"/results", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("results = %d", resp.StatusCode)
+	}
+	var results []docs.Result
+	if err := json.Unmarshal(out["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Errorf("results = %d tasks, want 3", len(results))
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	ts, _ := testServer(t)
+	if resp, _ := doJSON(t, "POST", ts.URL+"/publish", map[string]any{"tasks": []any{}}); resp.StatusCode != 400 {
+		t.Errorf("empty publish = %d, want 400", resp.StatusCode)
+	}
+	req, _ := http.NewRequest("POST", ts.URL+"/publish", bytes.NewBufferString("{broken"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("broken JSON = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, "GET", ts.URL+"/request", nil); resp.StatusCode != 400 {
+		t.Errorf("missing worker = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, "GET", ts.URL+"/result?task=abc", nil); resp.StatusCode != 400 {
+		t.Errorf("bad task id = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, "GET", ts.URL+"/worker", nil); resp.StatusCode != 400 {
+		t.Errorf("missing worker id = %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,137 @@
+// Command docs-simulate runs a complete simulated crowdsourcing campaign
+// end to end: it generates one of the paper's datasets, publishes it to a
+// DOCS system, drives a simulated worker population through the golden-
+// profiling and OTA loop, and reports the final accuracy and worker
+// statistics.
+//
+// Usage:
+//
+//	docs-simulate -dataset 4D -workers 50 -redundancy 10 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"docs/internal/core"
+	"docs/internal/crowd"
+	"docs/internal/dataset"
+	"docs/internal/kb"
+	"docs/internal/truth"
+)
+
+func main() {
+	name := flag.String("dataset", "Item", "dataset: Item, 4D, QA or SFV")
+	workers := flag.Int("workers", 50, "simulated worker population size")
+	redundancy := flag.Int("redundancy", 10, "answers collected per task")
+	hit := flag.Int("hit", 20, "tasks per HIT")
+	golden := flag.Int("golden", 20, "golden task count")
+	seed := flag.Uint64("seed", 20160412, "deterministic seed")
+	flag.Parse()
+
+	ds, err := dataset.ByName(*name, *seed)
+	if err != nil {
+		log.Fatalf("docs-simulate: %v", err)
+	}
+	sys, err := core.New(core.Config{
+		GoldenCount:    *golden,
+		HITSize:        *hit,
+		AnswersPerTask: *redundancy,
+	})
+	if err != nil {
+		log.Fatalf("docs-simulate: %v", err)
+	}
+	if err := sys.Publish(ds.Tasks); err != nil {
+		log.Fatalf("docs-simulate: publish: %v", err)
+	}
+	fmt.Printf("published %d tasks (%s), %d golden\n", len(ds.Tasks), *name, len(sys.GoldenTasks()))
+
+	pop, err := crowd.NewPopulation(crowd.Config{
+		NumWorkers:      *workers,
+		M:               kb.MustDefault().Domains().Size(),
+		RelevantDomains: ds.YahooIndex,
+		Seed:            *seed,
+	})
+	if err != nil {
+		log.Fatalf("docs-simulate: %v", err)
+	}
+
+	r := pop.Rand()
+	target := *redundancy * (len(ds.Tasks) - len(sys.GoldenTasks()))
+	collected := 0
+	hits := 0
+	idle := 0
+	for collected < target && idle < 5000 {
+		w := pop.Arrival()
+		batch, err := sys.Request(w.ID, *hit)
+		if err != nil {
+			log.Fatalf("docs-simulate: request: %v", err)
+		}
+		if len(batch) == 0 {
+			idle++
+			continue
+		}
+		idle = 0
+		hits++
+		golden := map[int]bool{}
+		for _, id := range sys.GoldenTasks() {
+			golden[id] = true
+		}
+		for _, tk := range batch {
+			if err := sys.Submit(w.ID, tk.ID, w.Answer(tk, r)); err != nil {
+				log.Fatalf("docs-simulate: submit: %v", err)
+			}
+			if !golden[tk.ID] {
+				collected++
+			}
+		}
+		if hits%200 == 0 {
+			fmt.Printf("  %d HITs served, %d/%d answers collected\n", hits, collected, target)
+		}
+	}
+	fmt.Printf("campaign done: %d HITs, %d answers\n", hits, collected)
+
+	res, err := sys.Results()
+	if err != nil {
+		log.Fatalf("docs-simulate: results: %v", err)
+	}
+	inferTasks := sys.InferTasks()
+	acc, n := truth.Accuracy(inferTasks, res.Truth)
+	fmt.Printf("final accuracy: %.2f%% over %d tasks (TI converged in %d iterations)\n",
+		100*acc, n, res.Iterations)
+
+	// Worker quality calibration summary over the dataset's domains.
+	type row struct {
+		id       string
+		answered int
+		dev      float64
+	}
+	trueQ := pop.TrueQualities()
+	var rows []row
+	for w, eq := range res.Quality {
+		tq, ok := trueQ[w]
+		if !ok {
+			continue
+		}
+		var dev float64
+		for _, k := range ds.YahooIndex {
+			d := tq[k] - eq[k]
+			if d < 0 {
+				d = -d
+			}
+			dev += d
+		}
+		dev /= float64(len(ds.YahooIndex))
+		rows = append(rows, row{w, len(sys.Answers().ForWorker(w)), dev})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].answered > rows[j].answered })
+	fmt.Println("top workers (answers, |trueQ-estQ| over dataset domains):")
+	for i, rw := range rows {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-8s %4d answers  dev %.3f\n", rw.id, rw.answered, rw.dev)
+	}
+}

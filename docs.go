@@ -1,0 +1,260 @@
+// Package docs is a Go implementation of DOCS, the Domain-Aware
+// Crowdsourcing System (Zheng, Li, Cheng — PVLDB 10(4), 2016).
+//
+// DOCS improves crowdsourced truth inference by modelling each worker's
+// quality per knowledge domain rather than as a single number. It consists
+// of three modules, all implemented here from scratch:
+//
+//   - Domain Vector Estimation (DVE): entity-links each task's text against
+//     a knowledge base and computes a distribution over 26 domains via the
+//     paper's polynomial-time Algorithm 1;
+//   - Truth Inference (TI): jointly estimates task truths and per-domain
+//     worker qualities, iteratively (batch) and incrementally (online);
+//   - Online Task Assignment (OTA): serves each arriving worker the k tasks
+//     whose answers reduce truth ambiguity the most, plus golden-task
+//     profiling for first-time workers.
+//
+// The typical flow mirrors a crowdsourcing campaign:
+//
+//	sys, _ := docs.New(docs.Config{})
+//	sys.Publish(tasks)                    // DVE runs here
+//	batch, _ := sys.Request(workerID, 20) // OTA (or golden tasks)
+//	sys.Submit(workerID, batch[0].ID, 1)  // TI updates incrementally
+//	results, _ := sys.Results()           // final iterative inference
+//
+// For offline use (answers already collected), see InferTruth.
+package docs
+
+import (
+	"fmt"
+
+	"docs/internal/core"
+	"docs/internal/kb"
+	"docs/internal/model"
+	"docs/internal/store"
+	"docs/internal/truth"
+)
+
+// NoTruth marks an unknown ground truth.
+const NoTruth = -1
+
+// Task is a multiple-choice crowdsourcing task.
+type Task struct {
+	// ID must be unique within a campaign.
+	ID int
+	// Text is the natural-language description; DVE links entities in it.
+	Text string
+	// Choices are the possible answers (at least 2).
+	Choices []string
+	// GoldenTruth is the index of the correct choice when the requester
+	// knows it (enables the task to serve as a golden task), or NoTruth.
+	GoldenTruth int
+}
+
+// Answer is one worker response, used by the offline InferTruth API.
+type Answer struct {
+	Worker string
+	TaskID int
+	Choice int
+}
+
+// Result is the inferred outcome for one task.
+type Result struct {
+	TaskID int
+	// Choice is the inferred truth (index into the task's Choices).
+	Choice int
+	// Confidence is the probabilistic truth s_i over the choices.
+	Confidence []float64
+}
+
+// Config tunes a System. The zero value selects the paper's defaults:
+// 20 golden tasks, HITs of 20 tasks, full re-inference every 100 answers,
+// no redundancy cap, memory-only worker store.
+type Config struct {
+	// GoldenCount is the number of golden tasks selected among tasks with
+	// GoldenTruth set; negative disables golden profiling.
+	GoldenCount int
+	// HITSize is k, the default number of tasks per assignment.
+	HITSize int
+	// AnswersPerTask caps redundancy per task (0 = unlimited).
+	AnswersPerTask int
+	// RerunEvery re-runs full iterative truth inference every z answers
+	// (0 = the default 100, negative = never).
+	RerunEvery int
+	// StorePath persists worker statistics as JSON across campaigns
+	// (empty = memory-only).
+	StorePath string
+}
+
+// System is a running DOCS campaign.
+type System struct {
+	sys *core.System
+}
+
+// New creates a System over the built-in knowledge base.
+func New(cfg Config) (*System, error) {
+	k, err := kb.Default()
+	if err != nil {
+		return nil, err
+	}
+	var st *store.Store
+	if cfg.StorePath != "" {
+		st, err = store.Open(cfg.StorePath, k.Domains().Size())
+		if err != nil {
+			return nil, err
+		}
+	}
+	sys, err := core.New(core.Config{
+		KB:             k,
+		Store:          st,
+		GoldenCount:    cfg.GoldenCount,
+		HITSize:        cfg.HITSize,
+		AnswersPerTask: cfg.AnswersPerTask,
+		RerunEvery:     cfg.RerunEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{sys: sys}, nil
+}
+
+// Publish registers the campaign's tasks and runs Domain Vector Estimation
+// over their text. Must be called exactly once, before Request/Submit.
+func (s *System) Publish(tasks []Task) error {
+	internal := make([]*model.Task, 0, len(tasks))
+	for _, t := range tasks {
+		it, err := toInternal(t)
+		if err != nil {
+			return err
+		}
+		internal = append(internal, it)
+	}
+	return s.sys.Publish(internal)
+}
+
+// Request serves the arriving worker up to k tasks: golden tasks first for
+// unknown workers, then the highest-benefit regular tasks. k <= 0 uses the
+// configured HITSize.
+func (s *System) Request(workerID string, k int) ([]Task, error) {
+	got, err := s.sys.Request(workerID, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Task, 0, len(got))
+	for _, it := range got {
+		out = append(out, fromInternal(it))
+	}
+	return out, nil
+}
+
+// Submit records one answer from a worker.
+func (s *System) Submit(workerID string, taskID, choice int) error {
+	return s.sys.Submit(workerID, taskID, choice)
+}
+
+// GoldenTaskIDs returns the IDs of the selected golden tasks.
+func (s *System) GoldenTaskIDs() []int { return s.sys.GoldenTasks() }
+
+// DomainNames returns the system's domain set (the 26 Yahoo! Answers
+// domains for the default knowledge base).
+func (s *System) DomainNames() []string { return s.sys.Domains().Names() }
+
+// CurrentResult returns the present (incrementally maintained) inferred
+// truth for a task; Choice is -1 for golden or unknown tasks.
+func (s *System) CurrentResult(taskID int) Result {
+	choice, conf := s.sys.Result(taskID)
+	return Result{TaskID: taskID, Choice: choice, Confidence: conf}
+}
+
+// WorkerQuality returns the current per-domain quality estimate for a
+// worker, aligned with DomainNames.
+func (s *System) WorkerQuality(workerID string) []float64 {
+	return s.sys.WorkerQuality(workerID)
+}
+
+// Results runs the final iterative truth inference over all collected
+// answers, merges worker statistics into the persistent store, and returns
+// one Result per published non-golden task.
+func (s *System) Results() ([]Result, error) {
+	res, err := s.sys.Results()
+	if err != nil {
+		return nil, err
+	}
+	tasks := s.sys.InferTasks()
+	out := make([]Result, len(tasks))
+	for i, t := range tasks {
+		out[i] = Result{TaskID: t.ID, Choice: res.Truth[i], Confidence: res.S[i]}
+	}
+	return out, nil
+}
+
+// InferTruth is the offline API: given tasks and a full set of collected
+// answers, it runs DVE and the iterative truth inference and returns one
+// Result per task, in input order. Worker qualities start at the default
+// prior; use a System with golden tasks for profiled inference.
+func InferTruth(tasks []Task, answers []Answer) ([]Result, error) {
+	sys, err := New(Config{GoldenCount: -1, RerunEvery: -1})
+	if err != nil {
+		return nil, err
+	}
+	internal := make([]*model.Task, 0, len(tasks))
+	for _, t := range tasks {
+		it, err := toInternal(t)
+		if err != nil {
+			return nil, err
+		}
+		internal = append(internal, it)
+	}
+	if err := sys.sys.Publish(internal); err != nil {
+		return nil, err
+	}
+	as := model.NewAnswerSet()
+	for _, a := range answers {
+		if err := as.Add(model.Answer{Worker: a.Worker, Task: a.TaskID, Choice: a.Choice}); err != nil {
+			return nil, err
+		}
+	}
+	m := sys.sys.Domains().Size()
+	res, err := truth.Infer(internal, as, m, truth.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(internal))
+	for i, t := range internal {
+		out[i] = Result{TaskID: t.ID, Choice: res.Truth[i], Confidence: res.S[i]}
+	}
+	return out, nil
+}
+
+func toInternal(t Task) (*model.Task, error) {
+	if len(t.Choices) < 2 {
+		return nil, fmt.Errorf("docs: task %d needs at least 2 choices", t.ID)
+	}
+	truthIdx := model.NoTruth
+	if t.GoldenTruth != NoTruth {
+		if t.GoldenTruth < 0 || t.GoldenTruth >= len(t.Choices) {
+			return nil, fmt.Errorf("docs: task %d golden truth %d out of range", t.ID, t.GoldenTruth)
+		}
+		truthIdx = t.GoldenTruth
+	}
+	return &model.Task{
+		ID:         t.ID,
+		Text:       t.Text,
+		Choices:    append([]string(nil), t.Choices...),
+		Truth:      truthIdx,
+		TrueDomain: model.NoTruth,
+	}, nil
+}
+
+func fromInternal(it *model.Task) Task {
+	truthIdx := NoTruth
+	if it.Truth != model.NoTruth {
+		truthIdx = it.Truth
+	}
+	return Task{
+		ID:          it.ID,
+		Text:        it.Text,
+		Choices:     append([]string(nil), it.Choices...),
+		GoldenTruth: truthIdx,
+	}
+}

@@ -1,0 +1,147 @@
+package docs
+
+import (
+	"testing"
+)
+
+func exampleTasks() []Task {
+	return []Task{
+		{ID: 0, Text: "Does Michael Jordan win more NBA championships than Kobe Bryant?",
+			Choices: []string{"yes", "no"}, GoldenTruth: 0},
+		{ID: 1, Text: "Which food contains more calories, Chocolate or Honey?",
+			Choices: []string{"Chocolate", "Honey"}, GoldenTruth: NoTruth},
+		{ID: 2, Text: "Compare the height of Mount Everest and K2.",
+			Choices: []string{"Everest", "K2"}, GoldenTruth: NoTruth},
+	}
+}
+
+func TestSystemLifecycle(t *testing.T) {
+	sys, err := New(Config{GoldenCount: -1, HITSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Publish(exampleTasks()); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(sys.DomainNames()); n != 26 {
+		t.Errorf("DomainNames = %d, want 26", n)
+	}
+
+	batch, err := sys.Request("alice", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 {
+		t.Fatalf("requested 2, got %d", len(batch))
+	}
+	for _, tk := range batch {
+		if err := sys.Submit("alice", tk.ID, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := sys.CurrentResult(batch[0].ID)
+	if cur.Choice != 0 {
+		t.Errorf("current result = %d after unanimous 0", cur.Choice)
+	}
+	if q := sys.WorkerQuality("alice"); len(q) != 26 {
+		t.Errorf("WorkerQuality size %d", len(q))
+	}
+
+	results, err := sys.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Errorf("Results = %d tasks, want 3", len(results))
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Publish([]Task{{ID: 0, Text: "x", Choices: []string{"only"}, GoldenTruth: NoTruth}}); err == nil {
+		t.Error("single-choice task accepted")
+	}
+	if err := sys.Publish([]Task{{ID: 0, Text: "x", Choices: []string{"a", "b"}, GoldenTruth: 7}}); err == nil {
+		t.Error("out-of-range golden truth accepted")
+	}
+}
+
+func TestGoldenFlow(t *testing.T) {
+	tasks := make([]Task, 0, 30)
+	for i := 0; i < 30; i++ {
+		tasks = append(tasks, Task{
+			ID:   i,
+			Text: "Which food contains more calories, Chocolate or Honey?",
+			Choices: []string{
+				"Chocolate", "Honey",
+			},
+			GoldenTruth: i % 2,
+		})
+	}
+	sys, err := New(Config{GoldenCount: 5, HITSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Publish(tasks); err != nil {
+		t.Fatal(err)
+	}
+	golden := sys.GoldenTaskIDs()
+	if len(golden) != 5 {
+		t.Fatalf("golden = %d, want 5", len(golden))
+	}
+	batch, err := sys.Request("bob", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenSet := map[int]bool{}
+	for _, id := range golden {
+		goldenSet[id] = true
+	}
+	for _, tk := range batch {
+		if !goldenSet[tk.ID] {
+			t.Errorf("new worker served non-golden task %d first", tk.ID)
+		}
+	}
+}
+
+func TestInferTruthOffline(t *testing.T) {
+	tasks := exampleTasks()
+	var answers []Answer
+	// Three workers, two reliable and one contrarian.
+	for _, tk := range tasks {
+		answers = append(answers,
+			Answer{Worker: "good1", TaskID: tk.ID, Choice: 0},
+			Answer{Worker: "good2", TaskID: tk.ID, Choice: 0},
+			Answer{Worker: "bad", TaskID: tk.ID, Choice: 1},
+		)
+	}
+	results, err := InferTruth(tasks, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(tasks) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Choice != 0 {
+			t.Errorf("task %d inferred %d, want 0", r.TaskID, r.Choice)
+		}
+		if len(r.Confidence) != 2 {
+			t.Errorf("task %d confidence size %d", r.TaskID, len(r.Confidence))
+		}
+	}
+}
+
+func TestInferTruthValidation(t *testing.T) {
+	if _, err := InferTruth([]Task{{ID: 0, Text: "x", Choices: []string{"a"}, GoldenTruth: NoTruth}}, nil); err == nil {
+		t.Error("invalid task accepted")
+	}
+	tasks := exampleTasks()
+	bad := []Answer{{Worker: "w", TaskID: 0, Choice: 99}}
+	if _, err := InferTruth(tasks, bad); err == nil {
+		t.Error("out-of-range answer accepted")
+	}
+}

@@ -1,0 +1,128 @@
+// Photo labelling: the scenario from the paper's introduction.
+//
+// Two workers label photos: A is an NBA fan, B is a frequent moviegoer.
+// The campaign publishes photo-labelling tasks about Stephen Curry (sports)
+// and Leonardo DiCaprio (films), plus golden tasks that profile each
+// worker. Watch two things happen:
+//
+//  1. assignment: after profiling, DOCS routes sports photos to A and film
+//     photos to B (the highest-benefit tasks are the ones in each worker's
+//     expert domain);
+//
+//  2. inference: each worker's answers are trusted on their own domain.
+//
+//     go run ./examples/photolabel
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"docs"
+)
+
+// worker simulates a human with different accuracy on sports vs films.
+type worker struct {
+	name              string
+	sportsOK, filmsOK bool
+}
+
+// answer picks the correct choice if the worker is good at the task's
+// subject, otherwise the wrong one (a deliberately stark simulation).
+func (w worker) answer(t docs.Task, correct int) int {
+	isSports := strings.Contains(t.Text, "Curry") || strings.Contains(t.Text, "NBA") ||
+		strings.Contains(t.Text, "Warriors")
+	good := w.filmsOK
+	if isSports {
+		good = w.sportsOK
+	}
+	if good {
+		return correct
+	}
+	return 1 - correct
+}
+
+func main() {
+	// Photo-labelling tasks: "what does this photo show?" with two label
+	// candidates. Ground truth (index 0 here) is known to the simulation
+	// but hidden from the system; only the golden tasks expose it.
+	var tasks []docs.Task
+	truths := map[int]int{}
+	add := func(text string, golden bool) {
+		truth := docs.NoTruth
+		if golden {
+			truth = 0
+		}
+		tasks = append(tasks, docs.Task{
+			ID:          len(tasks),
+			Text:        text,
+			Choices:     []string{"correct label", "wrong label"},
+			GoldenTruth: truth,
+		})
+		truths[len(tasks)-1] = 0
+	}
+	// Golden tasks (known labels) — one per domain.
+	add("Photo of Stephen Curry shooting a three pointer for the Golden State Warriors in an NBA game.", true)
+	add("Photo of Leonardo DiCaprio on a film set during an Oscar campaign.", true)
+	// Real tasks.
+	for i := 0; i < 6; i++ {
+		add(fmt.Sprintf("Photo %d: Stephen Curry celebrates an NBA championship with the Warriors.", i), false)
+		add(fmt.Sprintf("Photo %d: Leonardo DiCaprio stars in a new film premiere.", i), false)
+	}
+
+	// One answer per photo: with a single label per photo, who gets routed
+	// where is exactly what determines quality.
+	sys, err := docs.New(docs.Config{GoldenCount: 2, HITSize: 3, AnswersPerTask: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Publish(tasks); err != nil {
+		log.Fatal(err)
+	}
+
+	workers := []worker{
+		{name: "A (NBA fan)", sportsOK: true, filmsOK: false},
+		{name: "B (moviegoer)", sportsOK: false, filmsOK: true},
+	}
+	assignedSports := map[string]int{}
+	assignedFilms := map[string]int{}
+	for round := 0; round < 12; round++ {
+		w := workers[round%2]
+		batch, err := sys.Request(w.name, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		for _, t := range batch {
+			if strings.Contains(t.Text, "Curry") {
+				assignedSports[w.name]++
+			} else {
+				assignedFilms[w.name]++
+			}
+			if err := sys.Submit(w.name, t.ID, w.answer(t, truths[t.ID])); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	fmt.Println("assignment routing after profiling:")
+	for _, w := range workers {
+		fmt.Printf("  %-15s sports photos: %2d   film photos: %2d\n",
+			w.name, assignedSports[w.name], assignedFilms[w.name])
+	}
+
+	results, err := sys.Results()
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	for _, r := range results {
+		if r.Choice == truths[r.TaskID] {
+			correct++
+		}
+	}
+	fmt.Printf("inference: %d/%d photo labels correct\n", correct, len(results))
+}

@@ -1,0 +1,78 @@
+// Quickstart: the smallest end-to-end DOCS flow.
+//
+// Tasks are published, three workers answer them, and the offline
+// InferTruth API aggregates the answers domain-aware. The point to notice:
+// on the contested basketball question (task 0) the lone "yes" from the
+// worker with a strong sports track record outweighs two "no" votes from
+// workers whose sports answers have been erratic — the paper's Table 1
+// scenario.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"docs"
+)
+
+func main() {
+	tasks := []docs.Task{
+		// The contested task: sportsfan says yes, the other two say no.
+		{ID: 0, Text: "Does Michael Jordan win more NBA championships than Kobe Bryant?",
+			Choices: []string{"yes", "no"}, GoldenTruth: docs.NoTruth},
+		// More sports tasks that reveal who actually knows basketball:
+		// sportsfan is consistent while foodie and hiker contradict each
+		// other (random guessers).
+		{ID: 1, Text: "Did the Chicago Bulls win more championships than the Boston Celtics in the 1990s NBA?",
+			Choices: []string{"yes", "no"}, GoldenTruth: docs.NoTruth},
+		{ID: 2, Text: "Compare the height of LeBron James and Stephen Curry.",
+			Choices: []string{"LeBron is taller", "Curry is taller"}, GoldenTruth: docs.NoTruth},
+		{ID: 3, Text: "Is Tim Duncan a power forward in the NBA?",
+			Choices: []string{"yes", "no"}, GoldenTruth: docs.NoTruth},
+		{ID: 4, Text: "Did Magic Johnson play for the Los Angeles Lakers?",
+			Choices: []string{"yes", "no"}, GoldenTruth: docs.NoTruth},
+		// A non-sports task where everyone happens to agree.
+		{ID: 5, Text: "Which food contains more calories, Chocolate or Honey?",
+			Choices: []string{"Chocolate", "Honey"}, GoldenTruth: docs.NoTruth},
+	}
+
+	answers := []docs.Answer{
+		// Task 0: the Table 1 situation — one yes vs two nos.
+		{Worker: "sportsfan", TaskID: 0, Choice: 0},
+		{Worker: "foodie", TaskID: 0, Choice: 1},
+		{Worker: "hiker", TaskID: 0, Choice: 1},
+		// Tasks 1-4: sportsfan answers consistently; the other two split.
+		{Worker: "sportsfan", TaskID: 1, Choice: 0},
+		{Worker: "foodie", TaskID: 1, Choice: 0},
+		{Worker: "hiker", TaskID: 1, Choice: 1},
+		{Worker: "sportsfan", TaskID: 2, Choice: 0},
+		{Worker: "foodie", TaskID: 2, Choice: 1},
+		{Worker: "hiker", TaskID: 2, Choice: 0},
+		{Worker: "sportsfan", TaskID: 3, Choice: 0},
+		{Worker: "foodie", TaskID: 3, Choice: 0},
+		{Worker: "hiker", TaskID: 3, Choice: 1},
+		{Worker: "sportsfan", TaskID: 4, Choice: 0},
+		{Worker: "foodie", TaskID: 4, Choice: 1},
+		{Worker: "hiker", TaskID: 4, Choice: 0},
+		// Task 5: unanimous.
+		{Worker: "sportsfan", TaskID: 5, Choice: 0},
+		{Worker: "foodie", TaskID: 5, Choice: 0},
+		{Worker: "hiker", TaskID: 5, Choice: 0},
+	}
+
+	results, err := docs.InferTruth(tasks, answers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		t := tasks[r.TaskID]
+		fmt.Printf("task %d: %q\n", r.TaskID, t.Text)
+		fmt.Printf("  inferred: %q  (confidence %.2f)\n", t.Choices[r.Choice], r.Confidence[r.Choice])
+	}
+	if results[0].Choice == 0 {
+		fmt.Println("\nNote: task 0 resolved to \"yes\" although two of three workers said \"no\" —")
+		fmt.Println("the sports expert's vote carries more weight on a sports-domain task.")
+	}
+}

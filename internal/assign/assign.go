@@ -1,0 +1,53 @@
+package assign
+
+import (
+	"fmt"
+
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+// DefaultBatchSize is k, the number of tasks batched into one HIT; the
+// paper uses k = 20 on AMT (and k = 3 per method in the parallel-comparison
+// experiments).
+const DefaultBatchSize = 20
+
+// Assign selects up to k tasks from candidates with the highest benefit for
+// the worker with quality q, per Theorem 4 (batch benefit is additive, so
+// top-k individual benefits are optimal). exclude, if non-nil, reports tasks
+// the worker must not receive (typically T(w), the tasks already answered).
+// The returned IDs are in descending benefit order. Runs in O(n·m·ℓ²) for
+// benefit computation plus O(n) selection.
+func Assign(candidates []*TaskState, q model.QualityVector, k int, exclude func(taskID int) bool) []int {
+	if k <= 0 {
+		return nil
+	}
+	eligible := make([]*TaskState, 0, len(candidates))
+	for _, ts := range candidates {
+		if exclude != nil && exclude(ts.ID) {
+			continue
+		}
+		eligible = append(eligible, ts)
+	}
+	if len(eligible) == 0 {
+		return nil
+	}
+	benefits := make([]float64, len(eligible))
+	for i, ts := range eligible {
+		benefits[i] = Benefit(ts, q)
+	}
+	order := mathx.TopK(benefits, k)
+	out := make([]int, 0, len(order))
+	for _, i := range order {
+		out = append(out, eligible[i].ID)
+	}
+	return out
+}
+
+// ValidateWorker checks the worker quality vector against m domains.
+func ValidateWorker(q model.QualityVector, m int) error {
+	if err := q.Validate(m); err != nil {
+		return fmt.Errorf("assign: %w", err)
+	}
+	return nil
+}

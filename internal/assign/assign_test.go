@@ -1,0 +1,94 @@
+package assign
+
+import (
+	"testing"
+
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+func TestAssignPicksHighestBenefit(t *testing.T) {
+	// Three tasks: one ambiguous in the worker's expert domain, one
+	// ambiguous outside it, one already confident. The expert-domain
+	// ambiguous task must be ranked first, confident last.
+	expertAmbiguous := &TaskState{
+		ID: 1, R: model.DomainVector{1, 0},
+		M: [][]float64{{0.5, 0.5}, {0.5, 0.5}}, S: []float64{0.5, 0.5},
+	}
+	otherAmbiguous := &TaskState{
+		ID: 2, R: model.DomainVector{0, 1},
+		M: [][]float64{{0.5, 0.5}, {0.5, 0.5}}, S: []float64{0.5, 0.5},
+	}
+	confident := &TaskState{
+		ID: 3, R: model.DomainVector{1, 0},
+		M: [][]float64{{0.99, 0.01}, {0.99, 0.01}}, S: []float64{0.99, 0.01},
+	}
+	// The worker is a domain-0 expert and a pure coin flip on domain 1, so
+	// the domain-1 task carries exactly zero information benefit.
+	q := model.QualityVector{0.95, 0.5}
+
+	got := Assign([]*TaskState{confident, otherAmbiguous, expertAmbiguous}, q, 3, nil)
+	if len(got) != 3 {
+		t.Fatalf("assigned %d tasks, want 3", len(got))
+	}
+	if got[0] != 1 {
+		t.Errorf("first assignment = task %d, want 1 (expert-domain ambiguous)", got[0])
+	}
+	if got[2] != 2 {
+		t.Errorf("last assignment = task %d, want 2 (coin-flip domain, zero benefit)", got[2])
+	}
+}
+
+func TestAssignExcludesAnswered(t *testing.T) {
+	r := mathx.NewRand(3)
+	states := make([]*TaskState, 10)
+	for i := range states {
+		states[i] = randomState(r, i, 2, 2)
+	}
+	q := model.QualityVector{0.8, 0.8}
+	answered := map[int]bool{0: true, 1: true, 2: true}
+	got := Assign(states, q, 5, func(id int) bool { return answered[id] })
+	if len(got) != 5 {
+		t.Fatalf("assigned %d, want 5", len(got))
+	}
+	for _, id := range got {
+		if answered[id] {
+			t.Errorf("assigned already-answered task %d", id)
+		}
+	}
+}
+
+func TestAssignFewerCandidatesThanK(t *testing.T) {
+	r := mathx.NewRand(4)
+	states := []*TaskState{randomState(r, 0, 2, 2), randomState(r, 1, 2, 2)}
+	q := model.QualityVector{0.8, 0.8}
+	got := Assign(states, q, 20, nil)
+	if len(got) != 2 {
+		t.Errorf("assigned %d, want 2", len(got))
+	}
+}
+
+func TestAssignEdgeCases(t *testing.T) {
+	q := model.QualityVector{0.8}
+	if got := Assign(nil, q, 5, nil); got != nil {
+		t.Errorf("Assign(no candidates) = %v", got)
+	}
+	r := mathx.NewRand(5)
+	states := []*TaskState{randomState(r, 0, 1, 2)}
+	if got := Assign(states, q, 0, nil); got != nil {
+		t.Errorf("Assign(k=0) = %v", got)
+	}
+	all := func(int) bool { return true }
+	if got := Assign(states, q, 5, all); got != nil {
+		t.Errorf("Assign(all excluded) = %v", got)
+	}
+}
+
+func TestValidateWorker(t *testing.T) {
+	if err := ValidateWorker(model.QualityVector{0.5, 0.5}, 2); err != nil {
+		t.Errorf("valid worker rejected: %v", err)
+	}
+	if err := ValidateWorker(model.QualityVector{0.5}, 2); err == nil {
+		t.Error("wrong-size worker accepted")
+	}
+}

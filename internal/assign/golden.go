@@ -1,0 +1,187 @@
+package assign
+
+import (
+	"math"
+
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+// DefaultGoldenCount is the number of golden tasks DOCS selects per
+// campaign; the paper finds 20 sufficient (Figure 4(b)).
+const DefaultGoldenCount = 20
+
+// GoldenObjective evaluates Equation 11's objective D(σ ‖ τ) for an
+// allocation n'_k over m domains: Σ_k (n'_k/n')·ln(n'_k·n' /(n'·Σ... )) —
+// equivalently the KL divergence between σ_k = n'_k/n' and τ. Allocations
+// placing mass on τ_k = 0 score +Inf.
+func GoldenObjective(alloc []int, tau []float64) float64 {
+	nPrime := 0
+	for _, a := range alloc {
+		nPrime += a
+	}
+	if nPrime == 0 {
+		return 0
+	}
+	var d float64
+	for k, a := range alloc {
+		if a == 0 {
+			continue
+		}
+		sigma := float64(a) / float64(nPrime)
+		if tau[k] <= 0 {
+			return math.Inf(1)
+		}
+		d += sigma * math.Log(sigma/tau[k])
+	}
+	return d
+}
+
+// GoldenAllocation approximately solves Equation 11: distribute n' golden
+// tasks over m domains so the allocation distribution σ is as close as
+// possible (in KL divergence) to the aggregate task domain distribution τ.
+//
+// Following the paper's approximation algorithm, each n'_k starts at the
+// lower bound ⌊τ_k·n'⌋; the remaining (at most m) units are then placed
+// greedily, each on the domain whose increment minimizes the objective.
+// Runs in O(m²·n') in the worst case; the paper reports the approximation
+// ratio γ = |D − D_opt|/D_opt within 0.1%.
+func GoldenAllocation(tau []float64, nPrime int) []int {
+	m := len(tau)
+	alloc := make([]int, m)
+	if nPrime <= 0 || m == 0 {
+		return alloc
+	}
+	used := 0
+	for k, t := range tau {
+		alloc[k] = int(math.Floor(t * float64(nPrime)))
+		used += alloc[k]
+	}
+	for ; used < nPrime; used++ {
+		best := -1
+		bestObj := math.Inf(1)
+		for k := range alloc {
+			if tau[k] <= 0 {
+				continue
+			}
+			alloc[k]++
+			if obj := GoldenObjective(alloc, tau); obj < bestObj {
+				bestObj = obj
+				best = k
+			}
+			alloc[k]--
+		}
+		if best < 0 {
+			// Degenerate τ (all zero): spread uniformly.
+			best = used % m
+		}
+		alloc[best]++
+	}
+	return alloc
+}
+
+// GoldenAllocationExact solves Equation 11 exactly by enumerating all
+// compositions of n' into m non-negative parts (the paper's comparison
+// baseline in Figure 7(a)). Cost is C(n'+m−1, m−1); use only for small n', m.
+func GoldenAllocationExact(tau []float64, nPrime int) []int {
+	m := len(tau)
+	best := make([]int, m)
+	bestObj := math.Inf(1)
+	cur := make([]int, m)
+	var rec func(k, remaining int)
+	rec = func(k, remaining int) {
+		if k == m-1 {
+			cur[k] = remaining
+			if obj := GoldenObjective(cur, tau); obj < bestObj {
+				bestObj = obj
+				copy(best, cur)
+			}
+			return
+		}
+		for v := 0; v <= remaining; v++ {
+			cur[k] = v
+			rec(k+1, remaining-v)
+		}
+	}
+	if m > 0 {
+		rec(0, nPrime)
+	}
+	return best
+}
+
+// AggregateDomainDistribution computes τ: the mean of the tasks' domain
+// vectors (Section 5.2, guideline 2).
+func AggregateDomainDistribution(tasks []*model.Task, m int) []float64 {
+	tau := make([]float64, m)
+	if len(tasks) == 0 {
+		return tau
+	}
+	for _, t := range tasks {
+		for k, r := range t.Domain {
+			tau[k] += r
+		}
+	}
+	for k := range tau {
+		tau[k] /= float64(len(tasks))
+	}
+	return tau
+}
+
+// SelectGolden picks n' golden tasks from the task set: it computes τ,
+// allocates per-domain counts via GoldenAllocation, and then, per
+// guideline 1, selects for each domain the unchosen tasks with the highest
+// relatedness r_k to that domain. Returns the chosen task indices (positions
+// in the input slice). Tasks are not repeated across domains.
+func SelectGolden(tasks []*model.Task, nPrime, m int) []int {
+	if nPrime <= 0 || len(tasks) == 0 {
+		return nil
+	}
+	if nPrime > len(tasks) {
+		nPrime = len(tasks)
+	}
+	tau := AggregateDomainDistribution(tasks, m)
+	alloc := GoldenAllocation(tau, nPrime)
+
+	chosen := make([]bool, len(tasks))
+	var out []int
+	// Serve domains in descending allocation so large domains get first
+	// pick of their strongest tasks.
+	domainOrder := mathx.TopK(intsToFloats(alloc), m)
+	for _, k := range domainOrder {
+		need := alloc[k]
+		if need == 0 {
+			continue
+		}
+		rk := make([]float64, len(tasks))
+		for i, t := range tasks {
+			if chosen[i] {
+				rk[i] = math.Inf(-1)
+			} else {
+				rk[i] = t.Domain[k]
+			}
+		}
+		for _, i := range mathx.TopK(rk, need) {
+			if chosen[i] || math.IsInf(rk[i], -1) {
+				continue
+			}
+			chosen[i] = true
+			out = append(out, i)
+		}
+	}
+	// Top up if rounding or exclusions left us short.
+	for i := 0; len(out) < nPrime && i < len(tasks); i++ {
+		if !chosen[i] {
+			chosen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func intsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

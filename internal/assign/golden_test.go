@@ -1,0 +1,185 @@
+package assign
+
+import (
+	"math"
+	"testing"
+
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+func TestGoldenAllocationFeasibility(t *testing.T) {
+	r := mathx.NewRand(3)
+	for trial := 0; trial < 200; trial++ {
+		m := 2 + r.Intn(8)
+		nPrime := 1 + r.Intn(40)
+		tau := r.Dirichlet(m, 0.8)
+		alloc := GoldenAllocation(tau, nPrime)
+		total := 0
+		for k, a := range alloc {
+			if a < 0 {
+				t.Fatalf("negative allocation %d at domain %d", a, k)
+			}
+			total += a
+		}
+		if total != nPrime {
+			t.Fatalf("allocation sums to %d, want %d (tau=%v)", total, nPrime, tau)
+		}
+	}
+}
+
+// TestGoldenAllocationNearOptimal reproduces the Figure 7(a) property: the
+// approximation's objective is within a whisker of the enumerated optimum
+// (the paper reports γ within 0.1% on average).
+func TestGoldenAllocationNearOptimal(t *testing.T) {
+	r := mathx.NewRand(7)
+	var sumGamma float64
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		m := 2 + r.Intn(3) // keep enumeration tractable
+		nPrime := 3 + r.Intn(10)
+		tau := r.Dirichlet(m, 1.2)
+		approx := GoldenAllocation(tau, nPrime)
+		exact := GoldenAllocationExact(tau, nPrime)
+		dA := GoldenObjective(approx, tau)
+		dE := GoldenObjective(exact, tau)
+		if dA+1e-12 < dE {
+			t.Fatalf("approx objective %g below exact optimum %g", dA, dE)
+		}
+		if dE > 0 {
+			sumGamma += (dA - dE) / dE
+		}
+	}
+	if avg := sumGamma / trials; avg > 0.05 {
+		t.Errorf("average approximation gap γ = %g, want <= 0.05", avg)
+	}
+}
+
+func TestGoldenAllocationMatchesTauShape(t *testing.T) {
+	tau := []float64{0.5, 0.3, 0.2}
+	alloc := GoldenAllocation(tau, 10)
+	if alloc[0] != 5 || alloc[1] != 3 || alloc[2] != 2 {
+		t.Errorf("allocation = %v, want [5 3 2]", alloc)
+	}
+}
+
+func TestGoldenAllocationZeroTauDomain(t *testing.T) {
+	tau := []float64{0.6, 0.4, 0}
+	alloc := GoldenAllocation(tau, 7)
+	if alloc[2] != 0 {
+		t.Errorf("allocated %d tasks to a zero-mass domain", alloc[2])
+	}
+	if alloc[0]+alloc[1] != 7 {
+		t.Errorf("allocation = %v does not sum to 7", alloc)
+	}
+}
+
+func TestGoldenAllocationDegenerate(t *testing.T) {
+	if alloc := GoldenAllocation(nil, 5); len(alloc) != 0 {
+		t.Errorf("empty tau allocation = %v", alloc)
+	}
+	alloc := GoldenAllocation([]float64{0.5, 0.5}, 0)
+	if alloc[0] != 0 || alloc[1] != 0 {
+		t.Errorf("n'=0 allocation = %v", alloc)
+	}
+	// All-zero tau still distributes (uniform fallback).
+	alloc = GoldenAllocation([]float64{0, 0}, 4)
+	if alloc[0]+alloc[1] != 4 {
+		t.Errorf("zero-tau allocation = %v", alloc)
+	}
+}
+
+func TestGoldenObjective(t *testing.T) {
+	tau := []float64{0.5, 0.5}
+	if d := GoldenObjective([]int{5, 5}, tau); math.Abs(d) > 1e-12 {
+		t.Errorf("perfect match objective = %g, want 0", d)
+	}
+	if d := GoldenObjective([]int{10, 0}, tau); d <= 0 {
+		t.Errorf("skewed objective = %g, want > 0", d)
+	}
+	if d := GoldenObjective([]int{1, 1}, []float64{1, 0}); !math.IsInf(d, 1) {
+		t.Errorf("mass on zero-tau domain objective = %g, want +Inf", d)
+	}
+	if d := GoldenObjective([]int{0, 0}, tau); d != 0 {
+		t.Errorf("empty allocation objective = %g", d)
+	}
+}
+
+func buildDomainTasks(r *mathx.Rand, n, m int) []*model.Task {
+	tasks := make([]*model.Task, n)
+	for i := range tasks {
+		k := i % m
+		dom := make(model.DomainVector, m)
+		for j := range dom {
+			dom[j] = 0.05
+		}
+		dom[k] = 1
+		mathx.Normalize(dom)
+		tasks[i] = &model.Task{
+			ID: i, Choices: []string{"a", "b"},
+			Domain: dom, Truth: r.Intn(2), TrueDomain: k,
+		}
+	}
+	return tasks
+}
+
+func TestSelectGolden(t *testing.T) {
+	r := mathx.NewRand(9)
+	const n, m, nPrime = 120, 4, 20
+	tasks := buildDomainTasks(r, n, m)
+	idx := SelectGolden(tasks, nPrime, m)
+	if len(idx) != nPrime {
+		t.Fatalf("selected %d tasks, want %d", len(idx), nPrime)
+	}
+	seen := make(map[int]bool)
+	perDomain := make([]int, m)
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatalf("task %d selected twice", i)
+		}
+		seen[i] = true
+		perDomain[tasks[i].TrueDomain]++
+	}
+	// τ is uniform over 4 domains, so each domain should get n'/m = 5.
+	for k, c := range perDomain {
+		if c != nPrime/m {
+			t.Errorf("domain %d got %d golden tasks, want %d", k, c, nPrime/m)
+		}
+	}
+	// Guideline 1: each selected task must be strongly related to its
+	// allocated domain (r_k is the 1-weighted entry here).
+	for _, i := range idx {
+		if tasks[i].Domain.Top() != tasks[i].TrueDomain {
+			t.Errorf("selected task %d is not a strong representative", i)
+		}
+	}
+}
+
+func TestSelectGoldenEdgeCases(t *testing.T) {
+	r := mathx.NewRand(10)
+	tasks := buildDomainTasks(r, 6, 3)
+	if got := SelectGolden(nil, 5, 3); got != nil {
+		t.Errorf("SelectGolden(no tasks) = %v", got)
+	}
+	if got := SelectGolden(tasks, 0, 3); got != nil {
+		t.Errorf("SelectGolden(n'=0) = %v", got)
+	}
+	got := SelectGolden(tasks, 100, 3)
+	if len(got) != 6 {
+		t.Errorf("n' > n selected %d, want all 6", len(got))
+	}
+}
+
+func TestAggregateDomainDistribution(t *testing.T) {
+	tasks := []*model.Task{
+		{ID: 0, Choices: []string{"a", "b"}, Domain: model.DomainVector{1, 0}, Truth: model.NoTruth, TrueDomain: model.NoTruth},
+		{ID: 1, Choices: []string{"a", "b"}, Domain: model.DomainVector{0, 1}, Truth: model.NoTruth, TrueDomain: model.NoTruth},
+	}
+	tau := AggregateDomainDistribution(tasks, 2)
+	if math.Abs(tau[0]-0.5) > 1e-12 || math.Abs(tau[1]-0.5) > 1e-12 {
+		t.Errorf("tau = %v, want [0.5 0.5]", tau)
+	}
+	if tau := AggregateDomainDistribution(nil, 2); tau[0] != 0 {
+		t.Errorf("empty tau = %v", tau)
+	}
+}

@@ -1,0 +1,168 @@
+package baselines
+
+import (
+	"fmt"
+
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+// Assigner is the common interface of the online task-assignment methods
+// compared in Figure 8. An Assigner is stateful over one campaign: the
+// harness calls Init once, then alternates Assign (pick k tasks for an
+// arriving worker from the eligible candidates) and Observe (feed back the
+// worker's answers), and finally Finalize to obtain the method's inferred
+// truths.
+//
+// Eligibility (tasks not yet at the redundancy cap and not yet answered by
+// this worker) is enforced by the harness so every method sees the same
+// rules; the Assigner only ranks.
+type Assigner interface {
+	// Name returns the method's display name.
+	Name() string
+	// Init installs the campaign's tasks (with domain vectors where the
+	// method uses them).
+	Init(tasks []*model.Task) error
+	// Assign ranks the candidate task IDs for the worker and returns up to
+	// k of them.
+	Assign(workerID string, candidates []int, k int) []int
+	// Observe feeds one collected answer back into the method's state.
+	Observe(a model.Answer) error
+	// Finalize runs the method's own truth inference over everything
+	// observed and returns the truth per task (input-slice order).
+	Finalize() ([]int, error)
+}
+
+// campaign holds the state shared by every assignment baseline.
+type campaign struct {
+	tasks   []*model.Task
+	pos     map[int]int
+	answers *model.AnswerSet
+	counts  [][]float64 // per task: votes per choice
+}
+
+func (c *campaign) init(tasks []*model.Task) error {
+	c.tasks = tasks
+	c.pos = make(map[int]int, len(tasks))
+	c.answers = model.NewAnswerSet()
+	c.counts = make([][]float64, len(tasks))
+	for i, t := range tasks {
+		if len(t.Choices) < 2 {
+			return fmt.Errorf("baselines: task %d has %d choices", t.ID, len(t.Choices))
+		}
+		c.pos[t.ID] = i
+		c.counts[i] = make([]float64, t.NumChoices())
+	}
+	return nil
+}
+
+func (c *campaign) observe(a model.Answer) error {
+	i, ok := c.pos[a.Task]
+	if !ok {
+		return fmt.Errorf("baselines: observe unknown task %d", a.Task)
+	}
+	if a.Choice < 0 || a.Choice >= len(c.counts[i]) {
+		return fmt.Errorf("baselines: observe choice %d out of range for task %d", a.Choice, a.Task)
+	}
+	if err := c.answers.Add(a); err != nil {
+		return err
+	}
+	c.counts[i][a.Choice]++
+	return nil
+}
+
+// RandomAssigner is the paper's "Baseline": uniformly random assignment
+// with MV inference.
+type RandomAssigner struct {
+	campaign
+	rand *mathx.Rand
+}
+
+// NewRandomAssigner returns the random baseline with the given seed.
+func NewRandomAssigner(seed uint64) *RandomAssigner {
+	return &RandomAssigner{rand: mathx.NewRand(seed ^ 0xba5e)}
+}
+
+// Name implements Assigner.
+func (*RandomAssigner) Name() string { return "Baseline" }
+
+// Init implements Assigner.
+func (r *RandomAssigner) Init(tasks []*model.Task) error { return r.init(tasks) }
+
+// Assign implements Assigner.
+func (r *RandomAssigner) Assign(_ string, candidates []int, k int) []int {
+	if len(candidates) == 0 || k <= 0 {
+		return nil
+	}
+	perm := r.rand.Perm(len(candidates))
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	out := make([]int, 0, k)
+	for _, p := range perm[:k] {
+		out = append(out, candidates[p])
+	}
+	return out
+}
+
+// Observe implements Assigner.
+func (r *RandomAssigner) Observe(a model.Answer) error { return r.observe(a) }
+
+// Finalize implements Assigner.
+func (r *RandomAssigner) Finalize() ([]int, error) {
+	return MV{}.InferTruth(r.tasks, r.answers)
+}
+
+// AskItAssigner is AskIt! (Boim et al., ICDE 2012): assign the k tasks with
+// the highest current uncertainty (entropy of the empirical vote
+// distribution), infer with MV.
+type AskItAssigner struct {
+	campaign
+}
+
+// NewAskItAssigner returns the AskIt! baseline.
+func NewAskItAssigner() *AskItAssigner { return &AskItAssigner{} }
+
+// Name implements Assigner.
+func (*AskItAssigner) Name() string { return "AskIt!" }
+
+// Init implements Assigner.
+func (a *AskItAssigner) Init(tasks []*model.Task) error { return a.init(tasks) }
+
+// Assign implements Assigner.
+func (a *AskItAssigner) Assign(_ string, candidates []int, k int) []int {
+	scores := make([]float64, len(candidates))
+	for ci, id := range candidates {
+		i := a.pos[id]
+		total := mathx.Sum(a.counts[i])
+		if total == 0 {
+			// Never-answered tasks are maximally uncertain.
+			scores[ci] = mathx.MaxEntropy(len(a.counts[i])) + 1
+			continue
+		}
+		p := mathx.Normalize(mathx.Clone(a.counts[i]))
+		scores[ci] = mathx.Entropy(p)
+	}
+	return pick(candidates, scores, k)
+}
+
+// Observe implements Assigner.
+func (a *AskItAssigner) Observe(ans model.Answer) error { return a.observe(ans) }
+
+// Finalize implements Assigner.
+func (a *AskItAssigner) Finalize() ([]int, error) {
+	return MV{}.InferTruth(a.tasks, a.answers)
+}
+
+// pick returns up to k candidate IDs with the highest scores.
+func pick(candidates []int, scores []float64, k int) []int {
+	if len(candidates) == 0 || k <= 0 {
+		return nil
+	}
+	order := mathx.TopK(scores, k)
+	out := make([]int, 0, len(order))
+	for _, i := range order {
+		out = append(out, candidates[i])
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package baselines
+
+import (
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+// ICAssigner is iCrowd's assignment strategy: give the coming worker the
+// tasks on which she has the highest estimated quality, under the
+// constraint that every task ends up answered the same number of times.
+// The equal-times constraint is realized by serving tasks with the fewest
+// answers first (within a round, quality breaks ties), which converges to
+// equal counts under the harness's redundancy cap. Truth inference is
+// iCrowd's similarity-weighted majority voting.
+type ICAssigner struct {
+	campaign
+	ic     *IC
+	theta  [][]float64
+	truth  []int
+	sinceT int
+}
+
+// NewICAssigner returns iCrowd's assigner. domains may carry per-task
+// latent domain vectors (e.g. LDA output or given ground truth); if nil,
+// LDA runs at Init.
+func NewICAssigner(ic *IC) *ICAssigner {
+	if ic == nil {
+		ic = &IC{}
+	}
+	return &ICAssigner{ic: ic}
+}
+
+// Name implements Assigner.
+func (*ICAssigner) Name() string { return "IC" }
+
+// Init implements Assigner.
+func (a *ICAssigner) Init(tasks []*model.Task) error {
+	if err := a.init(tasks); err != nil {
+		return err
+	}
+	a.theta = a.ic.TaskDomains(tasks)
+	a.truth = make([]int, len(tasks))
+	return nil
+}
+
+// workerQuality estimates the worker's accuracy on task i from her record
+// on similar tasks (cosine similarity of latent domain vectors), judged
+// against the current truth estimate.
+func (a *ICAssigner) workerQuality(workerID string, i int) float64 {
+	var num, den float64
+	for _, b := range a.answers.ForWorker(workerID) {
+		j := a.pos[b.Task]
+		if j == i {
+			continue
+		}
+		s := cosine(a.theta[i], a.theta[j])
+		den += s
+		if b.Choice == a.truth[j] {
+			num += s
+		}
+	}
+	if den <= 1e-9 {
+		return 0.7
+	}
+	return num / den
+}
+
+// Assign implements Assigner.
+func (a *ICAssigner) Assign(workerID string, candidates []int, k int) []int {
+	if len(candidates) == 0 || k <= 0 {
+		return nil
+	}
+	// Equal-times constraint: rank primarily by (max count − count), then
+	// by the worker's estimated quality.
+	maxCount := 0.0
+	counts := make([]float64, len(candidates))
+	for ci, id := range candidates {
+		counts[ci] = mathx.Sum(a.counts[a.pos[id]])
+		if counts[ci] > maxCount {
+			maxCount = counts[ci]
+		}
+	}
+	scores := make([]float64, len(candidates))
+	for ci, id := range candidates {
+		q := a.workerQuality(workerID, a.pos[id])
+		scores[ci] = (maxCount-counts[ci])*10 + q
+	}
+	return pick(candidates, scores, k)
+}
+
+// Observe implements Assigner.
+func (a *ICAssigner) Observe(ans model.Answer) error {
+	if err := a.observe(ans); err != nil {
+		return err
+	}
+	// Refresh the cheap weighted-MV truth estimate periodically.
+	a.sinceT++
+	if a.sinceT >= 50 {
+		a.sinceT = 0
+		a.refreshTruth()
+	}
+	i := a.pos[ans.Task]
+	a.truth[i] = mathx.ArgMax(a.counts[i])
+	return nil
+}
+
+func (a *ICAssigner) refreshTruth() {
+	for i := range a.tasks {
+		a.truth[i] = mathx.ArgMax(a.counts[i])
+	}
+}
+
+// Finalize implements Assigner.
+func (a *ICAssigner) Finalize() ([]int, error) {
+	ic := *a.ic
+	ic.GivenDomains = a.theta
+	return ic.InferTruth(a.tasks, a.answers)
+}
+
+// QASCAAssigner is QASCA (Zheng et al., SIGMOD 2015): assign the k tasks
+// whose answers most improve the expected Accuracy of the current truth
+// estimates. Online it tracks per-worker scalar reliabilities and per-task
+// Bayesian posteriors; the final inference is full Dawid&Skene, as in the
+// paper.
+type QASCAAssigner struct {
+	campaign
+	rel     map[string]float64
+	post    [][]float64
+	seedRel map[string]float64
+}
+
+// NewQASCAAssigner returns the QASCA baseline; initRel optionally seeds
+// worker reliabilities from golden tasks.
+func NewQASCAAssigner(initRel map[string]float64) *QASCAAssigner {
+	return &QASCAAssigner{seedRel: initRel}
+}
+
+// Name implements Assigner.
+func (*QASCAAssigner) Name() string { return "QASCA" }
+
+// Init implements Assigner.
+func (q *QASCAAssigner) Init(tasks []*model.Task) error {
+	if err := q.init_(tasks); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (q *QASCAAssigner) init_(tasks []*model.Task) error {
+	if err := q.campaign.init(tasks); err != nil {
+		return err
+	}
+	q.rel = make(map[string]float64)
+	q.post = make([][]float64, len(tasks))
+	for i, t := range tasks {
+		q.post[i] = mathx.Uniform(t.NumChoices())
+	}
+	return nil
+}
+
+func (q *QASCAAssigner) reliability(w string) float64 {
+	if r, ok := q.rel[w]; ok {
+		return r
+	}
+	if r, ok := q.seedRel[w]; ok {
+		return clampProb(r)
+	}
+	return 0.7
+}
+
+// Assign implements Assigner: expected gain in max-posterior (the Accuracy
+// quality metric of the QASCA paper) per candidate, top-k.
+func (q *QASCAAssigner) Assign(workerID string, candidates []int, k int) []int {
+	if len(candidates) == 0 || k <= 0 {
+		return nil
+	}
+	wq := q.reliability(workerID)
+	scores := make([]float64, len(candidates))
+	for ci, id := range candidates {
+		i := q.pos[id]
+		s := q.post[i]
+		ell := float64(len(s))
+		cur := s[mathx.ArgMax(s)]
+		var exp float64
+		for a := range s {
+			// Predictive probability of answer a under the scalar model.
+			var pa float64
+			for j := range s {
+				if j == a {
+					pa += s[j] * wq
+				} else {
+					pa += s[j] * (1 - wq) / (ell - 1)
+				}
+			}
+			if pa == 0 {
+				continue
+			}
+			// Posterior if a is observed.
+			upd := make([]float64, len(s))
+			for j := range s {
+				if j == a {
+					upd[j] = s[j] * wq
+				} else {
+					upd[j] = s[j] * (1 - wq) / (ell - 1)
+				}
+			}
+			mathx.Normalize(upd)
+			exp += pa * upd[mathx.ArgMax(upd)]
+		}
+		scores[ci] = exp - cur
+	}
+	return pick(candidates, scores, k)
+}
+
+// Observe implements Assigner: Bayes-update the task posterior and nudge
+// the worker's reliability toward her agreement with it.
+func (q *QASCAAssigner) Observe(ans model.Answer) error {
+	if err := q.observe(ans); err != nil {
+		return err
+	}
+	i := q.pos[ans.Task]
+	s := q.post[i]
+	wq := q.reliability(ans.Worker)
+	ell := float64(len(s))
+	for j := range s {
+		if j == ans.Choice {
+			s[j] *= wq
+		} else {
+			s[j] *= (1 - wq) / (ell - 1)
+		}
+	}
+	mathx.Normalize(s)
+	// Running reliability: exponential average of agreement with the
+	// posterior of the tasks the worker answered.
+	agreement := s[ans.Choice]
+	q.rel[ans.Worker] = clampProb(0.9*q.reliability(ans.Worker) + 0.1*agreement)
+	return nil
+}
+
+// Finalize implements Assigner: full Dawid&Skene, per the QASCA paper.
+func (q *QASCAAssigner) Finalize() ([]int, error) {
+	ds := &DS{InitReliability: q.seedRel}
+	return ds.InferTruth(q.tasks, q.answers)
+}

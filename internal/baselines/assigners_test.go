@@ -1,0 +1,238 @@
+package baselines
+
+import (
+	"sort"
+	"testing"
+
+	"docs/internal/mathx"
+	"docs/internal/model"
+	"docs/internal/truth"
+)
+
+// runCampaign drives an assigner through a simulated campaign: workers
+// arrive round-robin, receive k eligible tasks, and answer per their true
+// quality. Returns the assigner's final accuracy.
+func runCampaign(t *testing.T, a Assigner, tasks []*model.Task, trueQ map[string]model.QualityVector, totalAnswers, k, cap int, seed uint64) float64 {
+	t.Helper()
+	if err := a.Init(tasks); err != nil {
+		t.Fatal(err)
+	}
+	r := mathx.NewRand(seed)
+	counts := make(map[int]int)
+	answered := make(map[string]map[int]bool)
+	workers := make([]string, 0, len(trueQ))
+	for w := range trueQ {
+		workers = append(workers, w)
+	}
+	sort.Strings(workers)
+
+	collected := 0
+	for collected < totalAnswers {
+		w := workers[r.Intn(len(workers))]
+		if answered[w] == nil {
+			answered[w] = make(map[int]bool)
+		}
+		var candidates []int
+		for _, tk := range tasks {
+			if counts[tk.ID] < cap && !answered[w][tk.ID] {
+				candidates = append(candidates, tk.ID)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		got := a.Assign(w, candidates, k)
+		if len(got) == 0 {
+			t.Fatalf("%s assigned nothing from %d candidates", a.Name(), len(candidates))
+		}
+		if len(got) > k {
+			t.Fatalf("%s assigned %d > k=%d", a.Name(), len(got), k)
+		}
+		seen := map[int]bool{}
+		for _, id := range got {
+			if seen[id] {
+				t.Fatalf("%s assigned task %d twice in one HIT", a.Name(), id)
+			}
+			seen[id] = true
+			if answered[w][id] || counts[id] >= cap {
+				t.Fatalf("%s assigned ineligible task %d", a.Name(), id)
+			}
+			tk := tasks[id]
+			choice := tk.Truth
+			if r.Float64() >= trueQ[w].Expected(tk.Domain) {
+				choice = (tk.Truth + 1 + r.Intn(tk.NumChoices()-1)) % tk.NumChoices()
+			}
+			if err := a.Observe(model.Answer{Worker: w, Task: id, Choice: choice}); err != nil {
+				t.Fatal(err)
+			}
+			answered[w][id] = true
+			counts[id]++
+			collected++
+		}
+	}
+	inferred, err := a.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return accuracy(tasks, inferred)
+}
+
+func campaignTasks(t *testing.T, n int, seed uint64) ([]*model.Task, map[string]model.QualityVector) {
+	t.Helper()
+	tasks, _, trueQ := binaryCampaign(t, n, 16, 0, seed) // perTask=0: no pre-collected answers
+	return tasks, trueQ
+}
+
+func TestAssignersRespectProtocol(t *testing.T) {
+	tasks, trueQ := campaignTasks(t, 60, 3)
+	domains := make([][]float64, len(tasks))
+	for i, tk := range tasks {
+		v := make([]float64, 2)
+		v[tk.TrueDomain] = 1
+		domains[i] = v
+	}
+	assigners := []Assigner{
+		NewRandomAssigner(1),
+		NewAskItAssigner(),
+		NewICAssigner(&IC{GivenDomains: domains}),
+		NewQASCAAssigner(nil),
+		NewDMaxAssigner(2, nil),
+	}
+	for _, a := range assigners {
+		acc := runCampaign(t, a, tasks, trueQ, 300, 3, 5, 17)
+		if acc < 0.55 {
+			t.Errorf("%s accuracy %.3f suspiciously low", a.Name(), acc)
+		}
+		t.Logf("%s: %.3f", a.Name(), acc)
+	}
+}
+
+// TestSmartAssignersBeatRandom is the Figure 8(a) shape at small scale:
+// quality-aware assignment must not lose to the random baseline.
+func TestSmartAssignersBeatRandom(t *testing.T) {
+	tasks, trueQ := campaignTasks(t, 100, 5)
+	const total, k, cap = 600, 3, 8
+
+	base := runCampaign(t, NewRandomAssigner(2), tasks, trueQ, total, k, cap, 29)
+	qasca := runCampaign(t, NewQASCAAssigner(nil), tasks, trueQ, total, k, cap, 29)
+	dmax := runCampaign(t, NewDMaxAssigner(2, nil), tasks, trueQ, total, k, cap, 29)
+
+	t.Logf("Baseline %.3f, QASCA %.3f, D-Max %.3f", base, qasca, dmax)
+	if qasca < base-0.05 {
+		t.Errorf("QASCA %.3f clearly below Baseline %.3f", qasca, base)
+	}
+	if dmax < base-0.05 {
+		t.Errorf("D-Max %.3f clearly below Baseline %.3f", dmax, base)
+	}
+}
+
+func TestICAssignerEqualTimesTendency(t *testing.T) {
+	tasks, trueQ := campaignTasks(t, 40, 7)
+	domains := make([][]float64, len(tasks))
+	for i, tk := range tasks {
+		v := make([]float64, 2)
+		v[tk.TrueDomain] = 1
+		domains[i] = v
+	}
+	a := NewICAssigner(&IC{GivenDomains: domains})
+	if err := a.Init(tasks); err != nil {
+		t.Fatal(err)
+	}
+	// Manually drive a few HITs and check low-count tasks are served first.
+	r := mathx.NewRand(1)
+	counts := make(map[int]int)
+	workers := []string{}
+	for w := range trueQ {
+		workers = append(workers, w)
+	}
+	sort.Strings(workers)
+	for hit := 0; hit < 30; hit++ {
+		w := workers[hit%len(workers)]
+		var candidates []int
+		for _, tk := range tasks {
+			if counts[tk.ID] < 3 {
+				candidates = append(candidates, tk.ID)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		got := a.Assign(w, candidates, 4)
+		minCount := 1 << 30
+		for _, id := range candidates {
+			if counts[id] < minCount {
+				minCount = counts[id]
+			}
+		}
+		for _, id := range got {
+			if counts[id] > minCount {
+				t.Fatalf("HIT %d assigned task with count %d while min is %d", hit, counts[id], minCount)
+			}
+			counts[id]++
+			choice := tasks[id].Truth
+			if r.Float64() >= trueQ[w].Expected(tasks[id].Domain) {
+				choice = 1 - choice
+			}
+			// A worker may get the same task across HITs in this loose
+			// loop; ignore duplicate errors — protocol is tested elsewhere.
+			_ = a.Observe(model.Answer{Worker: w, Task: id, Choice: choice})
+		}
+	}
+}
+
+func TestDMaxUsesGoldenStats(t *testing.T) {
+	tasks, trueQ := campaignTasks(t, 30, 11)
+	stats := make(map[string]*truth.Stats)
+	for w, q := range trueQ {
+		st := truth.NewStats(2)
+		copy(st.Q, q)
+		st.U[0], st.U[1] = 5, 5
+		stats[w] = st
+	}
+	a := NewDMaxAssigner(2, stats)
+	if err := a.Init(tasks); err != nil {
+		t.Fatal(err)
+	}
+	// An expert on domain 0 must be preferentially assigned domain-0 tasks.
+	var expert string
+	for w, q := range trueQ {
+		if q[0] > q[1] {
+			expert = w
+			break
+		}
+	}
+	var candidates []int
+	for _, tk := range tasks {
+		candidates = append(candidates, tk.ID)
+	}
+	got := a.Assign(expert, candidates, 5)
+	dom0 := 0
+	for _, id := range got {
+		if tasks[id].TrueDomain == 0 {
+			dom0++
+		}
+	}
+	if dom0 < 4 {
+		t.Errorf("expert assigned only %d/5 domain-0 tasks", dom0)
+	}
+}
+
+func TestAssignEdgeCasesAllAssigners(t *testing.T) {
+	tasks, _ := campaignTasks(t, 10, 13)
+	for _, a := range []Assigner{
+		NewRandomAssigner(3), NewAskItAssigner(), NewQASCAAssigner(nil), NewDMaxAssigner(2, nil),
+	} {
+		if err := a.Init(tasks); err != nil {
+			t.Fatal(err)
+		}
+		if got := a.Assign("w", nil, 3); got != nil {
+			t.Errorf("%s assigned from empty candidates: %v", a.Name(), got)
+		}
+		if got := a.Assign("w", []int{0, 1}, 0); got != nil {
+			t.Errorf("%s assigned with k=0: %v", a.Name(), got)
+		}
+		if err := a.Observe(model.Answer{Worker: "w", Task: 999, Choice: 0}); err == nil {
+			t.Errorf("%s accepted answer for unknown task", a.Name())
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package baselines
+
+import (
+	"docs/internal/model"
+	"docs/internal/truth"
+)
+
+// DMaxAssigner is the paper's D-Max baseline: it uses DOCS's own truth
+// inference to maintain worker qualities, but assigns the k tasks whose
+// domains best *match* the worker's expertise (score = Σ_k q_k·r_k),
+// ignoring how confident the tasks' truths already are. It exists to
+// isolate the value of the benefit function: matching alone keeps sending
+// experts to already-settled tasks (Section 6.4, observation 5).
+type DMaxAssigner struct {
+	tasks   []*model.Task
+	pos     map[int]int
+	inc     *truth.Incremental
+	m       int
+	stats   map[string]*truth.Stats
+	answers *model.AnswerSet
+}
+
+// NewDMaxAssigner returns the D-Max baseline over m domains. initStats
+// optionally seeds worker statistics from golden tasks.
+func NewDMaxAssigner(m int, initStats map[string]*truth.Stats) *DMaxAssigner {
+	return &DMaxAssigner{m: m, stats: initStats}
+}
+
+// Name implements Assigner.
+func (*DMaxAssigner) Name() string { return "D-Max" }
+
+// Init implements Assigner.
+func (d *DMaxAssigner) Init(tasks []*model.Task) error {
+	d.tasks = tasks
+	d.pos = make(map[int]int, len(tasks))
+	d.inc = truth.NewIncremental(d.m)
+	d.answers = model.NewAnswerSet()
+	for i, t := range tasks {
+		d.pos[t.ID] = i
+		if err := d.inc.AddTask(t); err != nil {
+			return err
+		}
+	}
+	for w, st := range d.stats {
+		if err := d.inc.SetWorker(w, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Assign implements Assigner: rank candidates by domain match q·r.
+func (d *DMaxAssigner) Assign(workerID string, candidates []int, k int) []int {
+	if len(candidates) == 0 || k <= 0 {
+		return nil
+	}
+	var q model.QualityVector
+	if st := d.inc.Worker(workerID); st != nil {
+		q = st.Q
+	} else {
+		q = make(model.QualityVector, d.m)
+		for i := range q {
+			q[i] = truth.DefaultQuality
+		}
+	}
+	scores := make([]float64, len(candidates))
+	for ci, id := range candidates {
+		scores[ci] = q.Expected(d.tasks[d.pos[id]].Domain)
+	}
+	return pick(candidates, scores, k)
+}
+
+// Observe implements Assigner: incremental DOCS truth inference plus an
+// answer log for the final batch run.
+func (d *DMaxAssigner) Observe(a model.Answer) error {
+	if err := d.answers.Add(a); err != nil {
+		return err
+	}
+	return d.inc.Submit(a)
+}
+
+// Finalize implements Assigner: DOCS's iterative truth inference over all
+// collected answers, initialized from the maintained worker qualities.
+func (d *DMaxAssigner) Finalize() ([]int, error) {
+	init := make(map[string]model.QualityVector, len(d.stats))
+	for w, st := range d.stats {
+		init[w] = st.Q
+	}
+	res, err := truth.Infer(d.tasks, d.answers, d.m, truth.Options{InitQuality: init})
+	if err != nil {
+		return nil, err
+	}
+	return res.Truth, nil
+}

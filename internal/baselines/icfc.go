@@ -1,0 +1,289 @@
+package baselines
+
+import (
+	"math"
+
+	"docs/internal/mathx"
+	"docs/internal/model"
+	"docs/internal/topicmodel"
+)
+
+// logf is math.Log with a floor so log(0) never propagates.
+func logf(x float64) float64 {
+	if x < 1e-300 {
+		x = 1e-300
+	}
+	return math.Log(x)
+}
+
+func softmaxLog(logw []float64) []float64 {
+	max := logw[0]
+	for _, x := range logw[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	w := make([]float64, len(logw))
+	for i, x := range logw {
+		w[i] = math.Exp(x - max)
+	}
+	return mathx.Normalize(w)
+}
+
+// IC is the iCrowd baseline (Fan et al., SIGMOD 2015): tasks get latent
+// domain vectors from LDA over their text, worker accuracy on a task is
+// estimated from the worker's record on *similar* tasks (cosine similarity
+// of topic vectors), and truths come from weighted majority voting.
+type IC struct {
+	// Topics is m', the number of latent domains (default 4, as the paper
+	// sets for the 4-domain datasets).
+	Topics int
+	// LDAIters is the Gibbs sweep count (default 200).
+	LDAIters int
+	// Rounds alternates truth / quality estimation (default 5).
+	Rounds int
+	// Seed drives LDA.
+	Seed uint64
+	// GivenDomains optionally bypasses LDA with externally supplied task
+	// domain vectors (the paper hands IC the ground-truth domains in
+	// Figure 5 to favor it). Indexed like the task slice.
+	GivenDomains [][]float64
+}
+
+// Name implements TruthInferrer.
+func (*IC) Name() string { return "IC" }
+
+// TaskDomains returns the latent domain vector of every task (running LDA
+// unless GivenDomains is set); exposed for the Figure 3 domain-detection
+// comparison.
+func (ic *IC) TaskDomains(tasks []*model.Task) [][]float64 {
+	if ic.GivenDomains != nil {
+		return ic.GivenDomains
+	}
+	k := ic.Topics
+	if k <= 0 {
+		k = 4
+	}
+	iters := ic.LDAIters
+	if iters <= 0 {
+		iters = 200
+	}
+	texts := make([]string, len(tasks))
+	for i, t := range tasks {
+		texts[i] = t.Text
+	}
+	c := topicmodel.NewCorpus(texts)
+	l := topicmodel.NewLDA(k, 0, 0, ic.Seed^0x1c)
+	l.Fit(c, iters)
+	out := make([][]float64, len(tasks))
+	for i := range tasks {
+		out[i] = l.DocTopics(i)
+	}
+	return out
+}
+
+// InferTruth implements TruthInferrer.
+func (ic *IC) InferTruth(tasks []*model.Task, answers *model.AnswerSet) ([]int, error) {
+	pos, err := indexTasks(tasks, answers)
+	if err != nil {
+		return nil, err
+	}
+	rounds := ic.Rounds
+	if rounds <= 0 {
+		rounds = 5
+	}
+	theta := ic.TaskDomains(tasks)
+
+	// Current truth estimate, initialized by majority voting.
+	truth, err := MV{}.InferTruth(tasks, answers)
+	if err != nil {
+		return nil, err
+	}
+
+	sim := func(i, j int) float64 { return cosine(theta[i], theta[j]) }
+
+	for round := 0; round < rounds; round++ {
+		next := make([]int, len(tasks))
+		for i, t := range tasks {
+			v := answers.ForTask(t.ID)
+			if len(v) == 0 {
+				next[i] = truth[i]
+				continue
+			}
+			weights := make([]float64, t.NumChoices())
+			for _, a := range v {
+				// Worker accuracy on this task: similarity-weighted record
+				// on the worker's other answered tasks.
+				var num, den float64
+				for _, b := range answers.ForWorker(a.Worker) {
+					j := pos[b.Task]
+					if j == i {
+						continue
+					}
+					s := sim(i, j)
+					den += s
+					if b.Choice == truth[j] {
+						num += s
+					}
+				}
+				q := 0.7
+				if den > 1e-9 {
+					q = num / den
+				}
+				weights[a.Choice] += q
+			}
+			next[i] = mathx.ArgMax(weights)
+		}
+		truth = next
+	}
+	return truth, nil
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// FC is the FaitCrowd baseline (Ma et al., KDD 2015): TwitterLDA assigns a
+// single latent topic to each task, each worker carries a per-topic
+// reliability vector, and truths and reliabilities are estimated jointly.
+type FC struct {
+	// Topics is m'', the latent topic count (default 4).
+	Topics int
+	// LDAIters is the TwitterLDA sweep count (default 200).
+	LDAIters int
+	// MaxIter bounds the reliability EM (default 20).
+	MaxIter int
+	// Seed drives TwitterLDA.
+	Seed uint64
+	// InitReliability seeds each worker's per-topic reliabilities uniformly
+	// with a scalar; missing workers start at 0.7.
+	InitReliability map[string]float64
+	// GivenTopics optionally bypasses TwitterLDA with externally supplied
+	// hard topic labels per task (Figure 5's favored configuration).
+	GivenTopics []int
+}
+
+// Name implements TruthInferrer.
+func (*FC) Name() string { return "FC" }
+
+// TaskTopics returns the hard latent topic per task (running TwitterLDA
+// unless GivenTopics is set); exposed for the Figure 3 comparison.
+func (fc *FC) TaskTopics(tasks []*model.Task) []int {
+	if fc.GivenTopics != nil {
+		return fc.GivenTopics
+	}
+	k := fc.Topics
+	if k <= 0 {
+		k = 4
+	}
+	iters := fc.LDAIters
+	if iters <= 0 {
+		iters = 200
+	}
+	texts := make([]string, len(tasks))
+	for i, t := range tasks {
+		texts[i] = t.Text
+	}
+	c := topicmodel.NewCorpus(texts)
+	tl := topicmodel.NewTwitterLDA(k, fc.Seed^0xfc)
+	tl.Fit(c, iters)
+	out := make([]int, len(tasks))
+	for i := range tasks {
+		out[i] = tl.DocTopic(i)
+	}
+	return out
+}
+
+// InferTruth implements TruthInferrer.
+func (fc *FC) InferTruth(tasks []*model.Task, answers *model.AnswerSet) ([]int, error) {
+	pos, err := indexTasks(tasks, answers)
+	if err != nil {
+		return nil, err
+	}
+	maxIter := fc.MaxIter
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	topics := fc.TaskTopics(tasks)
+	nTopics := 0
+	for _, z := range topics {
+		if z+1 > nTopics {
+			nTopics = z + 1
+		}
+	}
+	if nTopics == 0 {
+		nTopics = 1
+	}
+
+	// Per-worker per-topic reliability.
+	rel := make(map[string][]float64)
+	for _, w := range answers.Workers() {
+		init := 0.7
+		if q, ok := fc.InitReliability[w]; ok {
+			init = q
+		}
+		rs := make([]float64, nTopics)
+		for k := range rs {
+			rs[k] = init
+		}
+		rel[w] = rs
+	}
+	s := make([][]float64, len(tasks))
+	for i, t := range tasks {
+		s[i] = mathx.Uniform(t.NumChoices())
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		// E-step: truth posterior using each worker's reliability on the
+		// task's topic.
+		for i, t := range tasks {
+			v := answers.ForTask(t.ID)
+			if len(v) == 0 {
+				continue
+			}
+			ell := t.NumChoices()
+			z := topics[i]
+			logw := make([]float64, ell)
+			for _, a := range v {
+				q := clampProb(rel[a.Worker][z])
+				for j := 0; j < ell; j++ {
+					if a.Choice == j {
+						logw[j] += logf(q)
+					} else {
+						logw[j] += logf((1 - q) / float64(ell-1))
+					}
+				}
+			}
+			s[i] = softmaxLog(logw)
+		}
+		// M-step: per-topic reliabilities.
+		for w, rs := range rel {
+			num := make([]float64, nTopics)
+			den := make([]float64, nTopics)
+			for _, a := range answers.ForWorker(w) {
+				i := pos[a.Task]
+				z := topics[i]
+				num[z] += s[i][a.Choice]
+				den[z]++
+			}
+			for k := 0; k < nTopics; k++ {
+				if den[k] > 0 {
+					rs[k] = num[k] / den[k]
+				}
+			}
+		}
+	}
+	out := make([]int, len(tasks))
+	for i := range tasks {
+		out[i] = mathx.ArgMax(s[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,266 @@
+// Package baselines implements every method DOCS is compared against in the
+// paper's evaluation (Section 6): the truth-inference competitors MV,
+// ZenCrowd (ZC), Dawid&Skene (DS), iCrowd (IC) and FaitCrowd (FC), and the
+// task-assignment competitors Baseline (random), AskIt!, IC-assign, QASCA
+// and D-Max. All are built from scratch on the same substrates as DOCS so
+// the comparisons measure algorithms, not implementations.
+package baselines
+
+import (
+	"fmt"
+
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+// TruthInferrer is the common interface of the truth-inference baselines:
+// given tasks and collected answers, produce the inferred truth per task
+// (indexed by position in the task slice).
+type TruthInferrer interface {
+	// Name returns the method's display name as used in the paper's plots.
+	Name() string
+	// InferTruth returns the inferred truth index for every task.
+	InferTruth(tasks []*model.Task, answers *model.AnswerSet) ([]int, error)
+}
+
+// indexTasks builds the task-ID → slice-position map and validates answers.
+func indexTasks(tasks []*model.Task, answers *model.AnswerSet) (map[int]int, error) {
+	pos := make(map[int]int, len(tasks))
+	for i, t := range tasks {
+		if len(t.Choices) < 2 {
+			return nil, fmt.Errorf("baselines: task %d has %d choices", t.ID, len(t.Choices))
+		}
+		pos[t.ID] = i
+	}
+	for _, id := range answers.Tasks() {
+		i, ok := pos[id]
+		if !ok {
+			return nil, fmt.Errorf("baselines: answers reference unknown task %d", id)
+		}
+		for _, a := range answers.ForTask(id) {
+			if a.Choice < 0 || a.Choice >= len(tasks[i].Choices) {
+				return nil, fmt.Errorf("baselines: task %d choice %d out of range", id, a.Choice)
+			}
+		}
+	}
+	return pos, nil
+}
+
+// MV is majority voting: the answer given by the most workers wins, ties
+// broken toward the lowest choice index.
+type MV struct{}
+
+// Name implements TruthInferrer.
+func (MV) Name() string { return "MV" }
+
+// InferTruth implements TruthInferrer.
+func (MV) InferTruth(tasks []*model.Task, answers *model.AnswerSet) ([]int, error) {
+	if _, err := indexTasks(tasks, answers); err != nil {
+		return nil, err
+	}
+	out := make([]int, len(tasks))
+	for i, t := range tasks {
+		counts := make([]float64, t.NumChoices())
+		for _, a := range answers.ForTask(t.ID) {
+			counts[a.Choice]++
+		}
+		out[i] = mathx.ArgMax(counts)
+	}
+	return out, nil
+}
+
+// ZC is ZenCrowd (Demartini et al., WWW 2012): each worker has one scalar
+// reliability, estimated jointly with the task truths by EM.
+type ZC struct {
+	// MaxIter bounds EM iterations (default 20).
+	MaxIter int
+	// InitReliability seeds per-worker reliabilities (e.g. from golden
+	// tasks); missing workers start at 0.7.
+	InitReliability map[string]float64
+}
+
+// Name implements TruthInferrer.
+func (*ZC) Name() string { return "ZC" }
+
+// InferTruth implements TruthInferrer.
+func (z *ZC) InferTruth(tasks []*model.Task, answers *model.AnswerSet) ([]int, error) {
+	pos, err := indexTasks(tasks, answers)
+	if err != nil {
+		return nil, err
+	}
+	maxIter := z.MaxIter
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	rel := make(map[string]float64)
+	for _, w := range answers.Workers() {
+		if q, ok := z.InitReliability[w]; ok {
+			rel[w] = q
+		} else {
+			rel[w] = 0.7
+		}
+	}
+	s := make([][]float64, len(tasks))
+	for i, t := range tasks {
+		s[i] = mathx.Uniform(t.NumChoices())
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		// E-step: truth posteriors from reliabilities.
+		for i, t := range tasks {
+			v := answers.ForTask(t.ID)
+			if len(v) == 0 {
+				continue
+			}
+			ell := t.NumChoices()
+			logw := make([]float64, ell)
+			for _, a := range v {
+				q := clampProb(rel[a.Worker])
+				for j := 0; j < ell; j++ {
+					if a.Choice == j {
+						logw[j] += logf(q)
+					} else {
+						logw[j] += logf((1 - q) / float64(ell-1))
+					}
+				}
+			}
+			s[i] = softmaxLog(logw)
+		}
+		// M-step: reliability = expected fraction answered correctly.
+		for w := range rel {
+			var num, den float64
+			for _, a := range answers.ForWorker(w) {
+				num += s[pos[a.Task]][a.Choice]
+				den++
+			}
+			if den > 0 {
+				rel[w] = num / den
+			}
+		}
+	}
+	out := make([]int, len(tasks))
+	for i := range tasks {
+		out[i] = mathx.ArgMax(s[i])
+	}
+	return out, nil
+}
+
+// DS is Dawid & Skene (1979): each worker has a full confusion matrix
+// π_w[j][l] = Pr(worker answers l | truth is j), estimated by EM. Matrices
+// are sized to the largest choice count in the task set; smaller tasks use
+// the leading sub-matrix.
+type DS struct {
+	// MaxIter bounds EM iterations (default 20).
+	MaxIter int
+	// InitReliability seeds the diagonal of each worker's confusion matrix
+	// (e.g. from golden tasks); missing workers start at 0.7.
+	InitReliability map[string]float64
+	// Smoothing is the additive pseudo-count in the M-step (default 0.01).
+	Smoothing float64
+}
+
+// Name implements TruthInferrer.
+func (*DS) Name() string { return "DS" }
+
+// InferTruth implements TruthInferrer.
+func (d *DS) InferTruth(tasks []*model.Task, answers *model.AnswerSet) ([]int, error) {
+	pos, err := indexTasks(tasks, answers)
+	if err != nil {
+		return nil, err
+	}
+	maxIter := d.MaxIter
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+	smooth := d.Smoothing
+	if smooth <= 0 {
+		smooth = 0.01
+	}
+	maxEll := 2
+	for _, t := range tasks {
+		if t.NumChoices() > maxEll {
+			maxEll = t.NumChoices()
+		}
+	}
+	// Initialize confusion matrices: diagonal q, off-diagonal uniform.
+	conf := make(map[string][][]float64)
+	for _, w := range answers.Workers() {
+		q := 0.7
+		if init, ok := d.InitReliability[w]; ok {
+			q = clampProb(init)
+		}
+		cm := make([][]float64, maxEll)
+		for j := range cm {
+			cm[j] = make([]float64, maxEll)
+			for l := range cm[j] {
+				if j == l {
+					cm[j][l] = q
+				} else {
+					cm[j][l] = (1 - q) / float64(maxEll-1)
+				}
+			}
+		}
+		conf[w] = cm
+	}
+	s := make([][]float64, len(tasks))
+	for i, t := range tasks {
+		s[i] = mathx.Uniform(t.NumChoices())
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		// E-step.
+		for i, t := range tasks {
+			v := answers.ForTask(t.ID)
+			if len(v) == 0 {
+				continue
+			}
+			ell := t.NumChoices()
+			logw := make([]float64, ell)
+			for _, a := range v {
+				cm := conf[a.Worker]
+				for j := 0; j < ell; j++ {
+					logw[j] += logf(clampProb(cm[j][a.Choice]))
+				}
+			}
+			s[i] = softmaxLog(logw)
+		}
+		// M-step: re-estimate confusion matrices row-wise.
+		for w, cm := range conf {
+			counts := make([][]float64, maxEll)
+			for j := range counts {
+				counts[j] = make([]float64, maxEll)
+				for l := range counts[j] {
+					counts[j][l] = smooth
+				}
+			}
+			for _, a := range answers.ForWorker(w) {
+				si := s[pos[a.Task]]
+				for j := 0; j < len(si); j++ {
+					counts[j][a.Choice] += si[j]
+				}
+			}
+			for j := range cm {
+				var rowSum float64
+				for _, c := range counts[j] {
+					rowSum += c
+				}
+				for l := range cm[j] {
+					cm[j][l] = counts[j][l] / rowSum
+				}
+			}
+		}
+	}
+	out := make([]int, len(tasks))
+	for i := range tasks {
+		out[i] = mathx.ArgMax(s[i])
+	}
+	return out, nil
+}
+
+func clampProb(q float64) float64 {
+	if q < 0.01 {
+		return 0.01
+	}
+	if q > 0.99 {
+		return 0.99
+	}
+	return q
+}

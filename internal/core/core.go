@@ -1,0 +1,512 @@
+// Package core is the DOCS orchestrator: it wires the three modules of
+// Figure 1 — Domain Vector Estimation, Truth Inference and Online Task
+// Assignment — into the request/submit loop a crowdsourcing platform
+// drives. A requester publishes tasks; DVE computes each task's domain
+// vector against the knowledge base; golden tasks are selected to profile
+// new workers; arriving workers are served either golden tasks (first
+// visit) or the k highest-benefit tasks (OTA); submitted answers flow
+// through incremental truth inference, with the full iterative solver
+// re-run every RerunEvery submissions; and finally the inferred truths are
+// returned and worker statistics are merged into the long-run store per
+// Theorem 1.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"docs/internal/assign"
+	"docs/internal/dve"
+	"docs/internal/entitylink"
+	"docs/internal/kb"
+	"docs/internal/model"
+	"docs/internal/store"
+	"docs/internal/truth"
+)
+
+// Config configures a System.
+type Config struct {
+	// KB is the knowledge base; nil selects the curated default.
+	KB *kb.KB
+	// Store persists worker statistics across campaigns; nil keeps a
+	// memory-only store.
+	Store *store.Store
+	// GoldenCount is the number of golden tasks selected from the published
+	// tasks that carry ground truth (default assign.DefaultGoldenCount).
+	GoldenCount int
+	// HITSize is k, the number of tasks per assignment (default
+	// assign.DefaultBatchSize).
+	HITSize int
+	// AnswersPerTask caps redundancy per task; 0 means unlimited.
+	AnswersPerTask int
+	// RerunEvery re-runs the full iterative TI every z submissions
+	// (default 100, the paper's z). Non-positive disables periodic reruns.
+	RerunEvery int
+}
+
+// System is a running DOCS campaign.
+type System struct {
+	mu sync.Mutex
+
+	kb     *kb.KB
+	linker *entitylink.Linker
+	m      int
+	store  *store.Store
+	cfg    Config
+
+	tasks  []*model.Task // published, with domain vectors
+	byID   map[int]*model.Task
+	golden map[int]bool // task IDs serving as golden tasks
+
+	inc           *truth.Incremental
+	answers       *model.AnswerSet
+	goldenAnswers map[string][]model.Answer
+	profiled      map[string]bool // workers whose quality is initialized
+	submissions   int
+}
+
+// New creates a System from the config.
+func New(cfg Config) (*System, error) {
+	k := cfg.KB
+	if k == nil {
+		var err error
+		k, err = kb.Default()
+		if err != nil {
+			return nil, err
+		}
+	}
+	st := cfg.Store
+	if st == nil {
+		var err error
+		st, err = store.Open("", k.Domains().Size())
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.GoldenCount == 0 {
+		cfg.GoldenCount = assign.DefaultGoldenCount
+	}
+	if cfg.HITSize <= 0 {
+		cfg.HITSize = assign.DefaultBatchSize
+	}
+	if cfg.RerunEvery == 0 {
+		cfg.RerunEvery = 100
+	}
+	m := k.Domains().Size()
+	return &System{
+		kb:            k,
+		linker:        entitylink.New(k),
+		m:             m,
+		store:         st,
+		cfg:           cfg,
+		byID:          make(map[int]*model.Task),
+		golden:        make(map[int]bool),
+		inc:           truth.NewIncremental(m),
+		answers:       model.NewAnswerSet(),
+		goldenAnswers: make(map[string][]model.Answer),
+		profiled:      make(map[string]bool),
+	}, nil
+}
+
+// Domains returns the system's domain set.
+func (s *System) Domains() *model.DomainSet { return s.kb.Domains() }
+
+// Publish runs DVE over the tasks, selects golden tasks among those with
+// ground truth, and opens the campaign. Tasks without a precomputed Domain
+// get one from the DVE pipeline (entity linking + Algorithm 1); tasks the
+// requester already annotated keep their vector.
+func (s *System) Publish(tasks []*model.Task) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.tasks) > 0 {
+		return fmt.Errorf("core: tasks already published")
+	}
+	for _, t := range tasks {
+		if _, dup := s.byID[t.ID]; dup {
+			return fmt.Errorf("core: duplicate task ID %d", t.ID)
+		}
+		if t.Domain == nil {
+			ents := dve.FromLinked(s.linker.Link(t.Text), s.m)
+			t.Domain = dve.Normalized(ents, s.m)
+		}
+		if err := t.Validate(s.m); err != nil {
+			return err
+		}
+		s.byID[t.ID] = t
+	}
+	s.tasks = tasks
+
+	// Golden tasks: choose among tasks with known ground truth so a new
+	// worker's answers can be scored (Section 5.2).
+	var withTruth []*model.Task
+	for _, t := range tasks {
+		if t.Truth != model.NoTruth {
+			withTruth = append(withTruth, t)
+		}
+	}
+	if n := s.cfg.GoldenCount; n > 0 && len(withTruth) > 0 {
+		for _, idx := range assign.SelectGolden(withTruth, n, s.m) {
+			s.golden[withTruth[idx].ID] = true
+		}
+	}
+
+	// Non-golden tasks enter the incremental truth-inference engine.
+	for _, t := range tasks {
+		if s.golden[t.ID] {
+			continue
+		}
+		if err := s.inc.AddTask(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GoldenTasks returns the golden task IDs in publication order.
+func (s *System) GoldenTasks() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int
+	for _, t := range s.tasks {
+		if s.golden[t.ID] {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// Request serves an arriving worker: a returning (or profiled) worker gets
+// the k highest-benefit unanswered tasks; a new worker is first served the
+// golden tasks she has not answered yet. The returned tasks are in
+// assignment order.
+func (s *System) Request(workerID string, k int) ([]*model.Task, error) {
+	if workerID == "" {
+		return nil, fmt.Errorf("core: empty worker ID")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k <= 0 {
+		k = s.cfg.HITSize
+	}
+
+	if !s.workerReadyLocked(workerID) {
+		// Serve unanswered golden tasks first.
+		var out []*model.Task
+		answered := s.goldenAnsweredLocked(workerID)
+		for _, t := range s.tasks {
+			if len(out) >= k {
+				break
+			}
+			if s.golden[t.ID] && !answered[t.ID] {
+				out = append(out, t)
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+		// No golden tasks configured: fall through to OTA with defaults.
+	}
+
+	q := s.workerQualityLocked(workerID)
+	states := make([]*assign.TaskState, 0, len(s.tasks))
+	for _, t := range s.tasks {
+		if s.golden[t.ID] || s.answers.Has(workerID, t.ID) {
+			continue
+		}
+		if cap := s.cfg.AnswersPerTask; cap > 0 && s.inc.Answers(t.ID) >= cap {
+			continue
+		}
+		states = append(states, &assign.TaskState{
+			ID: t.ID, R: t.Domain, M: s.inc.M(t.ID), S: s.inc.S(t.ID),
+		})
+	}
+	ids := assign.Assign(states, q, k, nil)
+	out := make([]*model.Task, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.byID[id])
+	}
+	return out, nil
+}
+
+// Submit records a worker's answer. Golden-task answers feed the worker's
+// quality profile; regular answers flow through incremental truth
+// inference, with a periodic full iterative re-run every RerunEvery
+// submissions.
+func (s *System) Submit(workerID string, taskID, choice int) error {
+	if workerID == "" {
+		return fmt.Errorf("core: empty worker ID")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.byID[taskID]
+	if !ok {
+		return fmt.Errorf("core: unknown task %d", taskID)
+	}
+	if choice < 0 || choice >= t.NumChoices() {
+		return fmt.Errorf("core: choice %d out of range for task %d", choice, taskID)
+	}
+	a := model.Answer{Worker: workerID, Task: taskID, Choice: choice}
+
+	if s.golden[taskID] {
+		for _, prev := range s.goldenAnswers[workerID] {
+			if prev.Task == taskID {
+				return fmt.Errorf("core: worker %q already answered golden task %d", workerID, taskID)
+			}
+		}
+		s.goldenAnswers[workerID] = append(s.goldenAnswers[workerID], a)
+		if len(s.goldenAnswers[workerID]) == len(s.goldenIDsLocked()) {
+			s.profileWorkerLocked(workerID)
+		}
+		return nil
+	}
+
+	if err := s.answers.Add(a); err != nil {
+		return err
+	}
+	s.ensureWorkerLocked(workerID)
+	if err := s.inc.Submit(a); err != nil {
+		return err
+	}
+	s.submissions++
+	if z := s.cfg.RerunEvery; z > 0 && s.submissions%z == 0 {
+		if err := s.rerunLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result returns the current inferred truth and probabilistic truth of a
+// task (choice −1 for golden/unknown tasks, which are not inferred).
+func (s *System) Result(taskID int) (choice int, confidence []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inc.Truth(taskID), s.inc.S(taskID)
+}
+
+// Results runs the full iterative truth inference over everything received
+// and returns the final result (slices aligned with InferTasks). Golden
+// tasks and the workers' golden answers participate as pinned evidence so
+// the quality scale stays anchored. It also merges each worker's session
+// statistics into the long-run store (Theorem 1) and saves the store.
+func (s *System) Results() (*truth.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inferTasks := s.inferTasksLocked()
+	combined, answers, pinned, err := s.combinedLocked(inferTasks)
+	if err != nil {
+		return nil, err
+	}
+	res, err := truth.Infer(combined, answers, s.m, truth.Options{
+		InitQuality: s.initQualityLocked(),
+		Pinned:      pinned,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for w, st := range truth.SessionStats(combined, answers, res, s.m) {
+		if err := s.store.Merge(w, st); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.store.Save(); err != nil {
+		return nil, err
+	}
+	// Trim the golden entries so the result aligns with InferTasks.
+	n := len(inferTasks)
+	res.S = res.S[:n]
+	res.M = res.M[:n]
+	res.Truth = res.Truth[:n]
+	return res, nil
+}
+
+// combinedLocked appends the golden tasks (with pinned truths) and the
+// golden answers to the campaign's tasks and answers, anchoring inference.
+func (s *System) combinedLocked(inferTasks []*model.Task) ([]*model.Task, *model.AnswerSet, map[int]int, error) {
+	combined := inferTasks
+	pinned := make(map[int]int)
+	answers := s.answers
+	if len(s.golden) > 0 {
+		combined = make([]*model.Task, len(inferTasks), len(inferTasks)+len(s.golden))
+		copy(combined, inferTasks)
+		for _, t := range s.tasks {
+			if s.golden[t.ID] {
+				combined = append(combined, t)
+				pinned[t.ID] = t.Truth
+			}
+		}
+		answers = s.answers.Clone()
+		// Sorted worker order: golden answers must enter the answer set in
+		// a fixed order, or per-task likelihood sums reorder between runs
+		// and ulp-level differences flip assignment ties.
+		workers := make([]string, 0, len(s.goldenAnswers))
+		for w := range s.goldenAnswers {
+			workers = append(workers, w)
+		}
+		sort.Strings(workers)
+		for _, w := range workers {
+			for _, a := range s.goldenAnswers[w] {
+				if err := answers.Add(a); err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		}
+	}
+	return combined, answers, pinned, nil
+}
+
+// InferTasks returns the non-golden tasks in publication order (the tasks
+// Results infers over, in the same order as the result slices).
+func (s *System) InferTasks() []*model.Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inferTasksLocked()
+}
+
+// WorkerQuality returns the system's current quality estimate for a worker.
+func (s *System) WorkerQuality(workerID string) model.QualityVector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workerQualityLocked(workerID)
+}
+
+// Answers returns a snapshot of the collected non-golden answers.
+func (s *System) Answers() *model.AnswerSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.answers.Clone()
+}
+
+// --- internal helpers (callers hold s.mu) ---
+
+func (s *System) inferTasksLocked() []*model.Task {
+	out := make([]*model.Task, 0, len(s.tasks))
+	for _, t := range s.tasks {
+		if !s.golden[t.ID] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (s *System) goldenIDsLocked() []int {
+	var out []int
+	for _, t := range s.tasks {
+		if s.golden[t.ID] {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+func (s *System) goldenAnsweredLocked(workerID string) map[int]bool {
+	out := make(map[int]bool)
+	for _, a := range s.goldenAnswers[workerID] {
+		out[a.Task] = true
+	}
+	return out
+}
+
+// workerReadyLocked reports whether the worker can receive regular tasks:
+// either profiled this session, known to the store, or there are no golden
+// tasks to profile with.
+func (s *System) workerReadyLocked(workerID string) bool {
+	if s.profiled[workerID] {
+		return true
+	}
+	if len(s.golden) == 0 {
+		return true
+	}
+	if _, ok := s.store.Worker(workerID); ok {
+		s.profiled[workerID] = true
+		if st, _ := s.store.Worker(workerID); st != nil {
+			_ = s.inc.SetWorker(workerID, st)
+		}
+		return true
+	}
+	return false
+}
+
+// profileWorkerLocked initializes the worker's quality from her golden-task
+// answers and registers it with the incremental engine and the store.
+func (s *System) profileWorkerLocked(workerID string) {
+	var golden []*model.Task
+	for _, t := range s.tasks {
+		if s.golden[t.ID] {
+			golden = append(golden, t)
+		}
+	}
+	st := truth.EstimateFromGolden(golden, s.goldenAnswers[workerID], s.m)
+	_ = s.inc.SetWorker(workerID, st)
+	_ = s.store.Merge(workerID, st)
+	s.profiled[workerID] = true
+}
+
+// ensureWorkerLocked makes sure the incremental engine knows the worker,
+// seeding from the store when possible.
+func (s *System) ensureWorkerLocked(workerID string) {
+	if s.inc.Worker(workerID) != nil {
+		return
+	}
+	if st, ok := s.store.Worker(workerID); ok {
+		_ = s.inc.SetWorker(workerID, st)
+	}
+}
+
+func (s *System) workerQualityLocked(workerID string) model.QualityVector {
+	if st := s.inc.Worker(workerID); st != nil {
+		q := make(model.QualityVector, s.m)
+		copy(q, st.Q)
+		return q
+	}
+	if st, ok := s.store.Worker(workerID); ok {
+		return st.Q
+	}
+	q := make(model.QualityVector, s.m)
+	for k := range q {
+		q[k] = truth.DefaultQuality
+	}
+	return q
+}
+
+// rerunLocked runs the full iterative TI (with pinned golden evidence) and
+// reseeds the incremental engine (the paper's "delayed" batch refresh every
+// z submissions).
+func (s *System) rerunLocked() error {
+	inferTasks := s.inferTasksLocked()
+	combined, answers, pinned, err := s.combinedLocked(inferTasks)
+	if err != nil {
+		return err
+	}
+	res, err := truth.Infer(combined, answers, s.m, truth.Options{
+		InitQuality: s.initQualityLocked(),
+		Pinned:      pinned,
+	})
+	if err != nil {
+		return err
+	}
+	s.inc.Reseed(combined, res, s.answers)
+	return nil
+}
+
+// initQualityLocked gathers the initial quality per answering worker. The
+// long-run store is preferred: its estimates are anchored by golden tasks
+// and past sessions (Theorem 1), whereas the incremental engine's estimates
+// drift between batch reruns and, used as initialization, can place the EM
+// in a label-flipped basin.
+func (s *System) initQualityLocked() map[string]model.QualityVector {
+	init := make(map[string]model.QualityVector)
+	for _, w := range s.answers.Workers() {
+		if st, ok := s.store.Worker(w); ok {
+			init[w] = st.Q
+			continue
+		}
+		if st := s.inc.Worker(w); st != nil {
+			q := make(model.QualityVector, s.m)
+			copy(q, st.Q)
+			init[w] = q
+		}
+	}
+	return init
+}

@@ -1,0 +1,137 @@
+// Package dataset generates the four evaluation workloads of the paper
+// (Section 6.1) as synthetic equivalents with matched shape:
+//
+//	Item — 360 comparison tasks over 4 domains (NBA, Food, Auto, Country),
+//	       one fixed sentence template per domain so intra-domain text
+//	       similarity is very high;
+//	4D   — 400 tasks over 4 domains (NBA, Car, Film, Mountain) with many
+//	       varied templates per domain, including the paper's deliberately
+//	       confusing cross-domain pairs ("compare the height of two
+//	       players" vs "compare the height of two mountains");
+//	QA   — 1000 free-form question-answering tasks over Entertain, Science,
+//	       Sports and Business;
+//	SFV  — 328 person-attribute tasks ("slot filling validation") whose
+//	       choices mimic candidate answers from QA systems.
+//
+// Entity names come from the in-repo knowledge base so the DVE pipeline can
+// link them; ground truths are derived from deterministic per-entity
+// attribute values, so every dataset is exactly reproducible from its seed.
+package dataset
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"docs/internal/kb"
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+// Dataset is one generated workload.
+type Dataset struct {
+	// Name is "Item", "4D", "QA" or "SFV".
+	Name string
+	// Tasks are the generated tasks. Task.Truth holds the ground truth and
+	// Task.TrueDomain the Yahoo-domain index of the task's labelled domain;
+	// Task.Domain is nil until DVE runs.
+	Tasks []*model.Task
+	// EvalDomains are the dataset's labelled domain names (e.g. NBA, Food).
+	EvalDomains []string
+	// YahooIndex[d] is the Yahoo!-domain index EvalDomains[d] maps to.
+	YahooIndex []int
+	// EvalLabel[i] is the index into EvalDomains of task i's labelled
+	// domain.
+	EvalLabel []int
+}
+
+// NumDomains returns the number of labelled evaluation domains.
+func (d *Dataset) NumDomains() int { return len(d.EvalDomains) }
+
+// Validate checks the dataset's structural invariants over m Yahoo domains.
+func (d *Dataset) Validate(m int) error {
+	if len(d.EvalLabel) != len(d.Tasks) {
+		return fmt.Errorf("dataset %s: %d labels for %d tasks", d.Name, len(d.EvalLabel), len(d.Tasks))
+	}
+	if len(d.YahooIndex) != len(d.EvalDomains) {
+		return fmt.Errorf("dataset %s: %d yahoo mappings for %d domains", d.Name, len(d.YahooIndex), len(d.EvalDomains))
+	}
+	for i, t := range d.Tasks {
+		if err := t.Validate(m); err != nil {
+			return fmt.Errorf("dataset %s: %w", d.Name, err)
+		}
+		if lbl := d.EvalLabel[i]; lbl < 0 || lbl >= len(d.EvalDomains) {
+			return fmt.Errorf("dataset %s: task %d label %d out of range", d.Name, i, lbl)
+		}
+		if t.Truth == model.NoTruth {
+			return fmt.Errorf("dataset %s: task %d lacks ground truth", d.Name, i)
+		}
+	}
+	return nil
+}
+
+// attr returns a stable pseudo-attribute in [0,1) for an entity/attribute
+// pair; it is the synthetic stand-in for real-world facts (heights, prices,
+// populations) and is independent of any generator seed so ground truths
+// are globally consistent.
+func attr(entity, attribute string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(entity))
+	h.Write([]byte{0})
+	h.Write([]byte(attribute))
+	r := mathx.NewRand(h.Sum64())
+	return r.Float64()
+}
+
+// compareTruth returns 0 if a beats b on the attribute, 1 otherwise, with a
+// deterministic lexicographic tie-break.
+func compareTruth(a, b, attribute string) int {
+	va, vb := attr(a, attribute), attr(b, attribute)
+	if va > vb || (va == vb && a < b) {
+		return 0
+	}
+	return 1
+}
+
+// pair draws two distinct members of pool.
+func pair(r *mathx.Rand, pool []string) (string, string) {
+	i := r.Intn(len(pool))
+	j := r.Intn(len(pool) - 1)
+	if j >= i {
+		j++
+	}
+	return pool[i], pool[j]
+}
+
+// yahooIdx resolves a Yahoo domain name against the default domain set.
+func yahooIdx(name string) int {
+	ds := kb.MustDefault().Domains()
+	k, ok := ds.Index(name)
+	if !ok {
+		panic("dataset: unknown Yahoo domain " + name)
+	}
+	return k
+}
+
+// ByName returns the named dataset generated with the given seed.
+func ByName(name string, seed uint64) (*Dataset, error) {
+	switch name {
+	case "Item":
+		return Item(seed), nil
+	case "4D":
+		return FourDomain(seed), nil
+	case "QA":
+		return QA(seed), nil
+	case "SFV":
+		return SFV(seed), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown dataset %q (want Item, 4D, QA or SFV)", name)
+	}
+}
+
+// Names lists the four dataset names in the paper's order.
+func Names() []string { return []string{"Item", "4D", "QA", "SFV"} }
+
+// All generates the four datasets with the given seed.
+func All(seed uint64) []*Dataset {
+	return []*Dataset{Item(seed), FourDomain(seed), QA(seed), SFV(seed)}
+}

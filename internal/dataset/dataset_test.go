@@ -1,0 +1,162 @@
+package dataset
+
+import (
+	"testing"
+
+	"docs/internal/dve"
+	"docs/internal/entitylink"
+	"docs/internal/kb"
+	"docs/internal/model"
+)
+
+func TestDatasetShapes(t *testing.T) {
+	cases := []struct {
+		ds      *Dataset
+		nTasks  int
+		domains int
+	}{
+		{Item(1), 360, 4},
+		{FourDomain(1), 400, 4},
+		{QA(1), 1000, 4},
+		{SFV(1), 328, 4},
+	}
+	for _, c := range cases {
+		if len(c.ds.Tasks) != c.nTasks {
+			t.Errorf("%s: %d tasks, want %d", c.ds.Name, len(c.ds.Tasks), c.nTasks)
+		}
+		if c.ds.NumDomains() != c.domains {
+			t.Errorf("%s: %d domains, want %d", c.ds.Name, c.ds.NumDomains(), c.domains)
+		}
+		if err := c.ds.Validate(26); err != nil {
+			t.Errorf("%s: %v", c.ds.Name, err)
+		}
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	a, b := FourDomain(7), FourDomain(7)
+	for i := range a.Tasks {
+		if a.Tasks[i].Text != b.Tasks[i].Text || a.Tasks[i].Truth != b.Tasks[i].Truth {
+			t.Fatalf("task %d differs across identical seeds", i)
+		}
+	}
+	c := FourDomain(8)
+	same := 0
+	for i := range a.Tasks {
+		if a.Tasks[i].Text == c.Tasks[i].Text {
+			same++
+		}
+	}
+	if same == len(a.Tasks) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGroundTruthSeedIndependent(t *testing.T) {
+	// Ground truths come from the entity attribute table, not the seed:
+	// the same question text must always have the same truth.
+	textTruth := make(map[string]int)
+	for _, tk := range Item(1).Tasks {
+		textTruth[tk.Text] = tk.Truth
+	}
+	for _, tk := range Item(99).Tasks {
+		if want, ok := textTruth[tk.Text]; ok && want != tk.Truth {
+			t.Fatalf("task %q has truth %d under seed 99, %d under seed 1", tk.Text, tk.Truth, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := ByName(name, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Name != name {
+			t.Errorf("ByName(%s).Name = %s", name, ds.Name)
+		}
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if got := len(All(1)); got != 4 {
+		t.Errorf("All returned %d datasets", got)
+	}
+}
+
+// TestTasksAreLinkable: the DVE pipeline must find at least one entity in
+// nearly every generated task, otherwise domain detection cannot work.
+func TestTasksAreLinkable(t *testing.T) {
+	k := kb.MustDefault()
+	linker := entitylink.New(k)
+	for _, ds := range All(5) {
+		unlinked := 0
+		for _, tk := range ds.Tasks {
+			if len(linker.Link(tk.Text)) == 0 {
+				unlinked++
+			}
+		}
+		if frac := float64(unlinked) / float64(len(ds.Tasks)); frac > 0.01 {
+			t.Errorf("%s: %.1f%% of tasks have no linkable entities", ds.Name, 100*frac)
+		}
+	}
+}
+
+// TestDomainDetectionViaDVE: running the full DVE pipeline over each
+// dataset must recover the labelled domain for the vast majority of tasks —
+// the DOCS bars of Figure 3 (the paper reports >95% on 4D and clear wins on
+// QA/SFV).
+func TestDomainDetectionViaDVE(t *testing.T) {
+	k := kb.MustDefault()
+	linker := entitylink.New(k)
+	m := k.Domains().Size()
+	for _, ds := range All(9) {
+		correct, total := 0, 0
+		for _, tk := range ds.Tasks {
+			ents := dve.FromLinked(linker.Link(tk.Text), m)
+			r := dve.Normalized(ents, m)
+			total++
+			if model.DomainVector(r).Top() == tk.TrueDomain {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(total)
+		if acc < 0.85 {
+			t.Errorf("%s: DVE domain detection accuracy %.3f, want >= 0.85", ds.Name, acc)
+		}
+	}
+}
+
+func TestSFVChoicesDistinctAndContainTruth(t *testing.T) {
+	ds := SFV(3)
+	for _, tk := range ds.Tasks {
+		seen := make(map[string]bool)
+		for _, c := range tk.Choices {
+			if seen[c] {
+				t.Fatalf("task %d has duplicate choice %q", tk.ID, c)
+			}
+			seen[c] = true
+		}
+		if len(tk.Choices) != 4 {
+			t.Fatalf("task %d has %d choices, want 4", tk.ID, len(tk.Choices))
+		}
+		if tk.Truth < 0 || tk.Truth >= 4 {
+			t.Fatalf("task %d truth %d out of range", tk.ID, tk.Truth)
+		}
+	}
+}
+
+func TestItemTemplatesAreUniformPerDomain(t *testing.T) {
+	// The Item dataset's defining property: one template per domain, so
+	// tasks within a domain share all non-entity words.
+	ds := Item(2)
+	prefix := map[int]string{}
+	for i, tk := range ds.Tasks {
+		lbl := ds.EvalLabel[i]
+		p := tk.Text[:10]
+		if prev, ok := prefix[lbl]; ok && prev != p {
+			t.Fatalf("domain %d mixes templates: %q vs %q", lbl, prev, p)
+		}
+		prefix[lbl] = p
+	}
+}

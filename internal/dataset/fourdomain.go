@@ -1,0 +1,160 @@
+package dataset
+
+import (
+	"fmt"
+
+	"docs/internal/kb"
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+// fdPerDomain is the number of tasks per domain in the 4D dataset
+// (400 tasks over 4 domains).
+const fdPerDomain = 100
+
+// FourDomain generates the 4D dataset: 4 domains (NBA, Car, Film, Mountain)
+// whose tasks vary widely in phrasing within each domain and deliberately
+// collide across domains ("Compare the height of <player A> and <player B>"
+// vs "Compare the height of <mountain A> and <mountain B>"), which defeats
+// string-similarity topic models but not KB-based domain detection —
+// the headline of Figure 3(b).
+func FourDomain(seed uint64) *Dataset {
+	r := mathx.NewRand(seed ^ 0x4d4d)
+	d := &Dataset{
+		Name:        "4D",
+		EvalDomains: []string{"NBA", "Car", "Film", "Mountain"},
+		YahooIndex: []int{
+			yahooIdx("Sports"), yahooIdx("Cars"), yahooIdx("Entertain"), yahooIdx("Science"),
+		},
+	}
+	players := kb.CategoryMembers(kb.CatNBAPlayer)
+	teams := kb.CategoryMembers(kb.CatNBATeam)
+	cars := kb.CategoryMembers(kb.CatCar)
+	films := kb.CategoryMembers(kb.CatFilm)
+	actors := kb.CategoryMembers(kb.CatActor)
+	mountains := kb.CategoryMembers(kb.CatMountain)
+
+	// gen produces one task text + choices + truth for the domain.
+	type task struct {
+		text    string
+		choices []string
+		truth   int
+	}
+	positions := []string{"point guard", "shooting guard", "small forward", "power forward", "center"}
+
+	nbaGen := []func() task{
+		func() task {
+			p := players[r.Intn(len(players))]
+			truth := int(attr(p, "position") * float64(len(positions)))
+			return task{fmt.Sprintf("What position does %s play?", p), positions, truth}
+		},
+		func() task {
+			a, b := pair(r, players)
+			return task{fmt.Sprintf("Compare the height of %s and %s.", a, b),
+				[]string{a + " is taller", b + " is taller"}, compareTruth(a, b, "height")}
+		},
+		func() task {
+			a, b := pair(r, players)
+			return task{fmt.Sprintf("Is %s older than %s?", a, b),
+				[]string{"yes", "no"}, compareTruth(a, b, "age")}
+		},
+		func() task {
+			a, b := pair(r, teams)
+			return task{fmt.Sprintf("Which team wins more championships, the %s or the %s?", a, b),
+				[]string{a, b}, compareTruth(a, b, "championships")}
+		},
+		func() task {
+			p := players[r.Intn(len(players))]
+			a, b := pair(r, teams)
+			truth := compareTruth(p+a, p+b, "playedfor")
+			return task{fmt.Sprintf("Did %s ever play for the %s or the %s?", p, a, b),
+				[]string{a, b}, truth}
+		},
+	}
+	carGen := []func() task{
+		func() task {
+			a, b := pair(r, cars)
+			return task{fmt.Sprintf("Which costs more, the %s or the %s?", a, b),
+				[]string{a, b}, compareTruth(a, b, "price")}
+		},
+		func() task {
+			a, b := pair(r, cars)
+			return task{fmt.Sprintf("Does the %s have better fuel economy than the %s?", a, b),
+				[]string{"yes", "no"}, compareTruth(a, b, "mpg")}
+		},
+		func() task {
+			a, b := pair(r, cars)
+			return task{fmt.Sprintf("Compare the top speed of the %s and the %s.", a, b),
+				[]string{a + " is faster", b + " is faster"}, compareTruth(a, b, "speed")}
+		},
+		func() task {
+			c := cars[r.Intn(len(cars))]
+			return task{fmt.Sprintf("Is the %s offered with an electric engine?", c),
+				[]string{"yes", "no"}, int(attr(c, "electric") * 2)}
+		},
+	}
+	filmGen := []func() task{
+		func() task {
+			a, b := pair(r, films)
+			return task{fmt.Sprintf("Which was released earlier, %s or %s?", a, b),
+				[]string{a, b}, compareTruth(a, b, "year")}
+		},
+		func() task {
+			a, b := pair(r, films)
+			return task{fmt.Sprintf("Did %s earn more at the box office than %s?", a, b),
+				[]string{"yes", "no"}, compareTruth(a, b, "boxoffice")}
+		},
+		func() task {
+			f := films[r.Intn(len(films))]
+			a, b := pair(r, actors)
+			truth := compareTruth(f+a, f+b, "starred")
+			return task{fmt.Sprintf("Who starred in %s, %s or %s?", f, a, b),
+				[]string{a, b}, truth}
+		},
+		func() task {
+			a, b := pair(r, films)
+			return task{fmt.Sprintf("Which won more awards, %s or %s?", a, b),
+				[]string{a, b}, compareTruth(a, b, "awards")}
+		},
+	}
+	mountainGen := []func() task{
+		func() task {
+			a, b := pair(r, mountains)
+			return task{fmt.Sprintf("Compare the height of %s and %s.", a, b),
+				[]string{a + " is taller", b + " is taller"}, compareTruth(a, b, "height")}
+		},
+		func() task {
+			a, b := pair(r, mountains)
+			return task{fmt.Sprintf("Is %s harder to climb than %s?", a, b),
+				[]string{"yes", "no"}, compareTruth(a, b, "difficulty")}
+		},
+		func() task {
+			m := mountains[r.Intn(len(mountains))]
+			return task{fmt.Sprintf("Has %s ever been climbed in winter?", m),
+				[]string{"yes", "no"}, int(attr(m, "winter") * 2)}
+		},
+		func() task {
+			a, b := pair(r, mountains)
+			return task{fmt.Sprintf("Which sees more snowfall, %s or %s?", a, b),
+				[]string{a, b}, compareTruth(a, b, "snow")}
+		},
+	}
+
+	gens := [][]func() task{nbaGen, carGen, filmGen, mountainGen}
+	id := 0
+	for dom, gs := range gens {
+		for n := 0; n < fdPerDomain; n++ {
+			tk := gs[n%len(gs)]()
+			d.Tasks = append(d.Tasks, &model.Task{
+				ID:         id,
+				Text:       tk.text,
+				Choices:    tk.choices,
+				Truth:      tk.truth,
+				TrueDomain: d.YahooIndex[dom],
+			})
+			d.EvalLabel = append(d.EvalLabel, dom)
+			id++
+		}
+	}
+	return d
+}

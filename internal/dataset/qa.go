@@ -1,0 +1,164 @@
+package dataset
+
+import (
+	"fmt"
+
+	"docs/internal/kb"
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+// qaTotal is the number of QA tasks (the paper selects 1000 queries).
+const qaTotal = 1000
+
+// QA generates the Yahoo-QA dataset: free-form question-answering tasks
+// whose best answers came from Yahoo! Answers in the paper. Most queries
+// fall into Entertain, Science, Sports and Business (Section 6.2), and the
+// phrasing within a domain varies so much that string-similarity topic
+// models break down — the regime of Figure 3(c).
+func QA(seed uint64) *Dataset {
+	r := mathx.NewRand(seed ^ 0x9a9a)
+	d := &Dataset{
+		Name:        "QA",
+		EvalDomains: []string{"Entertain", "Science", "Sports", "Business"},
+		YahooIndex: []int{
+			yahooIdx("Entertain"), yahooIdx("Science"), yahooIdx("Sports"), yahooIdx("Business"),
+		},
+	}
+	films := kb.CategoryMembers(kb.CatFilm)
+	actors := kb.CategoryMembers(kb.CatActor)
+	musicians := kb.CategoryMembers(kb.CatMusician)
+	scientists := kb.CategoryMembers(kb.CatScientist)
+	mountains := kb.CategoryMembers(kb.CatMountain)
+	players := kb.CategoryMembers(kb.CatNBAPlayer)
+	teams := kb.CategoryMembers(kb.CatNBATeam)
+	athletes := kb.CategoryMembers(kb.CatAthlete)
+	businesspeople := kb.CategoryMembers(kb.CatBusiness)
+	companies := kb.CategoryMembers(kb.CatCompany)
+
+	type task struct {
+		text    string
+		choices []string
+		truth   int
+	}
+	entertainGen := []func() task{
+		func() task {
+			f := films[r.Intn(len(films))]
+			a, b := pair(r, actors)
+			return task{fmt.Sprintf("I just watched %s again - was it %s or %s in the lead role?", f, a, b),
+				[]string{a, b}, compareTruth(f+a, f+b, "lead")}
+		},
+		func() task {
+			m := musicians[r.Intn(len(musicians))]
+			return task{fmt.Sprintf("Anyone know if %s toured in Europe before hitting number one?", m),
+				[]string{"yes", "no"}, int(attr(m, "tour") * 2)}
+		},
+		func() task {
+			a, b := pair(r, films)
+			return task{fmt.Sprintf("Settle a bet for me: did %s come out before %s?", a, b),
+				[]string{"yes", "no"}, compareTruth(b, a, "year")}
+		},
+		func() task {
+			a, b := pair(r, musicians)
+			return task{fmt.Sprintf("Whose albums sold better overall, %s or %s?", a, b),
+				[]string{a, b}, compareTruth(a, b, "sales")}
+		},
+		func() task {
+			ac := actors[r.Intn(len(actors))]
+			return task{fmt.Sprintf("Has %s ever won an award for a leading role?", ac),
+				[]string{"yes", "no"}, int(attr(ac, "award") * 2)}
+		},
+	}
+	scienceGen := []func() task{
+		func() task {
+			a, b := pair(r, scientists)
+			return task{fmt.Sprintf("Who was born first, %s or %s?", a, b),
+				[]string{a, b}, compareTruth(a, b, "born")}
+		},
+		func() task {
+			s := scientists[r.Intn(len(scientists))]
+			return task{fmt.Sprintf("My homework asks whether %s received a Nobel prize - true?", s),
+				[]string{"true", "false"}, int(attr(s, "nobel") * 2)}
+		},
+		func() task {
+			a, b := pair(r, mountains)
+			return task{fmt.Sprintf("For a geography quiz: which is higher, %s or %s?", a, b),
+				[]string{a, b}, compareTruth(a, b, "height")}
+		},
+		func() task {
+			m := mountains[r.Intn(len(mountains))]
+			return task{fmt.Sprintf("Is %s a volcano? I keep getting conflicting answers online.", m),
+				[]string{"yes", "no"}, int(attr(m, "volcano") * 2)}
+		},
+		func() task {
+			a, b := pair(r, scientists)
+			return task{fmt.Sprintf("Whose discoveries are cited more today, %s or %s?", a, b),
+				[]string{a, b}, compareTruth(a, b, "citations")}
+		},
+	}
+	sportsGen := []func() task{
+		func() task {
+			a, b := pair(r, players)
+			return task{fmt.Sprintf("Arguing with my brother: does %s score more points per game than %s?", a, b),
+				[]string{"yes", "no"}, compareTruth(a, b, "ppg")}
+		},
+		func() task {
+			tm := teams[r.Intn(len(teams))]
+			return task{fmt.Sprintf("Have the %s ever lost a finals series at home?", tm),
+				[]string{"yes", "no"}, int(attr(tm, "finals") * 2)}
+		},
+		func() task {
+			a, b := pair(r, athletes)
+			return task{fmt.Sprintf("Who earned more prize money across their career, %s or %s?", a, b),
+				[]string{a, b}, compareTruth(a, b, "prize")}
+		},
+		func() task {
+			p := players[r.Intn(len(players))]
+			tm := teams[r.Intn(len(teams))]
+			return task{fmt.Sprintf("Quick question - did %s start his career with the %s?", p, tm),
+				[]string{"yes", "no"}, int(attr(p+tm, "started") * 2)}
+		},
+	}
+	businessGen := []func() task{
+		func() task {
+			a, b := pair(r, businesspeople)
+			return task{fmt.Sprintf("Forbes question: is %s wealthier than %s right now?", a, b),
+				[]string{"yes", "no"}, compareTruth(a, b, "wealth")}
+		},
+		func() task {
+			a, b := pair(r, companies)
+			return task{fmt.Sprintf("Which company reported higher revenue last year, %s or %s?", a, b),
+				[]string{a, b}, compareTruth(a, b, "revenue")}
+		},
+		func() task {
+			c := companies[r.Intn(len(companies))]
+			return task{fmt.Sprintf("Thinking about investing - has %s stock split in the last decade?", c),
+				[]string{"yes", "no"}, int(attr(c, "split") * 2)}
+		},
+		func() task {
+			p := businesspeople[r.Intn(len(businesspeople))]
+			c := companies[r.Intn(len(companies))]
+			return task{fmt.Sprintf("Did %s ever sit on the board of %s?", p, c),
+				[]string{"yes", "no"}, int(attr(p+c, "board") * 2)}
+		},
+	}
+
+	gens := [][]func() task{entertainGen, scienceGen, sportsGen, businessGen}
+	id := 0
+	perDomain := qaTotal / len(gens)
+	for dom, gs := range gens {
+		for n := 0; n < perDomain; n++ {
+			tk := gs[r.Intn(len(gs))]()
+			d.Tasks = append(d.Tasks, &model.Task{
+				ID:         id,
+				Text:       tk.text,
+				Choices:    tk.choices,
+				Truth:      tk.truth,
+				TrueDomain: d.YahooIndex[dom],
+			})
+			d.EvalLabel = append(d.EvalLabel, dom)
+			id++
+		}
+	}
+	return d
+}

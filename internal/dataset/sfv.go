@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"fmt"
+	"strconv"
+
+	"docs/internal/kb"
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+// sfvTotal matches the paper's SFV dataset size.
+const sfvTotal = 328
+
+// SFV generates the slot-filling-validation dataset: each task asks one
+// attribute of a well-known person and offers several candidate values, as
+// if collected from competing QA systems; workers pick the correct one. A
+// person's labelled domain is the domain they are renowned for
+// (Section 6.2): Entertain, Business, Sports or Politics.
+func SFV(seed uint64) *Dataset {
+	r := mathx.NewRand(seed ^ 0x5f5f)
+	d := &Dataset{
+		Name:        "SFV",
+		EvalDomains: []string{"Entertain", "Business", "Sports", "Politics"},
+		YahooIndex: []int{
+			yahooIdx("Entertain"), yahooIdx("Business"), yahooIdx("Sports"), yahooIdx("Politics"),
+		},
+	}
+	pools := [][]string{
+		append(kb.CategoryMembers(kb.CatActor), kb.CategoryMembers(kb.CatMusician)...),
+		kb.CategoryMembers(kb.CatBusiness),
+		append(kb.CategoryMembers(kb.CatNBAPlayer), kb.CategoryMembers(kb.CatAthlete)...),
+		kb.CategoryMembers(kb.CatPolitician),
+	}
+	type attrSpec struct {
+		name     string
+		question string
+		lo, hi   int
+		unit     string
+	}
+	attrs := []attrSpec{
+		{"age", "What is the age of %s?", 25, 90, ""},
+		{"birthyear", "In which year was %s born?", 1930, 1995, ""},
+		{"heightcm", "How tall is %s in centimeters?", 155, 215, " cm"},
+		{"siblings", "How many siblings does %s have?", 0, 7, ""},
+	}
+
+	id := 0
+	for id < sfvTotal {
+		dom := id % len(pools)
+		pool := pools[dom]
+		person := pool[r.Intn(len(pool))]
+		spec := attrs[r.Intn(len(attrs))]
+		span := spec.hi - spec.lo
+		trueVal := spec.lo + int(attr(person, spec.name)*float64(span))
+
+		// Build 4 candidate values as QA systems would return: the truth
+		// plus three distinct distractors near it.
+		values := map[int]bool{trueVal: true}
+		for len(values) < 4 {
+			delta := 1 + r.Intn(span/4+1)
+			if r.Float64() < 0.5 {
+				delta = -delta
+			}
+			v := trueVal + delta
+			if v >= spec.lo-span/4 && !values[v] {
+				values[v] = true
+			}
+		}
+		choices := make([]string, 0, 4)
+		for v := range values {
+			choices = append(choices, strconv.Itoa(v)+spec.unit)
+		}
+		// Deterministic order: shuffle with the dataset RNG after sorting
+		// the map iteration artifacts away.
+		sortStrings(choices)
+		r.Shuffle(len(choices), func(i, j int) { choices[i], choices[j] = choices[j], choices[i] })
+		truth := 0
+		want := strconv.Itoa(trueVal) + spec.unit
+		for i, c := range choices {
+			if c == want {
+				truth = i
+			}
+		}
+
+		d.Tasks = append(d.Tasks, &model.Task{
+			ID:         id,
+			Text:       fmt.Sprintf(spec.question, person),
+			Choices:    choices,
+			Truth:      truth,
+			TrueDomain: d.YahooIndex[dom],
+		})
+		d.EvalLabel = append(d.EvalLabel, dom)
+		id++
+	}
+	return d
+}
+
+// sortStrings is a tiny insertion sort; choices slices have length 4.
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

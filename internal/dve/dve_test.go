@@ -1,0 +1,221 @@
+package dve
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"docs/internal/mathx"
+)
+
+// table2 reproduces the paper's Table 2: the three entities of the task
+// "Does Michael Jordan win more NBA championships than Kobe Bryant?" over
+// D = {politics, sports, films}.
+func table2() []Entity {
+	return []Entity{
+		{ // e1: Michael Jordan
+			Probs: []float64{0.7, 0.2, 0.1},
+			H: [][]float64{
+				{0, 1, 1}, // the player (sports, films via Space Jam)
+				{0, 0, 0}, // the professor (unrelated to all three)
+				{0, 0, 1}, // the actor (films)
+			},
+		},
+		{ // e2: NBA
+			Probs: []float64{0.8, 0.2},
+			H: [][]float64{
+				{0, 1, 0}, // National Basketball Association
+				{0, 0, 0}, // National Bar Association
+			},
+		},
+		{ // e3: Kobe Bryant
+			Probs: []float64{1.0},
+			H:     [][]float64{{0, 1, 0}},
+		},
+	}
+}
+
+func TestComputeTable2(t *testing.T) {
+	r := Compute(table2(), 3)
+	// Figure 2 of the paper works r_2 out to 0.78 (3/4·0.56 + 2/3·0.22 +
+	// 2/2·0.16 + 1/1·0.04 + 1/2·0.02 = 0.7767) and the paper reports
+	// r = [0, 0.78, 0.22].
+	if r[0] != 0 {
+		t.Errorf("r[politics] = %g, want 0", r[0])
+	}
+	if math.Abs(r[1]-0.7767) > 0.001 {
+		t.Errorf("r[sports] = %g, want ≈0.7767", r[1])
+	}
+	if math.Abs(r[2]-0.2233) > 0.001 {
+		t.Errorf("r[films] = %g, want ≈0.2233", r[2])
+	}
+}
+
+func TestComputeMatchesEnumOnTable2(t *testing.T) {
+	ents := table2()
+	a := Compute(ents, 3)
+	b := ComputeEnum(ents, 3)
+	for k := range a {
+		if math.Abs(a[k]-b[k]) > 1e-12 {
+			t.Errorf("domain %d: Compute %g != Enum %g", k, a[k], b[k])
+		}
+	}
+}
+
+// TestComputeMatchesEnumProperty is the core correctness property: the
+// polynomial DP must agree with brute-force enumeration on random inputs.
+func TestComputeMatchesEnumProperty(t *testing.T) {
+	r := mathx.NewRand(17)
+	gen := func(seed uint64) []Entity {
+		r.Seed(seed)
+		nEnt := 1 + r.Intn(4)
+		m := 2 + r.Intn(4)
+		ents := make([]Entity, nEnt)
+		for i := range ents {
+			nC := 1 + r.Intn(4)
+			e := Entity{Probs: r.Dirichlet(nC, 1.0), H: make([][]float64, nC)}
+			for j := range e.H {
+				h := make([]float64, m)
+				for k := range h {
+					if r.Float64() < 0.4 {
+						h[k] = 1
+					}
+				}
+				e.H[j] = h
+			}
+			ents[i] = e
+		}
+		return ents
+	}
+	f := func(seed uint64) bool {
+		ents := gen(seed)
+		m := len(ents[0].H[0])
+		a := Compute(ents, m)
+		b := ComputeEnum(ents, m)
+		for k := range a {
+			if math.Abs(a[k]-b[k]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComputeMassProperty: Σ_k r_k = 1 − Pr(all-unrelated linkings) ≤ 1,
+// and exactly 1 when every concept relates to at least one domain.
+func TestComputeMassProperty(t *testing.T) {
+	ents := table2()
+	r := Compute(ents, 3)
+	// The all-unrelated linking is e1→professor (0.2) · e2→bar assoc (0.2)
+	// — but e3 always relates to sports, so no linking is fully unrelated
+	// and the mass must be exactly 1.
+	if s := mathx.Sum(r); math.Abs(s-1) > 1e-12 {
+		t.Errorf("Σr = %g, want 1", s)
+	}
+
+	// Drop e3; now the professor+bar-association linking (0.04) has an
+	// all-zero aggregate and its mass is excluded.
+	r2 := Compute(ents[:2], 3)
+	if s := mathx.Sum(r2); math.Abs(s-0.96) > 1e-12 {
+		t.Errorf("Σr = %g, want 0.96", s)
+	}
+}
+
+func TestComputeEmpty(t *testing.T) {
+	r := Compute(nil, 4)
+	if mathx.Sum(r) != 0 {
+		t.Errorf("Compute(nil) = %v, want zeros", r)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	r := Normalized(table2(), 3)
+	if err := mathx.CheckDistribution(r, 1e-9); err != nil {
+		t.Errorf("Normalized not a distribution: %v", err)
+	}
+	// All-unrelated input falls back to uniform.
+	unrelated := []Entity{{Probs: []float64{1}, H: [][]float64{{0, 0, 0}}}}
+	u := Normalized(unrelated, 3)
+	for k := range u {
+		if math.Abs(u[k]-1.0/3) > 1e-12 {
+			t.Errorf("Normalized(all-unrelated)[%d] = %g, want 1/3", k, u[k])
+		}
+	}
+	if u2 := Normalized(nil, 4); math.Abs(mathx.Sum(u2)-1) > 1e-12 {
+		t.Errorf("Normalized(nil) mass = %g", mathx.Sum(u2))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(table2(), 3); err != nil {
+		t.Errorf("valid input rejected: %v", err)
+	}
+	bad := []Entity{{Probs: []float64{0.6, 0.3}, H: [][]float64{{0, 1, 0}, {1, 0, 0}}}}
+	if err := Validate(bad, 3); err == nil {
+		t.Error("non-normalized probs accepted")
+	}
+	bad2 := []Entity{{Probs: []float64{1}, H: [][]float64{{0, 0.5, 0}}}}
+	if err := Validate(bad2, 3); err == nil {
+		t.Error("fractional indicator accepted")
+	}
+	bad3 := []Entity{{Probs: []float64{1}, H: [][]float64{{0, 1}}}}
+	if err := Validate(bad3, 3); err == nil {
+		t.Error("wrong-size indicator accepted")
+	}
+	bad4 := []Entity{{}}
+	if err := Validate(bad4, 3); err == nil {
+		t.Error("empty entity accepted")
+	}
+	bad5 := []Entity{{Probs: []float64{1}, H: nil}}
+	if err := Validate(bad5, 3); err == nil {
+		t.Error("probs/H length mismatch accepted")
+	}
+}
+
+func TestTruncateTopC(t *testing.T) {
+	ents := table2()
+	tr := TruncateTopC(ents, 2)
+	if len(tr[0].Probs) != 2 {
+		t.Fatalf("entity 0 kept %d candidates, want 2", len(tr[0].Probs))
+	}
+	// Highest-probability candidates survive and are renormalized.
+	if math.Abs(tr[0].Probs[0]-0.7/0.9) > 1e-12 {
+		t.Errorf("renormalized prob = %g, want %g", tr[0].Probs[0], 0.7/0.9)
+	}
+	if err := Validate(tr, 3); err != nil {
+		t.Errorf("truncated input invalid: %v", err)
+	}
+	// Truncation must not mutate the original.
+	if len(ents[0].Probs) != 3 || math.Abs(ents[0].Probs[0]-0.7) > 1e-12 {
+		t.Error("TruncateTopC mutated its input")
+	}
+}
+
+// TestComputePolynomialScaling sanity-checks that Compute handles an input
+// size where enumeration would be hopeless (20 entities × 20 concepts =
+// 20^20 linkings).
+func TestComputePolynomialScaling(t *testing.T) {
+	r := mathx.NewRand(3)
+	const m, nEnt, nC = 26, 20, 20
+	ents := make([]Entity, nEnt)
+	for i := range ents {
+		e := Entity{Probs: r.Dirichlet(nC, 1.0), H: make([][]float64, nC)}
+		for j := range e.H {
+			h := make([]float64, m)
+			for k := range h {
+				if r.Float64() < 0.15 {
+					h[k] = 1
+				}
+			}
+			e.H[j] = h
+		}
+		ents[i] = e
+	}
+	res := Compute(ents, m)
+	if s := mathx.Sum(res); s <= 0 || s > 1+1e-9 {
+		t.Errorf("mass = %g out of (0,1]", s)
+	}
+}

@@ -1,0 +1,178 @@
+package entitylink
+
+import (
+	"math"
+	"testing"
+
+	"docs/internal/kb"
+	"docs/internal/mathx"
+)
+
+func defaultLinker(t *testing.T) *Linker {
+	t.Helper()
+	k, err := kb.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(k)
+}
+
+func findEntity(ents []Entity, mention string) *Entity {
+	norm := kb.NormalizeMention(mention)
+	for i := range ents {
+		if ents[i].Mention == norm {
+			return &ents[i]
+		}
+	}
+	return nil
+}
+
+func TestLinkRunningExample(t *testing.T) {
+	l := defaultLinker(t)
+	ents := l.Link("Does Michael Jordan win more NBA championships than Kobe Bryant?")
+	if len(ents) != 3 {
+		for _, e := range ents {
+			t.Logf("entity: %q", e.Mention)
+		}
+		t.Fatalf("detected %d entities, want 3", len(ents))
+	}
+
+	mj := findEntity(ents, "Michael Jordan")
+	if mj == nil {
+		t.Fatal("Michael Jordan not detected")
+	}
+	if len(mj.Candidates) != 3 {
+		t.Fatalf("Michael Jordan has %d candidates, want 3", len(mj.Candidates))
+	}
+	// The basketball context must put the player first by a wide margin.
+	if mj.Candidates[0].Concept.ID != "person/michael_jordan" {
+		t.Errorf("top candidate = %q, want the player", mj.Candidates[0].Concept.ID)
+	}
+	if mj.Candidates[0].Prob < 0.6 {
+		t.Errorf("player probability = %g, want >= 0.6", mj.Candidates[0].Prob)
+	}
+
+	nba := findEntity(ents, "NBA")
+	if nba == nil {
+		t.Fatal("NBA not detected")
+	}
+	if nba.Candidates[0].Concept.ID != "org/national_basketball_association" {
+		t.Errorf("NBA top candidate = %q", nba.Candidates[0].Concept.ID)
+	}
+
+	kobe := findEntity(ents, "Kobe Bryant")
+	if kobe == nil {
+		t.Fatal("Kobe Bryant not detected")
+	}
+	if kobe.Candidates[0].Concept.ID != "person/kobe_bryant" {
+		t.Errorf("Kobe Bryant top candidate = %q", kobe.Candidates[0].Concept.ID)
+	}
+}
+
+func TestLinkContextDisambiguation(t *testing.T) {
+	l := defaultLinker(t)
+
+	// Machine-learning context should pull the professor ahead of the player.
+	ents := l.Link("Did Michael Jordan publish influential machine learning research at Berkeley?")
+	mj := findEntity(ents, "Michael Jordan")
+	if mj == nil {
+		t.Fatal("Michael Jordan not detected")
+	}
+	if mj.Candidates[0].Concept.ID != "person/michael_i_jordan" {
+		t.Errorf("in ML context top candidate = %q, want the professor", mj.Candidates[0].Concept.ID)
+	}
+
+	// Fruit context vs company context for "Apple".
+	ents = l.Link("How many calories does an Apple have if you eat it raw?")
+	apple := findEntity(ents, "Apple")
+	if apple == nil {
+		t.Fatal("Apple not detected")
+	}
+	if apple.Candidates[0].Concept.ID != "food/apple_fruit" {
+		t.Errorf("calorie context linked Apple to %q, want the fruit", apple.Candidates[0].Concept.ID)
+	}
+
+	ents = l.Link("Did Apple report higher stock revenue than Microsoft this quarter, according to its CEO?")
+	apple = findEntity(ents, "Apple")
+	if apple == nil {
+		t.Fatal("Apple not detected")
+	}
+	if apple.Candidates[0].Concept.ID != "company/apple_inc" {
+		t.Errorf("revenue context linked Apple to %q, want the company", apple.Candidates[0].Concept.ID)
+	}
+}
+
+func TestLinkLongestMatch(t *testing.T) {
+	l := defaultLinker(t)
+	ents := l.Link("Have the Golden State Warriors ever won championships?")
+	gsw := findEntity(ents, "Golden State Warriors")
+	if gsw == nil {
+		t.Fatal("Golden State Warriors not detected as one entity")
+	}
+	if gsw.Candidates[0].Concept.ID != "team/golden_state_warriors" {
+		t.Errorf("linked to %q", gsw.Candidates[0].Concept.ID)
+	}
+}
+
+func TestLinkProbabilitiesAreDistribution(t *testing.T) {
+	l := defaultLinker(t)
+	texts := []string{
+		"Does Michael Jordan win more NBA championships than Kobe Bryant?",
+		"Compare the height of Mount Everest and K2.",
+		"Is Tesla a better investment than Amazon?",
+		"Which has more calories, Chocolate or Honey?",
+		"Who owns the Atalanta calcio team in Italy?",
+	}
+	for _, txt := range texts {
+		for _, e := range l.Link(txt) {
+			probs := make([]float64, len(e.Candidates))
+			for i, c := range e.Candidates {
+				probs[i] = c.Prob
+			}
+			if !mathx.IsDistribution(probs, 1e-9) {
+				t.Errorf("entity %q in %q: probabilities %v not a distribution", e.Mention, txt, probs)
+			}
+			for i := 1; i < len(probs); i++ {
+				if probs[i] > probs[i-1]+1e-12 {
+					t.Errorf("entity %q: candidates not sorted by probability", e.Mention)
+				}
+			}
+		}
+	}
+}
+
+func TestLinkEmptyAndUnknownText(t *testing.T) {
+	l := defaultLinker(t)
+	if ents := l.Link(""); ents != nil {
+		t.Errorf("Link(\"\") = %v", ents)
+	}
+	if ents := l.Link("zzz qqq unknown words only"); len(ents) != 0 {
+		t.Errorf("Link(unknown) detected %d entities", len(ents))
+	}
+}
+
+func TestLinkTopCTruncation(t *testing.T) {
+	l := defaultLinker(t)
+	l.TopC = 1
+	ents := l.Link("Michael Jordan")
+	if len(ents) != 1 || len(ents[0].Candidates) != 1 {
+		t.Fatalf("TopC=1 not honoured: %+v", ents)
+	}
+	p := ents[0].Candidates[0].Prob
+	if math.Abs(p-1) > 1e-9 {
+		t.Errorf("single candidate probability = %g, want 1", p)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Does Michael Jordan win, more NBA championships?")
+	want := []string{"does", "michael", "jordan", "win", "more", "nba", "championships"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,464 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"docs/internal/baselines"
+	"docs/internal/crowd"
+	"docs/internal/mathx"
+	"docs/internal/model"
+	"docs/internal/truth"
+)
+
+// datasetNames is the paper's fixed dataset order.
+var datasetNames = []string{"Item", "4D", "QA", "SFV"}
+
+func quickNames(quick bool) []string {
+	if quick {
+		return []string{"Item", "SFV"}
+	}
+	return datasetNames
+}
+
+// Fig4aConvergence reproduces Figure 4(a): the parameter change Δ per
+// iteration of the iterative truth inference on each dataset's collected
+// answers.
+func Fig4aConvergence(seed uint64, quick bool) (*Table, error) {
+	iters := 50
+	if quick {
+		iters = 20
+	}
+	t := &Table{
+		Title:  "Figure 4(a): Convergence of TI (parameter change Δ per iteration)",
+		Header: []string{"Iteration"},
+	}
+	names := quickNames(quick)
+	t.Header = append(t.Header, names...)
+	deltas := make(map[string][]float64)
+	for _, name := range names {
+		p, err := Prepare(name, Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		res, err := truth.Infer(p.Main, p.Answers, p.M, truth.Options{
+			MaxIter: iters, Epsilon: -1, RecordDeltas: true,
+			InitQuality: p.InitQuality,
+		})
+		if err != nil {
+			return nil, err
+		}
+		deltas[name] = res.Deltas
+	}
+	for it := 4; it < iters; it += 5 {
+		row := []string{fmt.Sprintf("%d", it+1)}
+		for _, name := range names {
+			row = append(row, fmt.Sprintf("%.4f", deltas[name][it]))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig4bGoldenTasks reproduces Figure 4(b): final accuracy as the number of
+// golden tasks used for initialisation varies in [0, 40].
+func Fig4bGoldenTasks(seed uint64, quick bool) (*Table, error) {
+	counts := []int{0, 5, 10, 15, 20, 25, 30, 35, 40}
+	if quick {
+		counts = []int{0, 10, 20}
+	}
+	names := quickNames(quick)
+	t := &Table{
+		Title:  "Figure 4(b): Accuracy vs #Golden Tasks",
+		Header: append([]string{"#Golden"}, names...),
+	}
+	type prep struct{ p *Prepared }
+	preps := map[string]prep{}
+	for _, name := range names {
+		p, err := Prepare(name, Options{Seed: seed, GoldenCount: 40})
+		if err != nil {
+			return nil, err
+		}
+		preps[name] = prep{p}
+	}
+	for _, n := range counts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, name := range names {
+			p := preps[name].p
+			var init map[string]model.QualityVector
+			if n > 0 {
+				golden := p.Golden
+				if n < len(golden) {
+					golden = golden[:n]
+				}
+				byWorker := make(map[string][]model.Answer, len(p.GoldenAnswers))
+				keep := make(map[int]bool, len(golden))
+				for _, g := range golden {
+					keep[g.ID] = true
+				}
+				for w, as := range p.GoldenAnswers {
+					for _, a := range as {
+						if keep[a.Task] {
+							byWorker[w] = append(byWorker[w], a)
+						}
+					}
+				}
+				init = truth.InitQualityFromGolden(golden, byWorker, p.M)
+			}
+			res, err := truth.Infer(p.Main, p.Answers, p.M, truth.Options{InitQuality: init})
+			if err != nil {
+				return nil, err
+			}
+			acc, _ := truth.Accuracy(p.Main, res.Truth)
+			row = append(row, pct(acc))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig4cAnswersPerTask reproduces Figure 4(c): accuracy as the number of
+// collected answers per task varies in [1, 10].
+func Fig4cAnswersPerTask(seed uint64, quick bool) (*Table, error) {
+	counts := []int{1, 2, 4, 6, 8, 10}
+	if quick {
+		counts = []int{2, 6, 10}
+	}
+	names := quickNames(quick)
+	t := &Table{
+		Title:  "Figure 4(c): Accuracy vs #Collected Answers per Task",
+		Header: append([]string{"#Answers"}, names...),
+	}
+	preps := map[string]*Prepared{}
+	for _, name := range names {
+		p, err := Prepare(name, Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		preps[name] = p
+	}
+	for _, n := range counts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, name := range names {
+			p := preps[name]
+			sub := SubsampleAnswers(p.Answers, n)
+			res, err := truth.Infer(p.Main, sub, p.M, truth.Options{InitQuality: p.InitQuality})
+			if err != nil {
+				return nil, err
+			}
+			acc, _ := truth.Accuracy(p.Main, res.Truth)
+			row = append(row, pct(acc))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig4dWorkerQuality reproduces Figure 4(d): the average deviation between
+// estimated and true worker quality as each worker answers more tasks.
+func Fig4dWorkerQuality(seed uint64, quick bool) (*Table, error) {
+	counts := []int{20, 40, 60, 80, 100}
+	if quick {
+		counts = []int{20, 60, 100}
+	}
+	names := quickNames(quick)
+	t := &Table{
+		Title:  "Figure 4(d): Worker Quality Estimation (avg deviation vs #answered tasks)",
+		Header: append([]string{"#Answered"}, names...),
+		Notes:  []string{"deviation averaged over the dataset's labelled evaluation domains"},
+	}
+	for _, n := range counts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for range names {
+			row = append(row, "")
+		}
+		t.AddRow(row...)
+	}
+	for col, name := range names {
+		p, err := Prepare(name, Options{Seed: seed, SkipCollect: true})
+		if err != nil {
+			return nil, err
+		}
+		for ci, n := range counts {
+			dev, err := workerQualityDeviation(p, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows[ci][col+1] = f3(dev)
+		}
+	}
+	return t, nil
+}
+
+// workerQualityDeviation has each worker answer exactly n random main
+// tasks, runs TI, and returns the mean |q̃−q| over the dataset's relevant
+// domains.
+func workerQualityDeviation(p *Prepared, n int, seed uint64) (float64, error) {
+	r := mathx.NewRand(seed ^ uint64(n)*0x9e37)
+	as := model.NewAnswerSet()
+	for _, w := range p.Pop.Workers {
+		perm := r.Perm(len(p.Main))
+		if n > len(perm) {
+			n = len(perm)
+		}
+		for _, ti := range perm[:n] {
+			tk := p.Main[ti]
+			if err := as.Add(model.Answer{Worker: w.ID, Task: tk.ID, Choice: w.Answer(tk, r)}); err != nil {
+				return 0, err
+			}
+		}
+	}
+	res, err := truth.Infer(p.Main, as, p.M, truth.Options{InitQuality: p.InitQuality})
+	if err != nil {
+		return 0, err
+	}
+	var dev float64
+	var cnt int
+	trueQ := p.Pop.TrueQualities()
+	for w, tq := range trueQ {
+		eq, ok := res.Quality[w]
+		if !ok {
+			continue
+		}
+		for _, k := range p.YahooIndex {
+			dev += math.Abs(tq[k] - eq[k])
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0, nil
+	}
+	return dev / float64(cnt), nil
+}
+
+// Fig4eTIScalability reproduces Figure 4(e): iterative TI time vs number of
+// tasks n ∈ [2K, 10K] for |W| ∈ {10, 100, 500}, m = 20.
+func Fig4eTIScalability(seed uint64, quick bool) (*Table, error) {
+	sizes := []int{2000, 4000, 6000, 8000, 10000}
+	workers := []int{10, 100, 500}
+	if quick {
+		sizes = []int{500, 1000}
+		workers = []int{10, 100}
+	}
+	t := &Table{
+		Title:  "Figure 4(e): Scalability of TI (simulation, m=20, 10 answers/task)",
+		Header: []string{"#Tasks"},
+	}
+	for _, w := range workers {
+		t.Header = append(t.Header, fmt.Sprintf("%d workers", w))
+	}
+	for _, n := range sizes {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, nw := range workers {
+			tasks, as, err := syntheticCampaign(n, nw, 20, 10, seed)
+			if err != nil {
+				return nil, err
+			}
+			d := timeIt(func() {
+				if _, err2 := truth.Infer(tasks, as, 20, truth.Options{MaxIter: 20, Epsilon: -1}); err2 != nil {
+					err = err2
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, d.String())
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// syntheticCampaign builds n random tasks over m domains with nw workers
+// and perTask answers each, mirroring the paper's scalability simulation.
+func syntheticCampaign(n, nw, m, perTask int, seed uint64) ([]*model.Task, *model.AnswerSet, error) {
+	pop, err := crowd.NewPopulation(crowd.Config{NumWorkers: nw, M: m, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	r := pop.Rand()
+	tasks := make([]*model.Task, n)
+	for i := range tasks {
+		dom := make(model.DomainVector, m)
+		dom[r.Intn(m)] = 1
+		tasks[i] = &model.Task{
+			ID: i, Choices: []string{"a", "b"},
+			Domain: dom, Truth: r.Intn(2), TrueDomain: model.NoTruth,
+		}
+	}
+	if perTask > nw {
+		perTask = nw
+	}
+	as, err := crowd.Collect(tasks, pop, perTask)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tasks, as, nil
+}
+
+// Fig5TruthInference reproduces Figure 5: accuracy and execution time of
+// MV, ZC, DS, IC, FC and DOCS on the four datasets' collected answers.
+// IC and FC receive the ground-truth domain of every task, as the paper
+// grants them.
+func Fig5TruthInference(seed uint64, quick bool) (*Table, error) {
+	t := &Table{
+		Title:  "Figure 5: Truth Inference comparison (accuracy / execution time)",
+		Header: []string{"Dataset", "MV", "ZC", "DS", "IC", "FC", "DOCS"},
+		Notes:  []string{"IC and FC are given each task's ground-truth domain (the paper's favored setup)"},
+	}
+	names := quickNames(quick)
+	for _, name := range names {
+		p, err := Prepare(name, Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		scalarInit := ScalarInit(p.InitQuality)
+
+		givenDomains := make([][]float64, len(p.Main))
+		givenTopics := make([]int, len(p.Main))
+		labelOf := make(map[int]int, len(p.Tasks))
+		for i := range p.Tasks {
+			labelOf[p.Tasks[i].ID] = p.EvalLabel[i]
+		}
+		for i, tk := range p.Main {
+			lbl := labelOf[tk.ID]
+			v := make([]float64, p.NumDomains())
+			v[lbl] = 1
+			givenDomains[i] = v
+			givenTopics[i] = lbl
+		}
+
+		methods := []baselines.TruthInferrer{
+			baselines.MV{},
+			&baselines.ZC{InitReliability: scalarInit},
+			&baselines.DS{InitReliability: scalarInit},
+			&baselines.IC{GivenDomains: givenDomains},
+			&baselines.FC{GivenTopics: givenTopics, InitReliability: scalarInit},
+		}
+		row := []string{name}
+		for _, mth := range methods {
+			var inferred []int
+			var err error
+			d := timeIt(func() { inferred, err = mth.InferTruth(p.Main, p.Answers) })
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", mth.Name(), name, err)
+			}
+			acc, _ := truth.Accuracy(p.Main, inferred)
+			row = append(row, fmt.Sprintf("%s / %s", pct(acc), roundDur(d)))
+		}
+		// DOCS.
+		var res *truth.Result
+		var err2 error
+		d := timeIt(func() {
+			res, err2 = truth.Infer(p.Main, p.Answers, p.M, truth.Options{InitQuality: p.InitQuality})
+		})
+		if err2 != nil {
+			return nil, err2
+		}
+		acc, _ := truth.Accuracy(p.Main, res.Truth)
+		row = append(row, fmt.Sprintf("%s / %s", pct(acc), roundDur(d)))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func roundDur(d time.Duration) string {
+	return d.Round(100 * time.Microsecond).String()
+}
+
+// Fig6CaseStudy reproduces Figure 6 on the Item dataset: (a) the histogram
+// of workers' true qualities per domain, (b) calibration of the 3 most
+// active workers, (c) calibration over all workers in the NBA domain.
+func Fig6CaseStudy(seed uint64, quick bool) (*Table, error) {
+	p, err := Prepare("Item", Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	res, err := truth.Infer(p.Main, p.Answers, p.M, truth.Options{InitQuality: p.InitQuality})
+	if err != nil {
+		return nil, err
+	}
+	trueQ := p.Pop.TrueQualities()
+
+	t := &Table{
+		Title:  "Figure 6: Case Studies of Worker Qualities (Item)",
+		Header: []string{"Part", "Detail", "Values"},
+	}
+	// (a) histogram: 10 bins per evaluation domain.
+	for d, dom := range p.EvalDomains {
+		k := p.YahooIndex[d]
+		bins := make([]int, 10)
+		for _, q := range trueQ {
+			b := int(q[k] * 10)
+			if b > 9 {
+				b = 9
+			}
+			bins[b]++
+		}
+		t.AddRow("(a) histogram", dom, fmt.Sprintf("%v", bins))
+	}
+	// (b) three most active workers: (true, est) per domain.
+	type activity struct {
+		w string
+		n int
+	}
+	var acts []activity
+	for _, w := range p.Answers.Workers() {
+		acts = append(acts, activity{w, len(p.Answers.ForWorker(w))})
+	}
+	for i := 0; i < len(acts); i++ {
+		for j := i + 1; j < len(acts); j++ {
+			if acts[j].n > acts[i].n || (acts[j].n == acts[i].n && acts[j].w < acts[i].w) {
+				acts[i], acts[j] = acts[j], acts[i]
+			}
+		}
+	}
+	top := 3
+	if top > len(acts) {
+		top = len(acts)
+	}
+	var devB float64
+	var cntB int
+	for _, a := range acts[:top] {
+		pairs := make([]string, 0, len(p.EvalDomains))
+		for d := range p.EvalDomains {
+			k := p.YahooIndex[d]
+			tq := trueQ[a.w][k]
+			eq := res.Quality[a.w][k]
+			devB += math.Abs(tq - eq)
+			cntB++
+			pairs = append(pairs, fmt.Sprintf("(%.2f,%.2f)", tq, eq))
+		}
+		t.AddRow("(b) calibration", a.w+fmt.Sprintf(" [%d tasks]", a.n), joinSpace(pairs))
+	}
+	if cntB > 0 {
+		t.AddRow("(b) calibration", "mean |true-est|", f3(devB/float64(cntB)))
+	}
+	// (c) NBA domain calibration over workers with > 20 answered tasks.
+	kNBA := p.YahooIndex[0]
+	var devC float64
+	var cntC int
+	for _, a := range acts {
+		if a.n <= 20 {
+			continue
+		}
+		devC += math.Abs(trueQ[a.w][kNBA] - res.Quality[a.w][kNBA])
+		cntC++
+	}
+	if cntC > 0 {
+		t.AddRow("(c) NBA calibration", fmt.Sprintf("%d workers >20 tasks", cntC), "mean |true-est| = "+f3(devC/float64(cntC)))
+	}
+	return t, nil
+}
+
+func joinSpace(xs []string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += " "
+		}
+		out += x
+	}
+	return out
+}

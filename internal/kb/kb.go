@@ -1,0 +1,191 @@
+// Package kb implements the knowledge-base substrate of DOCS.
+//
+// The paper consults Freebase for concept→domain facts and organises the
+// domain set around the 26 top-level Yahoo! Answers categories. Freebase is
+// unavailable (retired, and this build is offline), so kb provides a curated
+// in-memory knowledge base with the same interface contract the DVE module
+// needs: a concept catalogue in which every concept carries an indicator
+// vector over the 26 domains, and an alias table mapping surface forms
+// (possibly ambiguously) to candidate concepts with popularity priors and
+// context keywords for disambiguation.
+package kb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"docs/internal/model"
+)
+
+// YahooDomains is the 26-domain set D used throughout DOCS, mirroring the
+// top-level Yahoo! Answers categories the paper maps Freebase onto.
+var YahooDomains = []string{
+	"Arts", "Beauty", "Business", "Cars", "Computers", "Electronics",
+	"Dining", "Education", "Entertain", "Environment", "Family", "Food",
+	"Games", "Health", "Home", "Local", "News", "Pets", "Politics",
+	"Parenting", "Science", "SocialScience", "Society", "Sports",
+	"Travel", "Products",
+}
+
+// Concept is a knowledge-base concept (a Freebase topic / Wikipedia page in
+// the paper). Its Domains set induces the indicator vector h used by DVE.
+type Concept struct {
+	// ID is the unique concept identifier (e.g. "person/michael_jordan").
+	ID string
+	// Name is the human-readable title.
+	Name string
+	// Domains lists the indices of the domains this concept relates to.
+	Domains []int
+	// Prior is the concept's popularity prior used by the entity linker to
+	// rank candidates of an ambiguous mention. Higher is more popular.
+	Prior float64
+	// Context holds lowercase keywords that, when present near a mention,
+	// make this concept the more plausible link target.
+	Context []string
+}
+
+// Indicator returns the concept's indicator vector h of size m: h_k = 1 iff
+// the concept relates to domain k.
+func (c *Concept) Indicator(m int) []float64 {
+	h := make([]float64, m)
+	for _, k := range c.Domains {
+		if k >= 0 && k < m {
+			h[k] = 1
+		}
+	}
+	return h
+}
+
+// KB is an in-memory knowledge base: a domain set, a concept catalogue and
+// an alias (surface form → candidate concepts) table.
+type KB struct {
+	domains  *model.DomainSet
+	concepts map[string]*Concept
+	aliases  map[string][]string // normalized alias -> concept IDs
+}
+
+// New returns an empty knowledge base over the given domain set.
+func New(domains *model.DomainSet) *KB {
+	return &KB{
+		domains:  domains,
+		concepts: make(map[string]*Concept),
+		aliases:  make(map[string][]string),
+	}
+}
+
+// Domains returns the knowledge base's domain set.
+func (k *KB) Domains() *model.DomainSet { return k.domains }
+
+// NumConcepts returns the number of concepts in the catalogue.
+func (k *KB) NumConcepts() int { return len(k.concepts) }
+
+// AddConcept inserts a concept and registers its name as an alias. The
+// concept's domain indices must be valid and IDs must be unique.
+func (k *KB) AddConcept(c *Concept) error {
+	if c.ID == "" {
+		return fmt.Errorf("kb: concept with empty ID")
+	}
+	if _, dup := k.concepts[c.ID]; dup {
+		return fmt.Errorf("kb: duplicate concept %q", c.ID)
+	}
+	if len(c.Domains) == 0 {
+		return fmt.Errorf("kb: concept %q has no domains", c.ID)
+	}
+	m := k.domains.Size()
+	for _, d := range c.Domains {
+		if d < 0 || d >= m {
+			return fmt.Errorf("kb: concept %q domain index %d out of range [0,%d)", c.ID, d, m)
+		}
+	}
+	if c.Prior <= 0 {
+		return fmt.Errorf("kb: concept %q has non-positive prior %g", c.ID, c.Prior)
+	}
+	k.concepts[c.ID] = c
+	k.addAlias(c.Name, c.ID)
+	return nil
+}
+
+// AddAlias registers an additional surface form for an existing concept.
+func (k *KB) AddAlias(alias, conceptID string) error {
+	if _, ok := k.concepts[conceptID]; !ok {
+		return fmt.Errorf("kb: alias %q refers to unknown concept %q", alias, conceptID)
+	}
+	if strings.TrimSpace(alias) == "" {
+		return fmt.Errorf("kb: empty alias for concept %q", conceptID)
+	}
+	k.addAlias(alias, conceptID)
+	return nil
+}
+
+func (k *KB) addAlias(alias, conceptID string) {
+	key := NormalizeMention(alias)
+	for _, id := range k.aliases[key] {
+		if id == conceptID {
+			return
+		}
+	}
+	k.aliases[key] = append(k.aliases[key], conceptID)
+}
+
+// Concept returns the concept with the given ID, or nil.
+func (k *KB) Concept(id string) *Concept { return k.concepts[id] }
+
+// Candidates returns the concepts a surface form may link to, ordered by
+// descending prior (ties broken by ID for determinism). The slice is fresh;
+// callers may reorder it.
+func (k *KB) Candidates(mention string) []*Concept {
+	ids := k.aliases[NormalizeMention(mention)]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]*Concept, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, k.concepts[id])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prior != out[j].Prior {
+			return out[i].Prior > out[j].Prior
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// HasAlias reports whether the surface form is known to the alias table.
+func (k *KB) HasAlias(mention string) bool {
+	_, ok := k.aliases[NormalizeMention(mention)]
+	return ok
+}
+
+// MaxAliasWords returns the largest number of words in any registered alias;
+// the linker uses it to bound its longest-match window.
+func (k *KB) MaxAliasWords() int {
+	max := 1
+	for a := range k.aliases {
+		if n := strings.Count(a, " ") + 1; n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// NormalizeMention lowercases a surface form, strips punctuation other than
+// intra-word apostrophes and hyphens, and collapses whitespace, so alias
+// lookup is insensitive to casing, spacing and punctuation ("Washington,
+// D.C." and "washington d c" normalize identically).
+func NormalizeMention(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '\'', r == '-':
+			b.WriteRune(r)
+		case r > 127: // keep non-ASCII letters (e.g. "Beyoncé", "Pelé")
+			b.WriteRune(r)
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}

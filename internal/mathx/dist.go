@@ -1,0 +1,114 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Normalize scales p in place so its entries sum to 1 and returns p.
+// If the sum is zero or not finite, p becomes the uniform distribution.
+func Normalize(p []float64) []float64 {
+	var sum float64
+	for _, x := range p {
+		sum += x
+	}
+	if sum <= 0 || math.IsInf(sum, 0) || math.IsNaN(sum) {
+		u := 1.0 / float64(len(p))
+		for i := range p {
+			p[i] = u
+		}
+		return p
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// Uniform returns the uniform distribution over n outcomes.
+func Uniform(n int) []float64 {
+	p := make([]float64, n)
+	u := 1.0 / float64(n)
+	for i := range p {
+		p[i] = u
+	}
+	return p
+}
+
+// ArgMax returns the index of the largest element of p, breaking ties toward
+// the smallest index. It returns -1 for an empty slice.
+func ArgMax(p []float64) int {
+	if len(p) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(p); i++ {
+		if p[i] > p[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Sum returns the sum of the elements of p.
+func Sum(p []float64) float64 {
+	var s float64
+	for _, x := range p {
+		s += x
+	}
+	return s
+}
+
+// Clone returns a copy of p.
+func Clone(p []float64) []float64 {
+	q := make([]float64, len(p))
+	copy(q, p)
+	return q
+}
+
+// L1Distance returns Σ |p_i − q_i|. The slices must have equal length.
+func L1Distance(p, q []float64) float64 {
+	var d float64
+	for i := range p {
+		d += math.Abs(p[i] - q[i])
+	}
+	return d
+}
+
+// IsDistribution reports whether p is a probability distribution: every
+// entry in [0,1] and the entries summing to 1 within tol.
+func IsDistribution(p []float64, tol float64) bool {
+	var sum float64
+	for _, x := range p {
+		if x < -tol || x > 1+tol || math.IsNaN(x) {
+			return false
+		}
+		sum += x
+	}
+	return math.Abs(sum-1) <= tol
+}
+
+// CheckDistribution returns an error describing the first way in which p
+// fails to be a probability distribution, or nil if it is one within tol.
+func CheckDistribution(p []float64, tol float64) error {
+	if len(p) == 0 {
+		return fmt.Errorf("mathx: empty distribution")
+	}
+	var sum float64
+	for i, x := range p {
+		if math.IsNaN(x) {
+			return fmt.Errorf("mathx: entry %d is NaN", i)
+		}
+		if x < -tol {
+			return fmt.Errorf("mathx: entry %d = %g is negative", i, x)
+		}
+		if x > 1+tol {
+			return fmt.Errorf("mathx: entry %d = %g exceeds 1", i, x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > tol {
+		return fmt.Errorf("mathx: entries sum to %g, want 1", sum)
+	}
+	return nil
+}

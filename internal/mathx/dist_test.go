@@ -1,0 +1,84 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	p := Normalize([]float64{1, 2, 1})
+	want := []float64{0.25, 0.5, 0.25}
+	for i := range want {
+		if !almostEqual(p[i], want[i], 1e-12) {
+			t.Errorf("Normalize[%d] = %g, want %g", i, p[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeZeroFallsBackToUniform(t *testing.T) {
+	p := Normalize([]float64{0, 0, 0, 0})
+	for i, x := range p {
+		if !almostEqual(x, 0.25, 1e-12) {
+			t.Errorf("Normalize zero vec [%d] = %g, want 0.25", i, x)
+		}
+	}
+}
+
+func TestNormalizeNaNFallsBackToUniform(t *testing.T) {
+	p := Normalize([]float64{math.NaN(), 1})
+	if !almostEqual(p[0], 0.5, 1e-12) || !almostEqual(p[1], 0.5, 1e-12) {
+		t.Errorf("Normalize NaN vec = %v, want uniform", p)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	cases := []struct {
+		p    []float64
+		want int
+	}{
+		{nil, -1},
+		{[]float64{3}, 0},
+		{[]float64{1, 3, 2}, 1},
+		{[]float64{2, 2, 2}, 0}, // ties break low
+		{[]float64{-5, -1, -9}, 1},
+	}
+	for _, c := range cases {
+		if got := ArgMax(c.p); got != c.want {
+			t.Errorf("ArgMax(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestIsDistribution(t *testing.T) {
+	if !IsDistribution([]float64{0.3, 0.7}, 1e-9) {
+		t.Error("valid distribution rejected")
+	}
+	if IsDistribution([]float64{0.3, 0.3}, 1e-9) {
+		t.Error("sum 0.6 accepted")
+	}
+	if IsDistribution([]float64{-0.1, 1.1}, 1e-9) {
+		t.Error("negative entry accepted")
+	}
+	if IsDistribution([]float64{math.NaN(), 1}, 1e-9) {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestCheckDistribution(t *testing.T) {
+	if err := CheckDistribution([]float64{0.5, 0.5}, 1e-9); err != nil {
+		t.Errorf("valid distribution: %v", err)
+	}
+	if err := CheckDistribution(nil, 1e-9); err == nil {
+		t.Error("empty distribution accepted")
+	}
+	if err := CheckDistribution([]float64{0.9, 0.2}, 1e-9); err == nil {
+		t.Error("sum 1.1 accepted")
+	}
+}
+
+func TestL1Distance(t *testing.T) {
+	d := L1Distance([]float64{0, 1}, []float64{1, 0})
+	if !almostEqual(d, 2, 1e-12) {
+		t.Errorf("L1 = %g, want 2", d)
+	}
+}

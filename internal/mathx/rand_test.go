@@ -1,0 +1,132 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(99), NewRand(99)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRandDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", x)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRand(4)
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		counts[r.Intn(5)]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("Intn(5) value %d drawn %d/5000 times, badly skewed", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRand(5)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	r := NewRand(6)
+	w := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 8000; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[0] != 0 {
+		t.Errorf("zero-weight outcome drawn %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.5 || ratio > 3.6 {
+		t.Errorf("Categorical ratio = %g, want ≈3", ratio)
+	}
+}
+
+func TestDirichletIsDistribution(t *testing.T) {
+	r := NewRand(8)
+	for trial := 0; trial < 100; trial++ {
+		p := r.Dirichlet(6, 0.5)
+		if !IsDistribution(p, 1e-9) {
+			t.Fatalf("Dirichlet draw not a distribution: %v", p)
+		}
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	r := NewRand(9)
+	for _, shape := range []float64{0.5, 1, 2, 5} {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += r.Gamma(shape)
+		}
+		mean := sum / n
+		if math.Abs(mean-shape) > 0.15*shape+0.05 {
+			t.Errorf("Gamma(%g) sample mean %g, want ≈%g", shape, mean, shape)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRand(10)
+	var sum, sumsq float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		x := r.Normal()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("Normal mean = %g, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("Normal variance = %g, want ≈1", variance)
+	}
+}

@@ -1,0 +1,96 @@
+package mathx
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKBasic(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	got := TopK(vals, 3)
+	want := []int{5, 7, 4} // values 9, 6, 5
+	if len(got) != 3 {
+		t.Fatalf("TopK returned %d indices, want 3", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TopK[%d] = %d (val %g), want %d (val %g)",
+				i, got[i], vals[got[i]], want[i], vals[want[i]])
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	if got := TopK(nil, 3); got != nil {
+		t.Errorf("TopK(nil) = %v, want nil", got)
+	}
+	if got := TopK([]float64{1, 2}, 0); got != nil {
+		t.Errorf("TopK(k=0) = %v, want nil", got)
+	}
+	got := TopK([]float64{1, 2}, 10)
+	if len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Errorf("TopK(k>n) = %v, want [1 0]", got)
+	}
+}
+
+func TestTopKDoesNotMutateInput(t *testing.T) {
+	vals := []float64{5, 3, 8, 1}
+	orig := Clone(vals)
+	TopK(vals, 2)
+	for i := range vals {
+		if vals[i] != orig[i] {
+			t.Fatalf("TopK mutated input at %d", i)
+		}
+	}
+}
+
+// TestTopKMatchesSort cross-checks the linear-time selection against a full
+// sort on random inputs, including heavy ties.
+func TestTopKMatchesSort(t *testing.T) {
+	r := NewRand(42)
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		k := int(kRaw)%(n+5) + 1
+		r.Seed(seed)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(r.Intn(20)) // heavy ties on purpose
+		}
+		got := TopK(vals, k)
+		sorted := Clone(vals)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		if k > n {
+			k = n
+		}
+		if len(got) != k {
+			return false
+		}
+		seen := make(map[int]bool)
+		for i, gi := range got {
+			if seen[gi] {
+				return false // duplicate index
+			}
+			seen[gi] = true
+			if vals[gi] != sorted[i] {
+				return false // wrong multiset of top values
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	r := NewRand(1)
+	vals := make([]float64, 100000)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopK(vals, 20)
+	}
+}

@@ -1,0 +1,265 @@
+// Package model defines the shared data model of the DOCS system —
+// Definitions 1–4 of the paper: the domain set D, tasks with domain vectors
+// r^t, workers with quality vectors q^w, and answers with (possibly hidden)
+// ground truth v*.
+//
+// Conventions used throughout the repository:
+//   - domains, choices and tasks are 0-indexed (the paper is 1-indexed);
+//   - a task's ground truth of NoTruth (-1) means "unknown";
+//   - all probability vectors sum to 1 within Tolerance.
+package model
+
+import (
+	"fmt"
+
+	"docs/internal/mathx"
+)
+
+// Tolerance is the numeric slack accepted when validating distributions.
+const Tolerance = 1e-6
+
+// NoTruth marks a task whose ground truth is unknown.
+const NoTruth = -1
+
+// DomainSet is the fixed, ordered set of domains D = {d_1, ..., d_m}
+// (Definition 1) used to interpret tasks and profile workers.
+type DomainSet struct {
+	names []string
+	index map[string]int
+}
+
+// NewDomainSet builds a DomainSet from the given names. Names must be unique
+// and non-empty.
+func NewDomainSet(names []string) (*DomainSet, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("model: domain set must be non-empty")
+	}
+	ds := &DomainSet{
+		names: append([]string(nil), names...),
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("model: domain %d has empty name", i)
+		}
+		if _, dup := ds.index[n]; dup {
+			return nil, fmt.Errorf("model: duplicate domain %q", n)
+		}
+		ds.index[n] = i
+	}
+	return ds, nil
+}
+
+// MustDomainSet is NewDomainSet that panics on error; for package-level
+// catalogues and tests.
+func MustDomainSet(names []string) *DomainSet {
+	ds, err := NewDomainSet(names)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// Size returns m, the number of domains.
+func (d *DomainSet) Size() int { return len(d.names) }
+
+// Name returns the name of domain k.
+func (d *DomainSet) Name(k int) string { return d.names[k] }
+
+// Names returns a copy of the ordered domain names.
+func (d *DomainSet) Names() []string { return append([]string(nil), d.names...) }
+
+// Index returns the index of the named domain and whether it exists.
+func (d *DomainSet) Index(name string) (int, bool) {
+	k, ok := d.index[name]
+	return k, ok
+}
+
+// DomainVector is a task's distribution r^t over the domain set
+// (Definition 2): r_k ∈ [0,1], Σ r_k = 1.
+type DomainVector []float64
+
+// Validate checks that v is a distribution of the expected size m.
+func (v DomainVector) Validate(m int) error {
+	if len(v) != m {
+		return fmt.Errorf("model: domain vector has size %d, want %d", len(v), m)
+	}
+	return mathx.CheckDistribution(v, Tolerance)
+}
+
+// Top returns the index of the most related domain.
+func (v DomainVector) Top() int { return mathx.ArgMax(v) }
+
+// QualityVector is a worker's per-domain accuracy q^w (Definition 3):
+// q_k ∈ [0,1] is the probability the worker answers a pure domain-k task
+// correctly.
+type QualityVector []float64
+
+// Validate checks that q has size m and entries in [0,1].
+func (q QualityVector) Validate(m int) error {
+	if len(q) != m {
+		return fmt.Errorf("model: quality vector has size %d, want %d", len(q), m)
+	}
+	for k, x := range q {
+		if x < -Tolerance || x > 1+Tolerance || x != x {
+			return fmt.Errorf("model: quality[%d] = %g outside [0,1]", k, x)
+		}
+	}
+	return nil
+}
+
+// Expected returns the expected accuracy of a worker with quality q on a
+// task with domain vector r: Σ_k r_k·q_k. This is the answer model of
+// Equation 4 marginalised over the task's true domain.
+func (q QualityVector) Expected(r DomainVector) float64 {
+	var a float64
+	for k := range q {
+		if k < len(r) {
+			a += q[k] * r[k]
+		}
+	}
+	return a
+}
+
+// Task is a multiple-choice task (Definition 2): a text description,
+// ℓ choices, a domain vector over D, and an optional hidden ground truth.
+type Task struct {
+	// ID identifies the task within its task set.
+	ID int
+	// Text is the natural-language description shown to workers and fed to
+	// the entity linker.
+	Text string
+	// Choices are the ℓ possible answers.
+	Choices []string
+	// Domain is the task's domain vector r^t. May be nil before DVE runs.
+	Domain DomainVector
+	// Truth is the index of the correct choice, or NoTruth if unknown.
+	// It is hidden from inference and used only for evaluation and for
+	// golden tasks.
+	Truth int
+	// TrueDomain optionally records the single labelled domain used by the
+	// domain-detection experiments (Figure 3); NoTruth when unlabelled.
+	TrueDomain int
+}
+
+// NumChoices returns ℓ for the task.
+func (t *Task) NumChoices() int { return len(t.Choices) }
+
+// Validate checks structural invariants of the task against a domain set of
+// size m. A nil Domain is allowed (DVE has not run yet).
+func (t *Task) Validate(m int) error {
+	if len(t.Choices) < 2 {
+		return fmt.Errorf("model: task %d has %d choices, want >= 2", t.ID, len(t.Choices))
+	}
+	if t.Truth != NoTruth && (t.Truth < 0 || t.Truth >= len(t.Choices)) {
+		return fmt.Errorf("model: task %d truth %d out of range [0,%d)", t.ID, t.Truth, len(t.Choices))
+	}
+	if t.TrueDomain != NoTruth && (t.TrueDomain < 0 || t.TrueDomain >= m) {
+		return fmt.Errorf("model: task %d true domain %d out of range [0,%d)", t.ID, t.TrueDomain, m)
+	}
+	if t.Domain != nil {
+		if err := t.Domain.Validate(m); err != nil {
+			return fmt.Errorf("model: task %d: %w", t.ID, err)
+		}
+	}
+	return nil
+}
+
+// Answer records that a worker chose one of a task's options
+// (Definition 4). Choice is 0-indexed.
+type Answer struct {
+	Worker string
+	Task   int
+	Choice int
+}
+
+// AnswerSet groups the collected answers of a task set, indexed both by
+// task (V(i) in the paper) and by worker (T(w)).
+type AnswerSet struct {
+	byTask   map[int][]Answer
+	byWorker map[string][]Answer
+	all      []Answer // insertion order, preserved by Clone
+}
+
+// NewAnswerSet returns an empty AnswerSet.
+func NewAnswerSet() *AnswerSet {
+	return &AnswerSet{
+		byTask:   make(map[int][]Answer),
+		byWorker: make(map[string][]Answer),
+	}
+}
+
+// Add records an answer. A worker answering the same task twice is the
+// caller's responsibility to prevent (the paper assumes at most once); Add
+// returns an error if it detects a duplicate.
+func (s *AnswerSet) Add(a Answer) error {
+	for _, prev := range s.byWorker[a.Worker] {
+		if prev.Task == a.Task {
+			return fmt.Errorf("model: worker %q already answered task %d", a.Worker, a.Task)
+		}
+	}
+	s.byTask[a.Task] = append(s.byTask[a.Task], a)
+	s.byWorker[a.Worker] = append(s.byWorker[a.Worker], a)
+	s.all = append(s.all, a)
+	return nil
+}
+
+// ForTask returns V(i): the answers collected for task i. The returned slice
+// must not be modified.
+func (s *AnswerSet) ForTask(i int) []Answer { return s.byTask[i] }
+
+// ForWorker returns the answers given by worker w (T(w) with choices).
+// The returned slice must not be modified.
+func (s *AnswerSet) ForWorker(w string) []Answer { return s.byWorker[w] }
+
+// Workers returns the distinct worker IDs that have answered, in
+// unspecified order.
+func (s *AnswerSet) Workers() []string {
+	ws := make([]string, 0, len(s.byWorker))
+	for w := range s.byWorker {
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// Tasks returns the distinct task IDs that have received answers, in
+// unspecified order.
+func (s *AnswerSet) Tasks() []int {
+	ts := make([]int, 0, len(s.byTask))
+	for t := range s.byTask {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// Len returns the total number of answers.
+func (s *AnswerSet) Len() int { return len(s.all) }
+
+// All returns the answers in insertion order. The returned slice must not
+// be modified.
+func (s *AnswerSet) All() []Answer { return s.all }
+
+// Has reports whether worker w has answered task i.
+func (s *AnswerSet) Has(w string, i int) bool {
+	for _, a := range s.byWorker[w] {
+		if a.Task == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the answer set. Insertion order is
+// preserved exactly: several consumers accumulate floating-point sums over
+// ForTask/ForWorker slices, and a clone that reordered them (e.g. by
+// iterating the internal maps) would perturb results in the last ulp and
+// break run-to-run reproducibility.
+func (s *AnswerSet) Clone() *AnswerSet {
+	c := NewAnswerSet()
+	for _, a := range s.all {
+		c.byTask[a.Task] = append(c.byTask[a.Task], a)
+		c.byWorker[a.Worker] = append(c.byWorker[a.Worker], a)
+	}
+	c.all = append([]Answer(nil), s.all...)
+	return c
+}

@@ -1,0 +1,165 @@
+// Package store persists DOCS's long-run parameters: each worker's quality
+// vector q^w and weight vector u^w (Section 4.2, Theorem 1). The paper keeps
+// these in the system's SQL database so workers returning for a later
+// requester's tasks start from their history; here the store is an
+// in-memory map with an optional JSON snapshot on disk, safe for concurrent
+// use by the HTTP server.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"docs/internal/truth"
+)
+
+// Store holds per-worker statistics, keyed by platform worker ID.
+type Store struct {
+	mu      sync.RWMutex
+	m       int
+	workers map[string]*truth.Stats
+	path    string
+}
+
+// snapshot is the JSON wire format.
+type snapshot struct {
+	M       int                     `json:"m"`
+	Workers map[string]*truth.Stats `json:"workers"`
+}
+
+// Open creates a store over m domains. If path is non-empty and the file
+// exists, the snapshot is loaded; Save writes back to the same path. An
+// empty path keeps the store memory-only.
+func Open(path string, m int) (*Store, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("store: m = %d, want > 0", m)
+	}
+	s := &Store{m: m, workers: make(map[string]*truth.Stats), path: path}
+	if path == "" {
+		return s, nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("store: corrupt snapshot %s: %w", path, err)
+	}
+	if snap.M != m {
+		return nil, fmt.Errorf("store: snapshot has m=%d, want %d", snap.M, m)
+	}
+	for w, st := range snap.Workers {
+		if err := st.Validate(m); err != nil {
+			return nil, fmt.Errorf("store: worker %q: %w", w, err)
+		}
+		s.workers[w] = st
+	}
+	return s, nil
+}
+
+// Len returns the number of workers with stored statistics.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.workers)
+}
+
+// Worker returns a copy of the stored statistics for the worker, and
+// whether any exist.
+func (s *Store) Worker(id string) (*truth.Stats, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.workers[id]
+	if !ok {
+		return nil, false
+	}
+	return st.Clone(), true
+}
+
+// Put overwrites the worker's stored statistics.
+func (s *Store) Put(id string, st *truth.Stats) error {
+	if err := st.Validate(s.m); err != nil {
+		return fmt.Errorf("store: worker %q: %w", id, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.workers[id] = st.Clone()
+	return nil
+}
+
+// Merge folds a session's statistics into the stored ones per Theorem 1,
+// creating the record if absent.
+func (s *Store) Merge(id string, session *truth.Stats) error {
+	if err := session.Validate(s.m); err != nil {
+		return fmt.Errorf("store: worker %q: %w", id, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.workers[id]
+	if !ok {
+		cur = &truth.Stats{Q: make([]float64, s.m), U: make([]float64, s.m)}
+		for k := range cur.Q {
+			cur.Q[k] = truth.DefaultQuality
+		}
+		s.workers[id] = cur
+	}
+	cur.Merge(session)
+	return nil
+}
+
+// Workers returns the stored worker IDs in sorted order.
+func (s *Store) Workers() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.workers))
+	for id := range s.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Save writes the JSON snapshot atomically (write temp file, rename). It is
+// a no-op for memory-only stores.
+func (s *Store) Save() error {
+	if s.path == "" {
+		return nil
+	}
+	s.mu.RLock()
+	snap := snapshot{M: s.m, Workers: s.workers}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	s.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, ".store-*.json")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"docs/internal/truth"
+)
+
+func TestOpenMemoryOnly(t *testing.T) {
+	s, err := Open("", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("fresh store has %d workers", s.Len())
+	}
+	if err := s.Save(); err != nil {
+		t.Errorf("memory-only Save: %v", err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open("", 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad, 3); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}
+
+func TestPutWorkerRoundTrip(t *testing.T) {
+	s, _ := Open("", 2)
+	st := truth.NewStats(2)
+	st.Q[0] = 0.9
+	st.U[0] = 4
+	if err := s.Put("alice", st); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Worker("alice")
+	if !ok {
+		t.Fatal("worker missing after Put")
+	}
+	if got.Q[0] != 0.9 || got.U[0] != 4 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	// Returned stats are a copy.
+	got.Q[0] = 0.1
+	again, _ := s.Worker("alice")
+	if again.Q[0] != 0.9 {
+		t.Error("Worker returned a live reference")
+	}
+	if _, ok := s.Worker("bob"); ok {
+		t.Error("missing worker found")
+	}
+}
+
+func TestPutValidates(t *testing.T) {
+	s, _ := Open("", 2)
+	bad := &truth.Stats{Q: []float64{0.5}, U: []float64{1}}
+	if err := s.Put("x", bad); err == nil {
+		t.Error("wrong-size stats accepted")
+	}
+}
+
+func TestMergeTheorem1(t *testing.T) {
+	s, _ := Open("", 1)
+	first := &truth.Stats{Q: []float64{0.8}, U: []float64{4}}
+	if err := s.Merge("w", first); err != nil {
+		t.Fatal(err)
+	}
+	second := &truth.Stats{Q: []float64{0.5}, U: []float64{1}}
+	if err := s.Merge("w", second); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Worker("w")
+	want := (0.8*4 + 0.5*1) / 5
+	if d := got.Q[0] - want; d > 1e-12 || d < -1e-12 {
+		t.Errorf("merged Q = %g, want %g", got.Q[0], want)
+	}
+	if got.U[0] != 5 {
+		t.Errorf("merged U = %g, want 5", got.U[0])
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "workers.json")
+	s, err := Open(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := truth.NewStats(2)
+	st.Q[1] = 0.85
+	st.U[1] = 7
+	if err := s.Put("carol", st); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	reloaded, err := Open(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reloaded.Worker("carol")
+	if !ok {
+		t.Fatal("carol missing after reload")
+	}
+	if got.Q[1] != 0.85 || got.U[1] != 7 {
+		t.Errorf("reload lost data: %+v", got)
+	}
+
+	// Wrong m is rejected.
+	if _, err := Open(path, 5); err == nil {
+		t.Error("snapshot with mismatched m accepted")
+	}
+}
+
+func TestWorkersSorted(t *testing.T) {
+	s, _ := Open("", 1)
+	for _, id := range []string{"zoe", "amy", "mia"} {
+		if err := s.Put(id, truth.NewStats(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := s.Workers()
+	if len(ids) != 3 || ids[0] != "amy" || ids[2] != "zoe" {
+		t.Errorf("Workers = %v", ids)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := Open("", 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := string(rune('a' + g))
+			for i := 0; i < 100; i++ {
+				session := &truth.Stats{Q: []float64{0.5, 0.5}, U: []float64{1, 1}}
+				if err := s.Merge(id, session); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Worker(id)
+				s.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 8 {
+		t.Errorf("Len = %d, want 8", s.Len())
+	}
+	got, _ := s.Worker("a")
+	if got.U[0] != 100 {
+		t.Errorf("merged weight = %g, want 100", got.U[0])
+	}
+}

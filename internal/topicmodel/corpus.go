@@ -1,0 +1,85 @@
+// Package topicmodel implements the topic-model substrate used by the
+// iCrowd and FaitCrowd baselines: Latent Dirichlet Allocation (Blei et al.)
+// and TwitterLDA (Zhao et al.), both trained with collapsed Gibbs sampling.
+// The paper's baselines model each task's text with these to obtain latent
+// domain vectors; DOCS itself does not use them — they exist so the
+// comparisons of Figures 3, 5 and 8 run against real implementations.
+package topicmodel
+
+import (
+	"strings"
+)
+
+// stopwords are common function words excluded from the vocabulary; topic
+// models degrade badly when they dominate the counts.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "did": true, "do": true, "does": true,
+	"for": true, "from": true, "had": true, "has": true, "have": true,
+	"how": true, "if": true, "in": true, "is": true, "it": true, "its": true,
+	"more": true, "most": true, "much": true, "of": true, "on": true,
+	"or": true, "than": true, "that": true, "the": true, "their": true,
+	"there": true, "this": true, "to": true, "was": true, "were": true,
+	"what": true, "when": true, "where": true, "which": true, "who": true,
+	"whose": true, "why": true, "will": true, "with": true, "you": true,
+	"your": true, "ever": true, "between": true, "two": true, "given": true,
+}
+
+// Corpus is a tokenized document collection over a fixed vocabulary.
+type Corpus struct {
+	// Docs[d] is document d as a sequence of vocabulary indices.
+	Docs [][]int
+	// Vocab maps word ID back to the word.
+	Vocab []string
+
+	index map[string]int
+}
+
+// NewCorpus tokenizes texts (lowercasing, stripping punctuation, dropping
+// stopwords and single-character tokens) and builds the vocabulary.
+func NewCorpus(texts []string) *Corpus {
+	c := &Corpus{index: make(map[string]int)}
+	for _, txt := range texts {
+		var doc []int
+		for _, tok := range tokenize(txt) {
+			id, ok := c.index[tok]
+			if !ok {
+				id = len(c.Vocab)
+				c.index[tok] = id
+				c.Vocab = append(c.Vocab, tok)
+			}
+			doc = append(doc, id)
+		}
+		c.Docs = append(c.Docs, doc)
+	}
+	return c
+}
+
+// VocabSize returns the number of distinct words.
+func (c *Corpus) VocabSize() int { return len(c.Vocab) }
+
+// NumDocs returns the number of documents (including empty ones).
+func (c *Corpus) NumDocs() int { return len(c.Docs) }
+
+func tokenize(text string) []string {
+	var b strings.Builder
+	b.Grow(len(text))
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '\'':
+			b.WriteRune(r)
+		case r > 127:
+			b.WriteRune(r)
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	var out []string
+	for _, tok := range strings.Fields(b.String()) {
+		if len(tok) < 2 || stopwords[tok] {
+			continue
+		}
+		out = append(out, tok)
+	}
+	return out
+}

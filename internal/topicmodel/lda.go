@@ -1,0 +1,114 @@
+package topicmodel
+
+import (
+	"docs/internal/mathx"
+)
+
+// LDA is Latent Dirichlet Allocation trained by collapsed Gibbs sampling.
+// Document-topic proportions θ_d carry a symmetric Dirichlet(α) prior and
+// topic-word distributions φ_k a symmetric Dirichlet(β) prior.
+type LDA struct {
+	K     int     // number of topics (m' in the paper's IC baseline)
+	Alpha float64 // document-topic concentration
+	Beta  float64 // topic-word concentration
+
+	corpus *Corpus
+	z      [][]int // token topic assignments
+	ndk    [][]int // doc-topic counts
+	nkw    [][]int // topic-word counts
+	nk     []int   // topic totals
+	rand   *mathx.Rand
+}
+
+// NewLDA returns an LDA sampler with the given topic count and seed.
+// When non-positive values are supplied, Alpha defaults to 0.1 and Beta to
+// 0.01: crowdsourcing task descriptions are short documents, and the
+// classic 50/K heuristic over-smooths θ_d so badly on 5–10-token texts
+// that the argmax topic is near-random.
+func NewLDA(k int, alpha, beta float64, seed uint64) *LDA {
+	if alpha <= 0 {
+		alpha = 0.1
+	}
+	if beta <= 0 {
+		beta = 0.01
+	}
+	return &LDA{K: k, Alpha: alpha, Beta: beta, rand: mathx.NewRand(seed)}
+}
+
+// Fit runs iters sweeps of collapsed Gibbs sampling over the corpus.
+func (l *LDA) Fit(c *Corpus, iters int) {
+	l.corpus = c
+	V := c.VocabSize()
+	l.z = make([][]int, c.NumDocs())
+	l.ndk = make([][]int, c.NumDocs())
+	l.nkw = make([][]int, l.K)
+	for k := range l.nkw {
+		l.nkw[k] = make([]int, V)
+	}
+	l.nk = make([]int, l.K)
+
+	// Random initialization.
+	for d, doc := range c.Docs {
+		l.z[d] = make([]int, len(doc))
+		l.ndk[d] = make([]int, l.K)
+		for n, w := range doc {
+			k := l.rand.Intn(l.K)
+			l.z[d][n] = k
+			l.ndk[d][k]++
+			l.nkw[k][w]++
+			l.nk[k]++
+		}
+	}
+
+	weights := make([]float64, l.K)
+	vb := float64(V) * l.Beta
+	for it := 0; it < iters; it++ {
+		for d, doc := range c.Docs {
+			for n, w := range doc {
+				old := l.z[d][n]
+				l.ndk[d][old]--
+				l.nkw[old][w]--
+				l.nk[old]--
+				for k := 0; k < l.K; k++ {
+					weights[k] = (float64(l.ndk[d][k]) + l.Alpha) *
+						(float64(l.nkw[k][w]) + l.Beta) /
+						(float64(l.nk[k]) + vb)
+				}
+				nk := l.rand.Categorical(weights)
+				l.z[d][n] = nk
+				l.ndk[d][nk]++
+				l.nkw[nk][w]++
+				l.nk[nk]++
+			}
+		}
+	}
+}
+
+// DocTopics returns the posterior document-topic distribution θ_d.
+// Documents with no tokens get the uniform distribution.
+func (l *LDA) DocTopics(d int) []float64 {
+	theta := make([]float64, l.K)
+	total := 0
+	for _, c := range l.ndk[d] {
+		total += c
+	}
+	if total == 0 {
+		return mathx.Uniform(l.K)
+	}
+	denom := float64(total) + float64(l.K)*l.Alpha
+	for k := 0; k < l.K; k++ {
+		theta[k] = (float64(l.ndk[d][k]) + l.Alpha) / denom
+	}
+	return theta
+}
+
+// TopicWords returns the posterior topic-word distribution φ_k.
+func (l *LDA) TopicWords(k int) []float64 {
+	V := l.corpus.VocabSize()
+	phi := make([]float64, V)
+	denom := float64(l.nk[k]) + float64(V)*l.Beta
+	for w := 0; w < V; w++ {
+		phi[w] = (float64(l.nkw[k][w]) + l.Beta) / denom
+	}
+	return phi
+}

@@ -1,0 +1,179 @@
+package topicmodel
+
+import (
+	"testing"
+
+	"docs/internal/mathx"
+)
+
+// twoClusterTexts builds a corpus with two vocabularies that never co-occur;
+// any reasonable topic model must separate them.
+func twoClusterTexts() ([]string, []int) {
+	sports := []string{
+		"basketball player scores points in the championship game",
+		"the team wins the basketball championship this season",
+		"famous player dunks during the basketball game",
+		"the coach praises the team after the championship win",
+		"basketball season ends with the team winning the title",
+		"the player signs with a new basketball team",
+	}
+	cooking := []string{
+		"the recipe calls for butter flour and sugar",
+		"bake the cake with sugar and fresh butter",
+		"mix flour with eggs for the pancake recipe",
+		"the chef cooks pasta with tomato sauce",
+		"fresh tomato sauce tastes great on pasta",
+		"add sugar and butter to the cookie recipe",
+	}
+	var texts []string
+	var labels []int
+	for i := 0; i < len(sports); i++ {
+		texts = append(texts, sports[i], cooking[i])
+		labels = append(labels, 0, 1)
+	}
+	return texts, labels
+}
+
+// clusterAccuracy maps latent topics to labels by majority and returns the
+// resulting accuracy (the same manual mapping the paper applies to IC/FC).
+func clusterAccuracy(assign []int, labels []int, k int) float64 {
+	if len(assign) != len(labels) {
+		return 0
+	}
+	votes := make([]map[int]int, k)
+	for i := range votes {
+		votes[i] = make(map[int]int)
+	}
+	for i, a := range assign {
+		votes[a][labels[i]]++
+	}
+	mapping := make([]int, k)
+	for t := 0; t < k; t++ {
+		best, bestC := 0, -1
+		for lbl, c := range votes[t] {
+			if c > bestC {
+				best, bestC = lbl, c
+			}
+		}
+		mapping[t] = best
+	}
+	correct := 0
+	for i, a := range assign {
+		if mapping[a] == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+func TestCorpusTokenization(t *testing.T) {
+	c := NewCorpus([]string{"Does the player win more championships?", ""})
+	if c.NumDocs() != 2 {
+		t.Fatalf("NumDocs = %d, want 2", c.NumDocs())
+	}
+	if len(c.Docs[1]) != 0 {
+		t.Errorf("empty text produced %d tokens", len(c.Docs[1]))
+	}
+	// Stopwords "does", "the", "more" must be gone.
+	if len(c.Docs[0]) != 3 {
+		t.Errorf("doc 0 tokens = %d, want 3 (player, win, championships)", len(c.Docs[0]))
+	}
+	if c.VocabSize() != 3 {
+		t.Errorf("vocab = %d, want 3", c.VocabSize())
+	}
+}
+
+func TestLDASeparatesClusters(t *testing.T) {
+	texts, labels := twoClusterTexts()
+	c := NewCorpus(texts)
+	l := NewLDA(2, 0, 0, 42)
+	l.Fit(c, 300)
+	assign := make([]int, c.NumDocs())
+	for d := range assign {
+		assign[d] = mathx.ArgMax(l.DocTopics(d))
+	}
+	if acc := clusterAccuracy(assign, labels, 2); acc < 0.9 {
+		t.Errorf("LDA cluster accuracy = %.2f, want >= 0.9", acc)
+	}
+}
+
+func TestLDADocTopicsAreDistributions(t *testing.T) {
+	texts, _ := twoClusterTexts()
+	c := NewCorpus(texts)
+	l := NewLDA(3, 0, 0, 7)
+	l.Fit(c, 50)
+	for d := 0; d < c.NumDocs(); d++ {
+		if err := mathx.CheckDistribution(l.DocTopics(d), 1e-9); err != nil {
+			t.Fatalf("doc %d: %v", d, err)
+		}
+	}
+	for k := 0; k < 3; k++ {
+		if err := mathx.CheckDistribution(l.TopicWords(k), 1e-9); err != nil {
+			t.Fatalf("topic %d: %v", k, err)
+		}
+	}
+}
+
+func TestLDAEmptyDocUniform(t *testing.T) {
+	c := NewCorpus([]string{"basketball game", ""})
+	l := NewLDA(2, 0, 0, 1)
+	l.Fit(c, 10)
+	th := l.DocTopics(1)
+	if th[0] != 0.5 || th[1] != 0.5 {
+		t.Errorf("empty doc topics = %v, want uniform", th)
+	}
+}
+
+func TestLDADeterministicGivenSeed(t *testing.T) {
+	texts, _ := twoClusterTexts()
+	run := func() []float64 {
+		c := NewCorpus(texts)
+		l := NewLDA(2, 0, 0, 99)
+		l.Fit(c, 50)
+		return l.DocTopics(0)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different results: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestTwitterLDASeparatesClusters(t *testing.T) {
+	texts, labels := twoClusterTexts()
+	c := NewCorpus(texts)
+	tl := NewTwitterLDA(2, 42)
+	tl.Fit(c, 200)
+	assign := make([]int, c.NumDocs())
+	for d := range assign {
+		assign[d] = tl.DocTopic(d)
+	}
+	if acc := clusterAccuracy(assign, labels, 2); acc < 0.9 {
+		t.Errorf("TwitterLDA cluster accuracy = %.2f, want >= 0.9", acc)
+	}
+}
+
+func TestTwitterLDADocTopicsAreDistributions(t *testing.T) {
+	texts, _ := twoClusterTexts()
+	c := NewCorpus(texts)
+	tl := NewTwitterLDA(3, 5)
+	tl.Fit(c, 60)
+	for d := 0; d < c.NumDocs(); d++ {
+		dist := tl.DocTopics(d)
+		if err := mathx.CheckDistribution(dist, 1e-9); err != nil {
+			t.Fatalf("doc %d: %v", d, err)
+		}
+		// The sampled hard topic should be plausible under the soft
+		// distribution (not the single least likely topic).
+		least := 0
+		for k := range dist {
+			if dist[k] < dist[least] {
+				least = k
+			}
+		}
+		if tl.DocTopic(d) == least && dist[least] < 0.05 {
+			t.Errorf("doc %d: hard topic %d has soft mass %g", d, tl.DocTopic(d), dist[least])
+		}
+	}
+}

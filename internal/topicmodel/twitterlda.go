@@ -1,0 +1,194 @@
+package topicmodel
+
+import (
+	"math"
+
+	"docs/internal/mathx"
+)
+
+// TwitterLDA is the short-text topic model of Zhao et al. (ECIR 2011),
+// which the FaitCrowd baseline uses: every document carries a single latent
+// topic z_d, and each token is either drawn from that topic's word
+// distribution or from a shared background distribution, switched by a
+// Bernoulli gate. Collapsed Gibbs sampling alternates the per-token gates
+// and the per-document topics.
+type TwitterLDA struct {
+	K     int     // number of topics (m'' in the paper's FC baseline)
+	Alpha float64 // topic proportion concentration
+	Beta  float64 // word distribution concentration
+	Gamma float64 // Beta prior on the background gate
+
+	corpus *Corpus
+	zd     []int   // per-document topic
+	y      [][]int // per-token gate: 0 = background, 1 = topic
+	nkTop  []int   // documents per topic
+	nkw    [][]int // topic-word counts (gated tokens only)
+	nk     []int   // topic token totals
+	nbw    []int   // background word counts
+	nb     int     // background token total
+	nyc    [2]int  // gate counts
+	rand   *mathx.Rand
+}
+
+// NewTwitterLDA returns a sampler with the given topic count and seed.
+func NewTwitterLDA(k int, seed uint64) *TwitterLDA {
+	return &TwitterLDA{K: k, Alpha: 50.0 / float64(k), Beta: 0.01, Gamma: 20, rand: mathx.NewRand(seed)}
+}
+
+// Fit runs iters Gibbs sweeps over the corpus.
+func (t *TwitterLDA) Fit(c *Corpus, iters int) {
+	t.corpus = c
+	V := c.VocabSize()
+	D := c.NumDocs()
+	t.zd = make([]int, D)
+	t.y = make([][]int, D)
+	t.nkTop = make([]int, t.K)
+	t.nkw = make([][]int, t.K)
+	for k := range t.nkw {
+		t.nkw[k] = make([]int, V)
+	}
+	t.nk = make([]int, t.K)
+	t.nbw = make([]int, V)
+	t.nb = 0
+	t.nyc = [2]int{}
+
+	for d, doc := range c.Docs {
+		t.zd[d] = t.rand.Intn(t.K)
+		t.nkTop[t.zd[d]]++
+		t.y[d] = make([]int, len(doc))
+		for n, w := range doc {
+			g := t.rand.Intn(2)
+			t.y[d][n] = g
+			t.nyc[g]++
+			if g == 0 {
+				t.nbw[w]++
+				t.nb++
+			} else {
+				t.nkw[t.zd[d]][w]++
+				t.nk[t.zd[d]]++
+			}
+		}
+	}
+
+	vb := float64(V) * t.Beta
+	logW := make([]float64, t.K)
+	for it := 0; it < iters; it++ {
+		// Resample per-token gates.
+		for d, doc := range c.Docs {
+			k := t.zd[d]
+			for n, w := range doc {
+				if t.y[d][n] == 0 {
+					t.nbw[w]--
+					t.nb--
+					t.nyc[0]--
+				} else {
+					t.nkw[k][w]--
+					t.nk[k]--
+					t.nyc[1]--
+				}
+				pBg := (float64(t.nyc[0]) + t.Gamma) *
+					(float64(t.nbw[w]) + t.Beta) / (float64(t.nb) + vb)
+				pTop := (float64(t.nyc[1]) + t.Gamma) *
+					(float64(t.nkw[k][w]) + t.Beta) / (float64(t.nk[k]) + vb)
+				g := 0
+				if t.rand.Float64() < pTop/(pBg+pTop) {
+					g = 1
+				}
+				t.y[d][n] = g
+				t.nyc[g]++
+				if g == 0 {
+					t.nbw[w]++
+					t.nb++
+				} else {
+					t.nkw[k][w]++
+					t.nk[k]++
+				}
+			}
+		}
+		// Resample per-document topics.
+		for d, doc := range c.Docs {
+			old := t.zd[d]
+			t.nkTop[old]--
+			// Remove this doc's gated tokens from the old topic.
+			for n, w := range doc {
+				if t.y[d][n] == 1 {
+					t.nkw[old][w]--
+					t.nk[old]--
+				}
+			}
+			for k := 0; k < t.K; k++ {
+				lw := math.Log(float64(t.nkTop[k]) + t.Alpha)
+				// Sequential likelihood of the doc's gated tokens under
+				// topic k, with within-doc repetition handled by offsets.
+				seen := make(map[int]int)
+				pos := 0
+				for n, w := range doc {
+					if t.y[d][n] != 1 {
+						continue
+					}
+					lw += math.Log((float64(t.nkw[k][w]) + t.Beta + float64(seen[w])) /
+						(float64(t.nk[k]) + vb + float64(pos)))
+					seen[w]++
+					pos++
+				}
+				logW[k] = lw
+			}
+			nk := sampleLog(t.rand, logW)
+			t.zd[d] = nk
+			t.nkTop[nk]++
+			for n, w := range doc {
+				if t.y[d][n] == 1 {
+					t.nkw[nk][w]++
+					t.nk[nk]++
+				}
+			}
+		}
+	}
+}
+
+// DocTopic returns the sampled topic of document d.
+func (t *TwitterLDA) DocTopic(d int) int { return t.zd[d] }
+
+// DocTopics returns a soft document-topic distribution for document d,
+// computed as the posterior predictive over topics given the final counts.
+func (t *TwitterLDA) DocTopics(d int) []float64 {
+	V := t.corpus.VocabSize()
+	vb := float64(V) * t.Beta
+	logW := make([]float64, t.K)
+	doc := t.corpus.Docs[d]
+	for k := 0; k < t.K; k++ {
+		lw := math.Log(float64(t.nkTop[k]) + t.Alpha)
+		seen := make(map[int]int)
+		pos := 0
+		for n, w := range doc {
+			if t.y[d][n] != 1 {
+				continue
+			}
+			lw += math.Log((float64(t.nkw[k][w]) + t.Beta + float64(seen[w])) /
+				(float64(t.nk[k]) + vb + float64(pos)))
+			seen[w]++
+			pos++
+		}
+		logW[k] = lw
+	}
+	return softmaxLog(logW)
+}
+
+// sampleLog draws an index proportional to exp(logw) stably.
+func sampleLog(r *mathx.Rand, logw []float64) int {
+	return r.Categorical(softmaxLog(logw))
+}
+
+func softmaxLog(logw []float64) []float64 {
+	max := logw[0]
+	for _, x := range logw[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	w := make([]float64, len(logw))
+	for i, x := range logw {
+		w[i] = math.Exp(x - max)
+	}
+	return mathx.Normalize(w)
+}

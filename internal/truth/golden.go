@@ -1,0 +1,57 @@
+package truth
+
+import (
+	"docs/internal/model"
+)
+
+// EstimateFromGolden initializes a worker's per-domain quality from answers
+// to golden tasks (tasks with known ground truth, Section 5.2). For domain
+// k, the estimate is the domain-weighted fraction of correct answers,
+// q_k = Σ r_k·1{correct} / Σ r_k, lightly smoothed toward the default prior
+// so a single golden task cannot pin the quality to exactly 0 or 1. The
+// returned Stats carry the golden weights so later sessions merge correctly
+// under Theorem 1.
+func EstimateFromGolden(golden []*model.Task, answers []model.Answer, m int) *Stats {
+	// pseudoWeight is the strength of the smoothing prior per domain. It
+	// matters most when a domain has a single golden task: an unsmoothed
+	// wrong answer would estimate q = 0, and any q < 1/ℓ makes inference
+	// treat the worker's votes as anti-evidence — far too strong a
+	// conclusion from one sample. With weight 1 a lone wrong answer lands
+	// at (0 + 0.7)/2 = 0.35 and a lone right one at 0.85.
+	const pseudoWeight = 1.0
+
+	byID := make(map[int]*model.Task, len(golden))
+	for _, t := range golden {
+		byID[t.ID] = t
+	}
+	st := &Stats{Q: make(model.QualityVector, m), U: make([]float64, m)}
+	num := make([]float64, m)
+	for _, a := range answers {
+		t, ok := byID[a.Task]
+		if !ok || t.Truth == model.NoTruth || t.Domain == nil {
+			continue
+		}
+		correct := 0.0
+		if a.Choice == t.Truth {
+			correct = 1.0
+		}
+		for k := 0; k < m; k++ {
+			num[k] += t.Domain[k] * correct
+			st.U[k] += t.Domain[k]
+		}
+	}
+	for k := 0; k < m; k++ {
+		st.Q[k] = (num[k] + pseudoWeight*DefaultQuality) / (st.U[k] + pseudoWeight)
+	}
+	return st
+}
+
+// InitQualityFromGolden builds the Options.InitQuality map for a set of
+// workers given their golden-task answers.
+func InitQualityFromGolden(golden []*model.Task, byWorker map[string][]model.Answer, m int) map[string]model.QualityVector {
+	out := make(map[string]model.QualityVector, len(byWorker))
+	for w, as := range byWorker {
+		out[w] = EstimateFromGolden(golden, as, m).Q
+	}
+	return out
+}

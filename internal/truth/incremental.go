@@ -1,0 +1,250 @@
+package truth
+
+import (
+	"fmt"
+	"math"
+
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+// Incremental is the online truth-inference engine of Section 4.2. Instead
+// of re-running the full iterative algorithm on every submission, it stores
+// per-task unnormalized truth numerators M̂^(i) and per-worker (q, u) stats,
+// and updates only the parameters touched by each incoming answer:
+//
+//	Step 1: M̂^(i) gains the new answer's likelihood factor, M^(i) and s_i
+//	        are recomputed for that task alone;
+//	Step 2: the answering worker's quality absorbs the new evidence, and
+//	        the qualities of workers who answered the task before are
+//	        corrected for the shift from s̃_i to the new s_i.
+//
+// Each Submit costs O(m·ℓ + m·|V(i)|), matching the paper's bound. The
+// trade-off, as the paper notes, is that incremental estimates can drift
+// from the batch fixed point; DOCS therefore re-runs the iterative solver
+// every z submissions (see the core orchestrator).
+type Incremental struct {
+	m       int
+	tasks   map[int]*incTask
+	workers map[string]*Stats
+}
+
+type incTask struct {
+	task *model.Task
+	// mhat[k][j] is the running numerator of Equation 3 for domain k and
+	// choice j, rescaled per row to avoid underflow (only ratios matter).
+	mhat    [][]float64
+	s       []float64
+	answers []model.Answer
+}
+
+// NewIncremental returns an empty incremental engine over m domains.
+func NewIncremental(m int) *Incremental {
+	return &Incremental{
+		m:       m,
+		tasks:   make(map[int]*incTask),
+		workers: make(map[string]*Stats),
+	}
+}
+
+// AddTask registers a task. The task must have a domain vector.
+func (inc *Incremental) AddTask(t *model.Task) error {
+	if t.Domain == nil {
+		return fmt.Errorf("truth: incremental task %d has no domain vector", t.ID)
+	}
+	if err := t.Validate(inc.m); err != nil {
+		return err
+	}
+	if _, dup := inc.tasks[t.ID]; dup {
+		return fmt.Errorf("truth: incremental task %d already registered", t.ID)
+	}
+	ell := t.NumChoices()
+	it := &incTask{task: t, mhat: make([][]float64, inc.m)}
+	for k := range it.mhat {
+		row := make([]float64, ell)
+		for j := range row {
+			row[j] = 1 // uniform prior numerator
+		}
+		it.mhat[k] = row
+	}
+	it.s = applyDomain(t.Domain, normalizeRows(it.mhat))
+	inc.tasks[t.ID] = it
+	return nil
+}
+
+// SetWorker installs stored statistics for a worker (e.g. loaded from the
+// parameter store or derived from golden tasks). Unknown workers submitting
+// answers are lazily created with NewStats defaults.
+func (inc *Incremental) SetWorker(w string, st *Stats) error {
+	if err := st.Validate(inc.m); err != nil {
+		return fmt.Errorf("truth: worker %q: %w", w, err)
+	}
+	inc.workers[w] = st.Clone()
+	return nil
+}
+
+// Worker returns the current statistics for a worker (nil if unseen).
+func (inc *Incremental) Worker(w string) *Stats { return inc.workers[w] }
+
+// ensureWorker returns the stats for w, creating defaults if needed.
+func (inc *Incremental) ensureWorker(w string) *Stats {
+	st, ok := inc.workers[w]
+	if !ok {
+		st = NewStats(inc.m)
+		inc.workers[w] = st
+	}
+	return st
+}
+
+// Submit processes one answer through the two incremental steps.
+func (inc *Incremental) Submit(a model.Answer) error {
+	it, ok := inc.tasks[a.Task]
+	if !ok {
+		return fmt.Errorf("truth: answer for unknown task %d", a.Task)
+	}
+	ell := it.task.NumChoices()
+	if a.Choice < 0 || a.Choice >= ell {
+		return fmt.Errorf("truth: choice %d out of range for task %d (ℓ=%d)", a.Choice, a.Task, ell)
+	}
+	for _, prev := range it.answers {
+		if prev.Worker == a.Worker {
+			return fmt.Errorf("truth: worker %q already answered task %d", a.Worker, a.Task)
+		}
+	}
+	st := inc.ensureWorker(a.Worker)
+	r := it.task.Domain
+
+	// Step 1: fold the answer's likelihood into M̂^(i), refresh M and s.
+	sTilde := mathx.Clone(it.s)
+	for k := 0; k < inc.m; k++ {
+		qk := clampQ(st.Q[k])
+		wrong := (1 - qk) / float64(ell-1)
+		row := it.mhat[k]
+		var max float64
+		for j := range row {
+			if j == a.Choice {
+				row[j] *= qk
+			} else {
+				row[j] *= wrong
+			}
+			if row[j] > max {
+				max = row[j]
+			}
+		}
+		if max > 0 {
+			for j := range row {
+				row[j] /= max
+			}
+		}
+	}
+	it.s = applyDomain(r, normalizeRows(it.mhat))
+
+	// Step 2a: the submitting worker absorbs the new evidence.
+	for k := 0; k < inc.m; k++ {
+		if rk := r[k]; rk > 0 {
+			st.Q[k] = clamp01((st.Q[k]*st.U[k] + it.s[a.Choice]*rk) / (st.U[k] + rk))
+			st.U[k] += rk
+		}
+	}
+
+	// Step 2b: workers who answered this task before are corrected for the
+	// truth shift s̃ → s on their own chosen option.
+	for _, prev := range it.answers {
+		ps := inc.workers[prev.Worker]
+		for k := 0; k < inc.m; k++ {
+			rk := r[k]
+			if rk == 0 || ps.U[k] == 0 {
+				continue
+			}
+			ps.Q[k] = clamp01((ps.Q[k]*ps.U[k] - sTilde[prev.Choice]*rk + it.s[prev.Choice]*rk) / ps.U[k])
+		}
+	}
+
+	it.answers = append(it.answers, a)
+	return nil
+}
+
+// S returns task id's current probabilistic truth (nil if unknown task).
+func (inc *Incremental) S(id int) []float64 {
+	it, ok := inc.tasks[id]
+	if !ok {
+		return nil
+	}
+	return mathx.Clone(it.s)
+}
+
+// M returns task id's current truth matrix M^(i) (row-normalized).
+func (inc *Incremental) M(id int) [][]float64 {
+	it, ok := inc.tasks[id]
+	if !ok {
+		return nil
+	}
+	return normalizeRows(it.mhat)
+}
+
+// Truth returns the current inferred truth for task id (-1 if unknown).
+func (inc *Incremental) Truth(id int) int {
+	it, ok := inc.tasks[id]
+	if !ok {
+		return model.NoTruth
+	}
+	return mathx.ArgMax(it.s)
+}
+
+// Answers returns the number of answers received for task id.
+func (inc *Incremental) Answers(id int) int {
+	it, ok := inc.tasks[id]
+	if !ok {
+		return 0
+	}
+	return len(it.answers)
+}
+
+// Reseed overwrites the engine's task states and worker qualities from a
+// batch inference result; the core orchestrator calls this after the
+// periodic full iterative run (every z submissions).
+func (inc *Incremental) Reseed(tasks []*model.Task, res *Result, answers *model.AnswerSet) {
+	pos := make(map[int]int, len(tasks))
+	for idx, t := range tasks {
+		pos[t.ID] = idx
+	}
+	for id, it := range inc.tasks {
+		i, ok := pos[id]
+		if !ok {
+			continue
+		}
+		for k := range it.mhat {
+			copy(it.mhat[k], res.M[i][k])
+		}
+		it.s = mathx.Clone(res.S[i])
+		it.answers = append(it.answers[:0], answers.ForTask(id)...)
+	}
+	session := SessionStats(tasks, answers, res, inc.m)
+	for w, st := range session {
+		cur := inc.ensureWorker(w)
+		for k := 0; k < inc.m; k++ {
+			if st.U[k] > 0 {
+				cur.Q[k] = st.Q[k]
+				cur.U[k] = st.U[k]
+			}
+		}
+	}
+}
+
+func normalizeRows(mhat [][]float64) [][]float64 {
+	out := make([][]float64, len(mhat))
+	for k, row := range mhat {
+		out[k] = mathx.Normalize(mathx.Clone(row))
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 || math.IsNaN(x) {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

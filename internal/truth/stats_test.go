@@ -1,0 +1,156 @@
+package truth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+func TestStatsMergeTheorem1(t *testing.T) {
+	// Stored: q̂ = [0.8, 0.6] with weights û = [4, 1].
+	stored := &Stats{Q: model.QualityVector{0.8, 0.6}, U: []float64{4, 1}}
+	// Session: q = [0.5, 0.9] with weights u = [1, 3].
+	session := &Stats{Q: model.QualityVector{0.5, 0.9}, U: []float64{1, 3}}
+	stored.Merge(session)
+	want0 := (0.8*4 + 0.5*1) / 5
+	want1 := (0.6*1 + 0.9*3) / 4
+	if math.Abs(stored.Q[0]-want0) > 1e-12 || math.Abs(stored.Q[1]-want1) > 1e-12 {
+		t.Errorf("merged Q = %v, want [%g %g]", stored.Q, want0, want1)
+	}
+	if stored.U[0] != 5 || stored.U[1] != 4 {
+		t.Errorf("merged U = %v, want [5 4]", stored.U)
+	}
+}
+
+func TestStatsMergeZeroWeightKeepsStored(t *testing.T) {
+	stored := &Stats{Q: model.QualityVector{0.8}, U: []float64{0}}
+	session := &Stats{Q: model.QualityVector{0.2}, U: []float64{0}}
+	stored.Merge(session)
+	if stored.Q[0] != 0.8 {
+		t.Errorf("zero-weight merge changed quality to %g", stored.Q[0])
+	}
+}
+
+// TestStatsMergeAssociativity: merging sessions one at a time must equal
+// merging their weighted union — this is exactly why Theorem 1's update is
+// "correct".
+func TestStatsMergeAssociativity(t *testing.T) {
+	r := mathx.NewRand(23)
+	f := func(seed uint64) bool {
+		r.Seed(seed)
+		m := 1 + r.Intn(4)
+		mk := func() *Stats {
+			s := &Stats{Q: make(model.QualityVector, m), U: make([]float64, m)}
+			for k := 0; k < m; k++ {
+				s.Q[k] = r.Float64()
+				s.U[k] = r.Float64() * 10
+			}
+			return s
+		}
+		a, b, c := mk(), mk(), mk()
+
+		seq := a.Clone()
+		seq.Merge(b)
+		seq.Merge(c)
+
+		bc := b.Clone()
+		bc.Merge(c)
+		grouped := a.Clone()
+		grouped.Merge(bc)
+
+		for k := 0; k < m; k++ {
+			if math.Abs(seq.Q[k]-grouped.Q[k]) > 1e-9 || math.Abs(seq.U[k]-grouped.U[k]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatsMergeIsWeightedMean: the merged quality must always lie between
+// the two inputs and equal the overall weighted mean.
+func TestStatsMergeIsWeightedMean(t *testing.T) {
+	r := mathx.NewRand(29)
+	for trial := 0; trial < 100; trial++ {
+		q1, q2 := r.Float64(), r.Float64()
+		u1, u2 := r.Float64()*5+0.1, r.Float64()*5+0.1
+		s := &Stats{Q: model.QualityVector{q1}, U: []float64{u1}}
+		s.Merge(&Stats{Q: model.QualityVector{q2}, U: []float64{u2}})
+		lo, hi := math.Min(q1, q2), math.Max(q1, q2)
+		if s.Q[0] < lo-1e-12 || s.Q[0] > hi+1e-12 {
+			t.Fatalf("merged %g outside [%g,%g]", s.Q[0], lo, hi)
+		}
+		want := (q1*u1 + q2*u2) / (u1 + u2)
+		if math.Abs(s.Q[0]-want) > 1e-12 {
+			t.Fatalf("merged %g, want %g", s.Q[0], want)
+		}
+	}
+}
+
+func TestStatsValidate(t *testing.T) {
+	if err := NewStats(3).Validate(3); err != nil {
+		t.Errorf("NewStats invalid: %v", err)
+	}
+	bad := &Stats{Q: model.QualityVector{0.5}, U: []float64{-1}}
+	if err := bad.Validate(1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	short := &Stats{Q: model.QualityVector{0.5, 0.5}, U: []float64{1}}
+	if err := short.Validate(2); err == nil {
+		t.Error("mismatched weight size accepted")
+	}
+}
+
+func TestEstimateFromGolden(t *testing.T) {
+	golden := []*model.Task{
+		{ID: 0, Choices: []string{"a", "b"}, Domain: model.DomainVector{1, 0}, Truth: 0, TrueDomain: model.NoTruth},
+		{ID: 1, Choices: []string{"a", "b"}, Domain: model.DomainVector{1, 0}, Truth: 1, TrueDomain: model.NoTruth},
+		{ID: 2, Choices: []string{"a", "b"}, Domain: model.DomainVector{0, 1}, Truth: 0, TrueDomain: model.NoTruth},
+	}
+	answers := []model.Answer{
+		{Worker: "w", Task: 0, Choice: 0}, // correct, domain 0
+		{Worker: "w", Task: 1, Choice: 0}, // wrong, domain 0
+		{Worker: "w", Task: 2, Choice: 0}, // correct, domain 1
+	}
+	st := EstimateFromGolden(golden, answers, 2)
+	// Domain 0: 1 correct of 2 → smoothed toward 0.7: (1+0.7)/(2+1) ≈ 0.567.
+	if math.Abs(st.Q[0]-1.7/3) > 1e-9 {
+		t.Errorf("q_0 = %g, want %g", st.Q[0], 1.7/3)
+	}
+	// Domain 1: 1 of 1 → (1+0.7)/2 = 0.85.
+	if math.Abs(st.Q[1]-0.85) > 1e-9 {
+		t.Errorf("q_1 = %g, want 0.85", st.Q[1])
+	}
+	if st.U[0] != 2 || st.U[1] != 1 {
+		t.Errorf("U = %v, want [2 1]", st.U)
+	}
+}
+
+func TestEstimateFromGoldenIgnoresNonGolden(t *testing.T) {
+	golden := []*model.Task{
+		{ID: 0, Choices: []string{"a", "b"}, Domain: model.DomainVector{1}, Truth: 0, TrueDomain: model.NoTruth},
+	}
+	answers := []model.Answer{
+		{Worker: "w", Task: 0, Choice: 0},
+		{Worker: "w", Task: 99, Choice: 1}, // unknown task: skipped
+	}
+	st := EstimateFromGolden(golden, answers, 1)
+	if st.U[0] != 1 {
+		t.Errorf("U = %v, want [1]", st.U)
+	}
+}
+
+func TestEstimateFromGoldenNoAnswers(t *testing.T) {
+	st := EstimateFromGolden(nil, nil, 2)
+	for k := range st.Q {
+		if math.Abs(st.Q[k]-DefaultQuality) > 1e-9 {
+			t.Errorf("q[%d] = %g, want default %g", k, st.Q[k], DefaultQuality)
+		}
+	}
+}

@@ -1,0 +1,372 @@
+// Package truth implements the Truth Inference (TI) module of DOCS
+// (Section 4 of the paper).
+//
+// Given tasks with domain vectors and the workers' collected answers, TI
+// jointly estimates each task's probabilistic truth s_i and each worker's
+// per-domain quality vector q^w by alternating two steps until convergence:
+//
+//	Step 1 (q^w → s_i): per-domain truth matrices M^(i) via Equations 3–4,
+//	        then s_i = r^{t_i} × M^(i) (Equation 2);
+//	Step 2 (s_i → q^w): expected per-domain accuracy via Equation 5.
+//
+// The package also provides the incremental single-answer update of
+// Section 4.2 (see Incremental) and the long-run quality maintenance rule of
+// Theorem 1 (see Stats.Merge).
+package truth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+// Default inference parameters.
+const (
+	// DefaultMaxIter bounds the iterations; the paper observes convergence
+	// well within 20.
+	DefaultMaxIter = 20
+	// DefaultEpsilon is the Δ threshold below which iteration stops.
+	DefaultEpsilon = 1e-4
+	// DefaultQuality initializes workers with no golden-task history; 0.7 is
+	// the usual "better than random, below expert" crowdsourcing prior.
+	DefaultQuality = 0.7
+	// qualityFloor / qualityCeil clamp worker qualities inside (0,1) so the
+	// likelihoods in Equation 4 never degenerate to hard 0/1.
+	qualityFloor = 0.01
+	qualityCeil  = 0.99
+)
+
+// Options configures Infer.
+type Options struct {
+	// MaxIter bounds the number of iterations (default DefaultMaxIter).
+	MaxIter int
+	// Epsilon stops iteration once the parameter change Δ falls below it
+	// (default DefaultEpsilon). Zero means "use the default"; set negative
+	// to force exactly MaxIter iterations (used by the convergence figure).
+	Epsilon float64
+	// InitQuality seeds worker qualities, typically from golden tasks
+	// (Section 5.2). Workers absent from the map start at DefaultQuality.
+	InitQuality map[string]model.QualityVector
+	// RecordDeltas retains the per-iteration Δ sequence in Result.Deltas
+	// (Figure 4(a)).
+	RecordDeltas bool
+	// Pinned maps task IDs to known ground truths (golden tasks). Pinned
+	// tasks keep a one-hot probabilistic truth throughout the iteration, so
+	// they anchor the worker-quality scale: without an anchor the EM has a
+	// mirrored fixed point per domain in which truths flip and good
+	// workers' qualities collapse toward zero.
+	Pinned map[int]int
+}
+
+// Result holds the output of Infer.
+type Result struct {
+	// S[i] is task i's probabilistic truth s_i (indexed by position in the
+	// task slice passed to Infer).
+	S [][]float64
+	// M[i] is task i's per-domain truth matrix M^(i) of size m × ℓ_i.
+	M [][][]float64
+	// Truth[i] is argmax_j S[i][j], the inferred truth v*_i.
+	Truth []int
+	// Quality maps each answering worker to the estimated quality vector.
+	Quality map[string]model.QualityVector
+	// Iterations is the number of iterations executed.
+	Iterations int
+	// Deltas is the per-iteration parameter change (if recorded).
+	Deltas []float64
+}
+
+// Infer runs the iterative truth-inference algorithm over the given tasks
+// and answers. Every task must carry a domain vector of size m. Tasks with
+// no answers receive a uniform probabilistic truth.
+func Infer(tasks []*model.Task, answers *model.AnswerSet, m int, opt Options) (*Result, error) {
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = DefaultMaxIter
+	}
+	if opt.Epsilon == 0 {
+		opt.Epsilon = DefaultEpsilon
+	}
+	pos := make(map[int]int, len(tasks)) // task ID -> slice index
+	for idx, t := range tasks {
+		if t.Domain == nil {
+			return nil, fmt.Errorf("truth: task %d has no domain vector (run DVE first)", t.ID)
+		}
+		if err := t.Validate(m); err != nil {
+			return nil, err
+		}
+		if _, dup := pos[t.ID]; dup {
+			return nil, fmt.Errorf("truth: duplicate task ID %d", t.ID)
+		}
+		pos[t.ID] = idx
+	}
+	for _, id := range answers.Tasks() {
+		if _, ok := pos[id]; !ok {
+			return nil, fmt.Errorf("truth: answers reference unknown task %d", id)
+		}
+		for _, a := range answers.ForTask(id) {
+			if ell := len(tasks[pos[id]].Choices); a.Choice < 0 || a.Choice >= ell {
+				return nil, fmt.Errorf("truth: worker %q chose %d on task %d with %d choices", a.Worker, a.Choice, id, ell)
+			}
+		}
+	}
+
+	// Initialize worker qualities. Workers are processed in sorted order
+	// everywhere below: map iteration order would otherwise reorder the
+	// floating-point accumulation in the convergence metric and make runs
+	// differ in the last ulp — enough to flip an early stop and change
+	// downstream assignment decisions.
+	workers := answers.Workers()
+	sort.Strings(workers)
+	quality := make(map[string]model.QualityVector)
+	for _, w := range workers {
+		if init, ok := opt.InitQuality[w]; ok {
+			q := make(model.QualityVector, m)
+			copy(q, init)
+			quality[w] = q
+		} else {
+			q := make(model.QualityVector, m)
+			for k := range q {
+				q[k] = DefaultQuality
+			}
+			quality[w] = q
+		}
+	}
+
+	for id, truth := range opt.Pinned {
+		i, ok := pos[id]
+		if !ok {
+			return nil, fmt.Errorf("truth: pinned truth for unknown task %d", id)
+		}
+		if truth < 0 || truth >= tasks[i].NumChoices() {
+			return nil, fmt.Errorf("truth: pinned truth %d out of range for task %d", truth, id)
+		}
+	}
+
+	res := &Result{
+		S:       make([][]float64, len(tasks)),
+		M:       make([][][]float64, len(tasks)),
+		Truth:   make([]int, len(tasks)),
+		Quality: quality,
+	}
+	for i, t := range tasks {
+		if pv, ok := opt.Pinned[t.ID]; ok {
+			res.S[i] = oneHot(t.NumChoices(), pv)
+			continue
+		}
+		res.S[i] = mathx.Uniform(t.NumChoices())
+	}
+
+	prevS := make([][]float64, len(tasks))
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		for i := range res.S {
+			prevS[i] = mathx.Clone(res.S[i])
+		}
+		prevQ := cloneQuality(quality)
+
+		// Step 1: q^w → s_i. Pinned (golden) tasks keep their one-hot truth.
+		for i, t := range tasks {
+			if pv, ok := opt.Pinned[t.ID]; ok {
+				res.M[i] = pinnedMatrix(m, t.NumChoices(), pv)
+				res.S[i] = oneHot(t.NumChoices(), pv)
+				continue
+			}
+			v := answers.ForTask(t.ID)
+			if len(v) == 0 {
+				res.M[i] = uniformMatrix(m, t.NumChoices())
+				res.S[i] = mathx.Uniform(t.NumChoices())
+				continue
+			}
+			M := truthMatrix(t, v, quality, m)
+			res.M[i] = M
+			res.S[i] = applyDomain(t.Domain, M)
+		}
+
+		// Step 2: s_i → q^w.
+		for _, w := range workers {
+			q := quality[w]
+			num := make([]float64, m)
+			den := make([]float64, m)
+			for _, a := range answers.ForWorker(w) {
+				i := pos[a.Task]
+				r := tasks[i].Domain
+				si := res.S[i]
+				for k := 0; k < m; k++ {
+					num[k] += r[k] * si[a.Choice]
+					den[k] += r[k]
+				}
+			}
+			for k := 0; k < m; k++ {
+				if den[k] > 0 {
+					q[k] = num[k] / den[k]
+				}
+				// Domains the worker never touched keep their previous value
+				// (the paper's maintenance keeps them at the stored prior).
+			}
+		}
+
+		res.Iterations = iter + 1
+		delta := paramDelta(res.S, prevS, workers, quality, prevQ, m)
+		if opt.RecordDeltas {
+			res.Deltas = append(res.Deltas, delta)
+		}
+		if delta < opt.Epsilon {
+			break
+		}
+	}
+
+	for i := range res.S {
+		res.Truth[i] = mathx.ArgMax(res.S[i])
+	}
+	return res, nil
+}
+
+// truthMatrix computes M^(i) (Equations 3–4) for a task: row k is the truth
+// distribution conditioned on the task's true domain being k. Likelihoods
+// are accumulated in log space so large answer sets cannot underflow.
+func truthMatrix(t *model.Task, v []model.Answer, quality map[string]model.QualityVector, m int) [][]float64 {
+	ell := t.NumChoices()
+	M := make([][]float64, m)
+	logRow := make([]float64, ell)
+	for k := 0; k < m; k++ {
+		for j := range logRow {
+			logRow[j] = 0
+		}
+		for _, a := range v {
+			qk := clampQ(quality[a.Worker][k])
+			logCorrect := math.Log(qk)
+			logWrong := math.Log((1 - qk) / float64(ell-1))
+			for j := 0; j < ell; j++ {
+				if a.Choice == j {
+					logRow[j] += logCorrect
+				} else {
+					logRow[j] += logWrong
+				}
+			}
+		}
+		M[k] = softmax(logRow)
+	}
+	return M
+}
+
+// applyDomain computes s = r × M (Equation 2).
+func applyDomain(r model.DomainVector, M [][]float64) []float64 {
+	ell := len(M[0])
+	s := make([]float64, ell)
+	for k, row := range M {
+		rk := r[k]
+		if rk == 0 {
+			continue
+		}
+		for j := 0; j < ell; j++ {
+			s[j] += rk * row[j]
+		}
+	}
+	return mathx.Normalize(s)
+}
+
+// softmax exponentiates and normalizes a log-weight vector stably.
+func softmax(logw []float64) []float64 {
+	max := logw[0]
+	for _, x := range logw[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	out := make([]float64, len(logw))
+	var sum float64
+	for i, x := range logw {
+		out[i] = math.Exp(x - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func clampQ(q float64) float64 {
+	if q < qualityFloor {
+		return qualityFloor
+	}
+	if q > qualityCeil {
+		return qualityCeil
+	}
+	return q
+}
+
+func uniformMatrix(rows, cols int) [][]float64 {
+	M := make([][]float64, rows)
+	for k := range M {
+		M[k] = mathx.Uniform(cols)
+	}
+	return M
+}
+
+func oneHot(n, idx int) []float64 {
+	v := make([]float64, n)
+	v[idx] = 1
+	return v
+}
+
+func pinnedMatrix(rows, cols, idx int) [][]float64 {
+	M := make([][]float64, rows)
+	for k := range M {
+		M[k] = oneHot(cols, idx)
+	}
+	return M
+}
+
+func cloneQuality(q map[string]model.QualityVector) map[string]model.QualityVector {
+	out := make(map[string]model.QualityVector, len(q))
+	for w, v := range q {
+		c := make(model.QualityVector, len(v))
+		copy(c, v)
+		out[w] = c
+	}
+	return out
+}
+
+// paramDelta is the convergence metric Δ of Section 6.3: the mean absolute
+// change of the probabilistic truths plus the mean absolute change of the
+// worker qualities.
+func paramDelta(s, sPrev [][]float64, workers []string, q, qPrev map[string]model.QualityVector, m int) float64 {
+	var ds float64
+	var terms int
+	for i := range s {
+		ds += mathx.L1Distance(s[i], sPrev[i]) / float64(len(s[i]))
+		terms++
+	}
+	if terms > 0 {
+		ds /= float64(terms)
+	}
+	var dq float64
+	for _, w := range workers {
+		dq += mathx.L1Distance(q[w], qPrev[w])
+	}
+	if len(workers) > 0 {
+		dq /= float64(len(workers) * m)
+	}
+	return ds + dq
+}
+
+// Accuracy returns the fraction of tasks with known ground truth whose
+// inferred truth matches it. Tasks without ground truth are skipped; the
+// second return value is the number of evaluated tasks.
+func Accuracy(tasks []*model.Task, inferred []int) (float64, int) {
+	correct, total := 0, 0
+	for i, t := range tasks {
+		if t.Truth == model.NoTruth {
+			continue
+		}
+		total++
+		if i < len(inferred) && inferred[i] == t.Truth {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(correct) / float64(total), total
+}
