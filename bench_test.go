@@ -5,9 +5,13 @@
 package docs
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"docs/internal/assign"
+	"docs/internal/core"
 	"docs/internal/crowd"
 	"docs/internal/dve"
 	"docs/internal/entitylink"
@@ -200,6 +204,153 @@ func BenchmarkAssignTopK(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		assign.Assign(states, q, 20, nil)
+	}
+}
+
+// --- Concurrent serving benchmarks ---
+
+// serveTasks builds n two-choice tasks with precomputed one-hot domain
+// vectors so Publish skips entity linking.
+func serveTasks(m, n int) []*model.Task {
+	tasks := make([]*model.Task, n)
+	for i := range tasks {
+		dom := make(model.DomainVector, m)
+		dom[i%m] = 1
+		tasks[i] = &model.Task{
+			ID: i, Text: fmt.Sprintf("task %d", i), Choices: []string{"a", "b"},
+			Domain: dom, Truth: model.NoTruth, TrueDomain: model.NoTruth,
+		}
+	}
+	return tasks
+}
+
+// serveWorkload is one unit of the mixed serving benchmark: a fresh worker
+// requests a HIT of 5 and submits answers for the first two tasks.
+func serveWorkload(b *testing.B, n int64, request func(string, int) ([]*model.Task, error), submit func(string, int, int) error) {
+	w := fmt.Sprintf("w%d", n)
+	got, err := request(w, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, tk := range got {
+		if i >= 2 {
+			break
+		}
+		if err := submit(w, tk.ID, int(n)%2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newServeSystem(b *testing.B, cfg core.Config) *core.System {
+	b.Helper()
+	s, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Publish(serveTasks(s.Domains().Size(), 400)); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkParallelServe measures the concurrent serving core under a mixed
+// Request/Submit workload (the tentpole target). Compare against
+// BenchmarkSerializedServe, which runs the identical workload behind one
+// global mutex — the seed's locking discipline.
+func BenchmarkParallelServe(b *testing.B) {
+	s := newServeSystem(b, core.Config{GoldenCount: -1, HITSize: 5, RerunEvery: 100})
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			serveWorkload(b, ctr.Add(1), s.Request, s.Submit)
+		}
+	})
+}
+
+// BenchmarkParallelServeAsyncRerun is BenchmarkParallelServe with the
+// periodic batch re-inference moved off the Submit path.
+func BenchmarkParallelServeAsyncRerun(b *testing.B) {
+	s := newServeSystem(b, core.Config{GoldenCount: -1, HITSize: 5, RerunEvery: 100, AsyncRerun: true})
+	defer s.Close()
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			serveWorkload(b, ctr.Add(1), s.Request, s.Submit)
+		}
+	})
+}
+
+// BenchmarkSerializedServe funnels the identical workload through a single
+// global mutex, reproducing the seed's System-wide lock for an in-repo
+// before/after comparison.
+func BenchmarkSerializedServe(b *testing.B) {
+	s := newServeSystem(b, core.Config{GoldenCount: -1, HITSize: 5, RerunEvery: 100})
+	var mu sync.Mutex
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			serveWorkload(b, ctr.Add(1),
+				func(w string, k int) ([]*model.Task, error) {
+					mu.Lock()
+					defer mu.Unlock()
+					return s.Request(w, k)
+				},
+				func(w string, id, c int) error {
+					mu.Lock()
+					defer mu.Unlock()
+					return s.Submit(w, id, c)
+				})
+		}
+	})
+}
+
+// BenchmarkBenefitAlloc measures one benefit evaluation with the one-shot
+// API (fresh buffers per call); BenchmarkBenefitScratch reuses a Scratch as
+// the assignment hot path does. The allocs/op delta is the point.
+func benchBenefitState() (*assign.TaskState, model.QualityVector) {
+	r := mathx.NewRand(9)
+	const m = 26
+	ts := &assign.TaskState{ID: 0, R: model.DomainVector(r.Dirichlet(m, 0.5)), M: make([][]float64, m)}
+	for k := 0; k < m; k++ {
+		ts.M[k] = r.Dirichlet(2, 1)
+	}
+	s := make([]float64, 2)
+	for k, rk := range ts.R {
+		for j := range s {
+			s[j] += rk * ts.M[k][j]
+		}
+	}
+	ts.S = mathx.Normalize(s)
+	q := make(model.QualityVector, m)
+	for i := range q {
+		q[i] = r.Range(0.4, 0.95)
+	}
+	return ts, q
+}
+
+func BenchmarkBenefitAlloc(b *testing.B) {
+	ts, q := benchBenefitState()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign.Benefit(ts, q)
+	}
+}
+
+func BenchmarkBenefitScratch(b *testing.B) {
+	ts, q := benchBenefitState()
+	var sc assign.Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign.BenefitWith(ts, q, &sc)
 	}
 }
 

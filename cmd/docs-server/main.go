@@ -19,6 +19,7 @@ func main() {
 	golden := flag.Int("golden", 0, "golden task count (0 = default 20, negative = disabled)")
 	hitSize := flag.Int("hit", 0, "tasks per assignment (0 = default 20)")
 	perTask := flag.Int("redundancy", 0, "max answers per task (0 = unlimited)")
+	syncRerun := flag.Bool("sync-rerun", false, "run the periodic batch re-inference on the submitting request instead of the background worker")
 	flag.Parse()
 
 	srv, err := newServer(docs.Config{
@@ -26,6 +27,7 @@ func main() {
 		GoldenCount:    *golden,
 		HITSize:        *hitSize,
 		AnswersPerTask: *perTask,
+		AsyncRerun:     !*syncRerun,
 	})
 	if err != nil {
 		log.Fatalf("docs-server: %v", err)

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"docs"
 )
@@ -20,12 +23,24 @@ import (
 //	GET  /results                      → final inference over all answers
 //	GET  /worker?id=W                  → quality vector
 //	GET  /domains                      → domain names
+//	GET  /stats                        → serving counters (see handleStats)
 //	GET  /healthz
+//
+// Handlers take no server-wide lock: docs.System is safe for concurrent
+// use, serving reads from immutable snapshots, so Request, Submit and
+// Result run in parallel and JSON encoding never blocks other handlers.
+// The only cross-handler state is the publish flag, an atomic bool.
 type server struct {
-	mu        sync.Mutex
 	sys       *docs.System
 	cfg       docs.Config
-	published bool
+	published atomic.Bool
+	start     time.Time
+
+	// rateMu guards the last /stats observation used to compute the recent
+	// answer rate; it is touched only by /stats calls, never the hot path.
+	rateMu      sync.Mutex
+	lastStatsAt time.Time
+	lastAnswers int64
 }
 
 func newServer(cfg docs.Config) (*server, error) {
@@ -33,7 +48,7 @@ func newServer(cfg docs.Config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{sys: sys, cfg: cfg}, nil
+	return &server{sys: sys, cfg: cfg, start: time.Now()}, nil
 }
 
 func (s *server) handler() http.Handler {
@@ -45,6 +60,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /results", s.handleResults)
 	mux.HandleFunc("GET /worker", s.handleWorker)
 	mux.HandleFunc("GET /domains", s.handleDomains)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -76,17 +92,18 @@ func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	for _, t := range req.Tasks {
 		tasks = append(tasks, docs.Task{ID: t.ID, Text: t.Text, Choices: t.Choices, GoldenTruth: t.GoldenTruth})
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.published {
+	if s.published.Load() {
 		writeErr(w, http.StatusConflict, fmt.Errorf("tasks already published"))
 		return
 	}
+	// docs.System.Publish is itself exclusive and rejects a second
+	// publication, so a racing pair of publishes cannot both succeed; the
+	// flag above only provides the friendlier 409 for the common case.
 	if err := s.sys.Publish(tasks); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.published = true
+	s.published.Store(true)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"published": len(tasks),
 		"golden":    s.sys.GoldenTaskIDs(),
@@ -107,9 +124,7 @@ func (s *server) handleRequest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.published {
+	if !s.published.Load() {
 		writeErr(w, http.StatusConflict, fmt.Errorf("no tasks published"))
 		return
 	}
@@ -138,9 +153,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.published {
+	if !s.published.Load() {
 		writeErr(w, http.StatusConflict, fmt.Errorf("no tasks published"))
 		return
 	}
@@ -157,15 +170,12 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid task: %w", err))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	res := s.sys.CurrentResult(id)
-	writeJSON(w, http.StatusOK, res)
+	writeJSON(w, http.StatusOK, s.sys.CurrentResult(id))
 }
 
 func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Results infers over a snapshot of the answer log; submits keep
+	// flowing while inference and response encoding run.
 	results, err := s.sys.Results()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
@@ -180,8 +190,6 @@ func (s *server) handleWorker(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing id"))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"worker":  id,
 		"quality": s.sys.WorkerQuality(id),
@@ -190,9 +198,53 @@ func (s *server) handleWorker(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleDomains(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{"domains": s.sys.DomainNames()})
+}
+
+// statsJSON is the /stats payload: goroutine-safe counters describing the
+// serving state. answers_per_sec_recent covers the window since the
+// previous /stats call (equal to the lifetime rate on the first call).
+type statsJSON struct {
+	Published           bool    `json:"published"`
+	Answers             int64   `json:"answers"`
+	SnapshotEpoch       uint64  `json:"snapshot_epoch"`
+	RerunsCompleted     int64   `json:"reruns_completed"`
+	RerunsFailed        int64   `json:"reruns_failed"`
+	UptimeSeconds       float64 `json:"uptime_seconds"`
+	AnswersPerSec       float64 `json:"answers_per_sec"`
+	AnswersPerSecRecent float64 `json:"answers_per_sec_recent"`
+	Goroutines          int     `json:"goroutines"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// The whole observation happens under rateMu so concurrent /stats
+	// calls see monotone (time, answers) pairs and the recent rate can
+	// never go negative.
+	s.rateMu.Lock()
+	st := s.sys.Stats()
+	now := time.Now()
+	uptime := now.Sub(s.start).Seconds()
+	out := statsJSON{
+		Published:       s.published.Load(),
+		Answers:         st.Answers,
+		SnapshotEpoch:   st.SnapshotEpoch,
+		RerunsCompleted: st.RerunsCompleted,
+		RerunsFailed:    st.RerunsFailed,
+		UptimeSeconds:   uptime,
+		Goroutines:      runtime.NumGoroutine(),
+	}
+	if uptime > 0 {
+		out.AnswersPerSec = float64(st.Answers) / uptime
+	}
+	if s.lastStatsAt.IsZero() {
+		out.AnswersPerSecRecent = out.AnswersPerSec
+	} else if dt := now.Sub(s.lastStatsAt).Seconds(); dt > 0 {
+		out.AnswersPerSecRecent = float64(st.Answers-s.lastAnswers) / dt
+	}
+	s.lastStatsAt = now
+	s.lastAnswers = st.Answers
+	s.rateMu.Unlock()
+	writeJSON(w, http.StatusOK, out)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

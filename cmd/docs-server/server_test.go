@@ -3,8 +3,10 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"docs"
@@ -172,5 +174,154 @@ func TestServerValidation(t *testing.T) {
 	}
 	if resp, _ := doJSON(t, "GET", ts.URL+"/worker", nil); resp.StatusCode != 400 {
 		t.Errorf("missing worker id = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	ts, _ := testServer(t)
+
+	resp, out := doJSON(t, "GET", ts.URL+"/stats", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats = %d", resp.StatusCode)
+	}
+	var published bool
+	if err := json.Unmarshal(out["published"], &published); err != nil {
+		t.Fatal(err)
+	}
+	if published {
+		t.Error("stats reports published before publish")
+	}
+
+	if resp, _ := doJSON(t, "POST", ts.URL+"/publish", publishBody()); resp.StatusCode != 200 {
+		t.Fatalf("publish = %d", resp.StatusCode)
+	}
+	for _, w := range []string{"s1", "s2"} {
+		for task := 0; task < 3; task++ {
+			resp, out := doJSON(t, "POST", ts.URL+"/submit",
+				map[string]any{"worker": w, "task": task, "choice": 0})
+			if resp.StatusCode != 200 {
+				t.Fatalf("submit = %d: %s", resp.StatusCode, out["error"])
+			}
+		}
+	}
+
+	resp, out = doJSON(t, "GET", ts.URL+"/stats", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats = %d", resp.StatusCode)
+	}
+	var answers int64
+	if err := json.Unmarshal(out["answers"], &answers); err != nil {
+		t.Fatal(err)
+	}
+	if answers != 6 {
+		t.Errorf("stats answers = %d, want 6", answers)
+	}
+	var epoch uint64
+	if err := json.Unmarshal(out["snapshot_epoch"], &epoch); err != nil {
+		t.Fatal(err)
+	}
+	if epoch == 0 {
+		t.Error("snapshot epoch did not advance")
+	}
+	if err := json.Unmarshal(out["published"], &published); err != nil {
+		t.Fatal(err)
+	}
+	if !published {
+		t.Error("stats reports unpublished after publish")
+	}
+}
+
+// TestServerConcurrentTraffic hammers the handlers from many goroutines;
+// with -race it verifies the lock-free server plus the concurrent core end
+// to end over real HTTP.
+func TestServerConcurrentTraffic(t *testing.T) {
+	srv, err := newServer(docs.Config{GoldenCount: -1, HITSize: 3, AnswersPerTask: 4, AsyncRerun: true, RerunEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hts := httptest.NewServer(srv.handler())
+	t.Cleanup(hts.Close)
+
+	tasks := make([]map[string]any, 40)
+	for i := range tasks {
+		tasks[i] = map[string]any{
+			"id": i, "text": fmt.Sprintf("is %d even or odd", i),
+			"choices": []string{"even", "odd"}, "golden_truth": -1,
+		}
+	}
+	if resp, out := doJSON(t, "POST", hts.URL+"/publish", map[string]any{"tasks": tasks}); resp.StatusCode != 200 {
+		t.Fatalf("publish = %d: %s", resp.StatusCode, out["error"])
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; i < 6; i++ {
+				w := fmt.Sprintf("cw%d-%d", g, i)
+				resp, err := client.Get(hts.URL + "/request?worker=" + w + "&k=3")
+				if err != nil {
+					errs <- err
+					return
+				}
+				var rout struct {
+					Tasks []struct {
+						ID int `json:"id"`
+					} `json:"tasks"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&rout)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, tk := range rout.Tasks {
+					var buf bytes.Buffer
+					if err := json.NewEncoder(&buf).Encode(map[string]any{"worker": w, "task": tk.ID, "choice": tk.ID % 2}); err != nil {
+						errs <- err
+						return
+					}
+					sresp, err := client.Post(hts.URL+"/submit", "application/json", &buf)
+					if err != nil {
+						errs <- err
+						return
+					}
+					sresp.Body.Close()
+					rresp, err := client.Get(fmt.Sprintf("%s/result?task=%d", hts.URL, tk.ID))
+					if err != nil {
+						errs <- err
+						return
+					}
+					rresp.Body.Close()
+				}
+				stresp, err := client.Get(hts.URL + "/stats")
+				if err != nil {
+					errs <- err
+					return
+				}
+				stresp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	resp, out := doJSON(t, "GET", hts.URL+"/results", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("results = %d: %s", resp.StatusCode, out["error"])
+	}
+	var results []docs.Result
+	if err := json.Unmarshal(out["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 40 {
+		t.Errorf("results = %d tasks, want 40", len(results))
 	}
 }

@@ -23,6 +23,29 @@
 //	results, _ := sys.Results()           // final iterative inference
 //
 // For offline use (answers already collected), see InferTruth.
+//
+// # Concurrency
+//
+// A System serves Request, Submit, CurrentResult and WorkerQuality
+// concurrently from any number of goroutines; only Publish is exclusive
+// (call it once, before serving). Reads are served from immutable
+// snapshots of the truth-inference state: a snapshot is published
+// atomically after every accepted answer, so a concurrent Request sees a
+// consistent (possibly one-answer-stale) view and never blocks ingest.
+// Answer ingest itself takes only per-task and per-worker-shard locks, so
+// answers to different tasks are processed in parallel.
+//
+// The periodic full re-inference (Config.RerunEvery) runs synchronously on
+// the submitting goroutine by default — serial callers get exactly
+// reproducible campaigns. Setting Config.AsyncRerun moves it to a
+// background worker that infers over a snapshot of the answer log and
+// swaps the result in atomically per task (skipping tasks that received
+// answers after the snapshot); submits then never stall on the iterative
+// solver. Use Close to stop the background worker when done.
+//
+// Staleness contract: CurrentResult and Request may trail the newest
+// answer by the snapshot in flight; Results always infers over all answers
+// accepted before it was called.
 package docs
 
 import (
@@ -81,6 +104,10 @@ type Config struct {
 	// RerunEvery re-runs full iterative truth inference every z answers
 	// (0 = the default 100, negative = never).
 	RerunEvery int
+	// AsyncRerun runs the periodic re-inference on a background worker
+	// instead of the submitting goroutine; see the package comment for the
+	// staleness contract. Serving stays deterministic without it.
+	AsyncRerun bool
 	// StorePath persists worker statistics as JSON across campaigns
 	// (empty = memory-only).
 	StorePath string
@@ -111,6 +138,7 @@ func New(cfg Config) (*System, error) {
 		HITSize:        cfg.HITSize,
 		AnswersPerTask: cfg.AnswersPerTask,
 		RerunEvery:     cfg.RerunEvery,
+		AsyncRerun:     cfg.AsyncRerun,
 	})
 	if err != nil {
 		return nil, err
@@ -171,6 +199,35 @@ func (s *System) CurrentResult(taskID int) Result {
 func (s *System) WorkerQuality(workerID string) []float64 {
 	return s.sys.WorkerQuality(workerID)
 }
+
+// Stats is a point-in-time view of the serving counters.
+type Stats struct {
+	// Answers is the number of accepted non-golden answers.
+	Answers int64
+	// SnapshotEpoch is the truth engine's mutation counter; it advances
+	// with every accepted answer and batch-rerun swap.
+	SnapshotEpoch uint64
+	// RerunsCompleted and RerunsFailed count periodic batch re-inference
+	// runs.
+	RerunsCompleted int64
+	RerunsFailed    int64
+}
+
+// Stats returns the current serving counters. Safe to call concurrently
+// with serving.
+func (s *System) Stats() Stats {
+	done, failed := s.sys.Reruns()
+	return Stats{
+		Answers:         s.sys.AnswerCount(),
+		SnapshotEpoch:   s.sys.Epoch(),
+		RerunsCompleted: done,
+		RerunsFailed:    failed,
+	}
+}
+
+// Close stops the background re-inference worker started by
+// Config.AsyncRerun (a no-op otherwise). Do not serve after Close.
+func (s *System) Close() { s.sys.Close() }
 
 // Results runs the final iterative truth inference over all collected
 // answers, merges worker statistics into the persistent store, and returns

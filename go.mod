@@ -1,0 +1,3 @@
+module docs
+
+go 1.22

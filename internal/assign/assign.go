@@ -3,7 +3,6 @@ package assign
 import (
 	"fmt"
 
-	"docs/internal/mathx"
 	"docs/internal/model"
 )
 
@@ -12,36 +11,134 @@ import (
 // experiments).
 const DefaultBatchSize = 20
 
+// scored is one heap entry: a candidate task's benefit plus its position in
+// the candidate stream (the tie-breaker — earlier candidates win).
+type scored struct {
+	benefit float64
+	idx     int
+	id      int
+}
+
+// worse reports whether a ranks strictly below b: lower benefit, or equal
+// benefit and later arrival. Using arrival order as the tie-break keeps the
+// selection deterministic for identical inputs, which the campaign
+// determinism tests rely on.
+func (a scored) worse(b scored) bool {
+	if a.benefit != b.benefit {
+		return a.benefit < b.benefit
+	}
+	return a.idx > b.idx
+}
+
+// Assigner computes top-k assignments with reusable scratch buffers: the
+// benefit evaluation and the bounded min-heap allocate nothing across calls
+// (only the returned ID slice is fresh). An Assigner is not safe for
+// concurrent use; pool one per goroutine.
+type Assigner struct {
+	sc   Scratch
+	heap []scored
+}
+
 // Assign selects up to k tasks from candidates with the highest benefit for
 // the worker with quality q, per Theorem 4 (batch benefit is additive, so
 // top-k individual benefits are optimal). exclude, if non-nil, reports tasks
 // the worker must not receive (typically T(w), the tasks already answered).
-// The returned IDs are in descending benefit order. Runs in O(n·m·ℓ²) for
-// benefit computation plus O(n) selection.
-func Assign(candidates []*TaskState, q model.QualityVector, k int, exclude func(taskID int) bool) []int {
-	if k <= 0 {
+// The returned IDs are in descending benefit order. The candidates are
+// streamed through a size-k min-heap: O(n·m·ℓ²) benefit computation plus
+// O(n log k) selection, with no per-candidate allocation.
+func (as *Assigner) Assign(candidates []*TaskState, q model.QualityVector, k int, exclude func(taskID int) bool) []int {
+	return as.assign(len(candidates), func(i int) *TaskState { return candidates[i] }, q, k, exclude)
+}
+
+// AssignStates is Assign over a contiguous value slice — the serving hot
+// path builds its candidates in one backing array and avoids materializing
+// a pointer slice just to adapt the signature.
+func (as *Assigner) AssignStates(candidates []TaskState, q model.QualityVector, k int, exclude func(taskID int) bool) []int {
+	return as.assign(len(candidates), func(i int) *TaskState { return &candidates[i] }, q, k, exclude)
+}
+
+func (as *Assigner) assign(n int, at func(int) *TaskState, q model.QualityVector, k int, exclude func(taskID int) bool) []int {
+	if k <= 0 || n == 0 {
 		return nil
 	}
-	eligible := make([]*TaskState, 0, len(candidates))
-	for _, ts := range candidates {
+	// Clamp before sizing the heap: k arrives from the network (the HTTP
+	// request's ?k= parameter) and must not drive an allocation.
+	if k > n {
+		k = n
+	}
+	if cap(as.heap) < k {
+		as.heap = make([]scored, 0, k)
+	}
+	h := as.heap[:0]
+	idx := 0
+	for i := 0; i < n; i++ {
+		ts := at(i)
 		if exclude != nil && exclude(ts.ID) {
 			continue
 		}
-		eligible = append(eligible, ts)
+		e := scored{benefit: BenefitWith(ts, q, &as.sc), idx: idx, id: ts.ID}
+		idx++
+		if len(h) < k {
+			h = append(h, e)
+			siftUp(h, len(h)-1)
+		} else if h[0].worse(e) {
+			h[0] = e
+			siftDown(h, 0)
+		}
 	}
-	if len(eligible) == 0 {
+	as.heap = h[:0] // retain capacity for the next call
+	if len(h) == 0 {
 		return nil
 	}
-	benefits := make([]float64, len(eligible))
-	for i, ts := range eligible {
-		benefits[i] = Benefit(ts, q)
-	}
-	order := mathx.TopK(benefits, k)
-	out := make([]int, 0, len(order))
-	for _, i := range order {
-		out = append(out, eligible[i].ID)
+	// Pop the heap into the output back to front: repeatedly remove the
+	// worst survivor, leaving the IDs in descending benefit order.
+	out := make([]int, len(h))
+	for n := len(h); n > 0; n-- {
+		out[n-1] = h[0].id
+		h[0] = h[n-1]
+		h = h[:n-1]
+		siftDown(h, 0)
 	}
 	return out
+}
+
+// siftUp restores the min-heap property (worst entry at the root) after
+// appending at position i.
+func siftUp(h []scored, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].worse(h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// siftDown restores the min-heap property after replacing the root.
+func siftDown(h []scored, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && h[l].worse(h[worst]) {
+			worst = l
+		}
+		if r < n && h[r].worse(h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// Assign is the convenience form of Assigner.Assign with one-shot buffers.
+func Assign(candidates []*TaskState, q model.QualityVector, k int, exclude func(taskID int) bool) []int {
+	var as Assigner
+	return as.Assign(candidates, q, k, exclude)
 }
 
 // ValidateWorker checks the worker quality vector against m domains.

@@ -92,3 +92,26 @@ func TestValidateWorker(t *testing.T) {
 		t.Error("wrong-size worker accepted")
 	}
 }
+
+func TestAssignHugeKDoesNotAllocate(t *testing.T) {
+	// k arrives from the network (?k= on the HTTP API); a huge value must
+	// be clamped to the candidate count, not drive a heap allocation. The
+	// allocation count is the guard: without the clamp, sizing the heap
+	// from k would attempt a multi-gigabyte make.
+	r := mathx.NewRand(6)
+	states := []*TaskState{randomState(r, 0, 2, 2), randomState(r, 1, 2, 2)}
+	q := model.QualityVector{0.8, 0.8}
+	var as Assigner
+	var got []int
+	allocs := testing.AllocsPerRun(10, func() {
+		got = as.Assign(states, q, 1<<30, nil)
+	})
+	if len(got) != 2 {
+		t.Errorf("assigned %d, want 2", len(got))
+	}
+	// One small allocation for the returned ID slice; the heap itself must
+	// be sized by the candidate count, not k.
+	if allocs > 2 {
+		t.Errorf("Assign(k=1<<30) made %.0f allocs/run, want <= 2 (clamp lost?)", allocs)
+	}
+}

@@ -124,11 +124,68 @@ func PosteriorS(ts *TaskState, q model.QualityVector, a int) []float64 {
 	return mathx.Normalize(s)
 }
 
-// Benefit computes Definition 5 with the expected posterior entropy of
-// Equation 8:
-//
-//	B(t_i) = H(s_i) − Σ_a H(r × M^(i)|a) · Pr(v^w = a | V).
-func Benefit(ts *TaskState, q model.QualityVector) float64 {
+// Scratch holds reusable buffers for benefit computation. The seed
+// implementation allocated an m×ℓ matrix per (task, choice) pair inside
+// Benefit — roughly n·ℓ·(m+2) slices per assignment decision; with a
+// Scratch the whole top-k scan over n candidates allocates nothing. A
+// Scratch is not safe for concurrent use; give each goroutine its own
+// (the core orchestrator keeps them in a sync.Pool).
+type Scratch struct {
+	post []float64 // posterior s accumulator (ℓ)
+	row  []float64 // one renormalized row of M|a (ℓ)
+}
+
+func (sc *Scratch) ensure(ell int) {
+	if cap(sc.post) < ell {
+		sc.post = make([]float64, ell)
+		sc.row = make([]float64, ell)
+	}
+	sc.post = sc.post[:ell]
+	sc.row = sc.row[:ell]
+}
+
+// posterior fills sc.post with PosteriorS(ts, q, a) without allocating. The
+// arithmetic mirrors UpdatedM + PosteriorS term for term (same operation
+// order), so results are bit-identical to the allocating path.
+func (sc *Scratch) posterior(ts *TaskState, q model.QualityVector, a int) []float64 {
+	ell := len(ts.S)
+	sc.ensure(ell)
+	for j := range sc.post {
+		sc.post[j] = 0
+	}
+	for k, rk := range ts.R {
+		if rk == 0 {
+			continue
+		}
+		qk := q[k]
+		wrong := (1 - qk) / float64(ell-1)
+		var sum float64
+		for j, mkj := range ts.M[k] {
+			if j == a {
+				sc.row[j] = mkj * qk
+			} else {
+				sc.row[j] = mkj * wrong
+			}
+			sum += sc.row[j]
+		}
+		if sum > 0 {
+			for j := range sc.row {
+				sc.post[j] += rk * (sc.row[j] / sum)
+			}
+		} else {
+			u := 1 / float64(ell)
+			for j := range sc.row {
+				sc.post[j] += rk * u
+			}
+		}
+	}
+	return mathx.Normalize(sc.post)
+}
+
+// BenefitWith computes Benefit using the caller's scratch buffers; the hot
+// assignment path calls this once per candidate task with a reused Scratch
+// and performs zero allocations.
+func BenefitWith(ts *TaskState, q model.QualityVector, sc *Scratch) float64 {
 	h0 := mathx.Entropy(ts.S)
 	var expected float64
 	for a := range ts.S {
@@ -136,9 +193,18 @@ func Benefit(ts *TaskState, q model.QualityVector) float64 {
 		if pa == 0 {
 			continue
 		}
-		expected += pa * mathx.Entropy(PosteriorS(ts, q, a))
+		expected += pa * mathx.Entropy(sc.posterior(ts, q, a))
 	}
 	return h0 - expected
+}
+
+// Benefit computes Definition 5 with the expected posterior entropy of
+// Equation 8:
+//
+//	B(t_i) = H(s_i) − Σ_a H(r × M^(i)|a) · Pr(v^w = a | V).
+func Benefit(ts *TaskState, q model.QualityVector) float64 {
+	var sc Scratch
+	return BenefitWith(ts, q, &sc)
 }
 
 // BatchBenefitEnum computes the expected benefit B(T_k) of a fixed batch by

@@ -9,18 +9,35 @@
 // re-run every RerunEvery submissions; and finally the inferred truths are
 // returned and worker statistics are merged into the long-run store per
 // Theorem 1.
+//
+// # Concurrency model
+//
+// The system serves Request, Submit and Result concurrently. The campaign
+// structure (tasks, golden set) is guarded by an RWMutex that is only
+// write-locked during Publish; per-worker serving state (golden answers,
+// profiling, answered sets) lives in sharded maps so workers do not contend
+// with each other; answer ingest goes through the truth engine's per-task
+// locks; and reads (Request, Result, WorkerQuality) are served from the
+// truth engine's immutable snapshots without blocking writers. The periodic
+// batch re-inference runs synchronously on the Submit path by default
+// (preserving the seed's deterministic serial behavior) or, with
+// Config.AsyncRerun, on a background worker that infers over an answer-log
+// snapshot and swaps the result back in atomically per task.
 package core
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"docs/internal/assign"
 	"docs/internal/dve"
 	"docs/internal/entitylink"
 	"docs/internal/kb"
+	"docs/internal/mathx"
 	"docs/internal/model"
+	"docs/internal/shard"
 	"docs/internal/store"
 	"docs/internal/truth"
 )
@@ -43,11 +60,37 @@ type Config struct {
 	// RerunEvery re-runs the full iterative TI every z submissions
 	// (default 100, the paper's z). Non-positive disables periodic reruns.
 	RerunEvery int
+	// AsyncRerun moves the periodic full re-inference off the Submit path
+	// onto a background worker. Submits then never block on the iterative
+	// solver; the rerun infers over a snapshot of the answer log and its
+	// result is swapped in atomically, skipping tasks that received answers
+	// after the snapshot. The default (false) reruns synchronously inside
+	// Submit, which serial callers rely on for exact reproducibility.
+	AsyncRerun bool
+}
+
+// workerShardCount shards per-worker serving state.
+const workerShardCount = shard.Count
+
+// workerState is everything the orchestrator tracks per worker: her golden
+// answers and profiling status, and the set of regular tasks she answered
+// (T(w), used to exclude tasks from her next assignment).
+type workerState struct {
+	goldenAnswers []model.Answer
+	profiled      bool
+	answered      map[int]bool
+}
+
+type workerShard struct {
+	mu      sync.Mutex
+	workers map[string]*workerState
 }
 
 // System is a running DOCS campaign.
 type System struct {
-	mu sync.Mutex
+	// mu guards the campaign structure: it is write-locked only by Publish;
+	// every serving path takes the read side.
+	mu sync.RWMutex
 
 	kb     *kb.KB
 	linker *entitylink.Linker
@@ -55,15 +98,31 @@ type System struct {
 	store  *store.Store
 	cfg    Config
 
-	tasks  []*model.Task // published, with domain vectors
-	byID   map[int]*model.Task
-	golden map[int]bool // task IDs serving as golden tasks
+	tasks      []*model.Task // published, with domain vectors
+	byID       map[int]*model.Task
+	golden     map[int]bool  // task IDs serving as golden tasks
+	goldenList []*model.Task // golden tasks in publication order
 
-	inc           *truth.Incremental
-	answers       *model.AnswerSet
-	goldenAnswers map[string][]model.Answer
-	profiled      map[string]bool // workers whose quality is initialized
-	submissions   int
+	inc *truth.Incremental
+
+	shards [workerShardCount]workerShard
+
+	// logMu guards the chronological answer log, the only globally ordered
+	// write structure left on the Submit path (a single slice append).
+	logMu sync.Mutex
+	log   []model.Answer
+
+	submissions atomic.Int64
+	reruns      atomic.Int64
+	rerunErrs   atomic.Int64
+
+	rerunMu sync.Mutex // serializes batch re-inference runs
+	rerunCh chan struct{}
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	closed  sync.Once
+
+	assigners sync.Pool
 }
 
 // New creates a System from the config.
@@ -94,19 +153,72 @@ func New(cfg Config) (*System, error) {
 		cfg.RerunEvery = 100
 	}
 	m := k.Domains().Size()
-	return &System{
-		kb:            k,
-		linker:        entitylink.New(k),
-		m:             m,
-		store:         st,
-		cfg:           cfg,
-		byID:          make(map[int]*model.Task),
-		golden:        make(map[int]bool),
-		inc:           truth.NewIncremental(m),
-		answers:       model.NewAnswerSet(),
-		goldenAnswers: make(map[string][]model.Answer),
-		profiled:      make(map[string]bool),
-	}, nil
+	s := &System{
+		kb:      k,
+		linker:  entitylink.New(k),
+		m:       m,
+		store:   st,
+		cfg:     cfg,
+		byID:    make(map[int]*model.Task),
+		golden:  make(map[int]bool),
+		inc:     truth.NewIncremental(m),
+		rerunCh: make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i].workers = make(map[string]*workerState)
+	}
+	s.assigners.New = func() any { return new(assign.Assigner) }
+	if cfg.AsyncRerun && cfg.RerunEvery > 0 {
+		s.wg.Add(1)
+		go s.rerunWorker()
+	}
+	return s, nil
+}
+
+// Close stops the background rerun worker (if any). Pending rerun requests
+// are drained first. Serving methods must not be called after Close.
+func (s *System) Close() {
+	s.closed.Do(func() { close(s.quit) })
+	s.wg.Wait()
+}
+
+func (s *System) rerunWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			// Drain a rerun request that raced the shutdown so Close's
+			// "pending requests run first" contract holds.
+			select {
+			case <-s.rerunCh:
+				if err := s.runRerun(); err != nil {
+					s.rerunErrs.Add(1)
+				}
+			default:
+			}
+			return
+		case <-s.rerunCh:
+			if err := s.runRerun(); err != nil {
+				s.rerunErrs.Add(1)
+			}
+		}
+	}
+}
+
+func (s *System) shard(workerID string) *workerShard {
+	return &s.shards[shard.Index(workerID, workerShardCount)]
+}
+
+// state returns the worker's serving state, creating it if absent. Callers
+// hold the shard lock.
+func (sh *workerShard) state(workerID string) *workerState {
+	ws, ok := sh.workers[workerID]
+	if !ok {
+		ws = &workerState{answered: make(map[int]bool)}
+		sh.workers[workerID] = ws
+	}
+	return ws
 }
 
 // Domains returns the system's domain set.
@@ -150,6 +262,11 @@ func (s *System) Publish(tasks []*model.Task) error {
 			s.golden[withTruth[idx].ID] = true
 		}
 	}
+	for _, t := range tasks {
+		if s.golden[t.ID] {
+			s.goldenList = append(s.goldenList, t)
+		}
+	}
 
 	// Non-golden tasks enter the incremental truth-inference engine.
 	for _, t := range tasks {
@@ -165,13 +282,11 @@ func (s *System) Publish(tasks []*model.Task) error {
 
 // GoldenTasks returns the golden task IDs in publication order.
 func (s *System) GoldenTasks() []int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []int
-	for _, t := range s.tasks {
-		if s.golden[t.ID] {
-			out = append(out, t.ID)
-		}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, 0, len(s.goldenList))
+	for _, t := range s.goldenList {
+		out = append(out, t.ID)
 	}
 	return out
 }
@@ -179,26 +294,30 @@ func (s *System) GoldenTasks() []int {
 // Request serves an arriving worker: a returning (or profiled) worker gets
 // the k highest-benefit unanswered tasks; a new worker is first served the
 // golden tasks she has not answered yet. The returned tasks are in
-// assignment order.
+// assignment order. Requests run concurrently with each other and with
+// submits: task states are read from the truth engine's latest immutable
+// snapshots, so a request never blocks answer ingest (and may be up to one
+// submit stale, which OTA tolerates by design).
 func (s *System) Request(workerID string, k int) ([]*model.Task, error) {
 	if workerID == "" {
 		return nil, fmt.Errorf("core: empty worker ID")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	tasks, golden, goldenList := s.tasks, s.golden, s.goldenList
+	s.mu.RUnlock()
 	if k <= 0 {
 		k = s.cfg.HITSize
 	}
 
-	if !s.workerReadyLocked(workerID) {
+	if !s.workerReady(workerID, goldenList) {
 		// Serve unanswered golden tasks first.
+		answered := s.goldenAnswered(workerID)
 		var out []*model.Task
-		answered := s.goldenAnsweredLocked(workerID)
-		for _, t := range s.tasks {
+		for _, t := range goldenList {
 			if len(out) >= k {
 				break
 			}
-			if s.golden[t.ID] && !answered[t.ID] {
+			if !answered[t.ID] {
 				out = append(out, t)
 			}
 		}
@@ -208,38 +327,50 @@ func (s *System) Request(workerID string, k int) ([]*model.Task, error) {
 		// No golden tasks configured: fall through to OTA with defaults.
 	}
 
-	q := s.workerQualityLocked(workerID)
-	states := make([]*assign.TaskState, 0, len(s.tasks))
-	for _, t := range s.tasks {
-		if s.golden[t.ID] || s.answers.Has(workerID, t.ID) {
+	q := s.WorkerQuality(workerID)
+	excluded := s.answeredSnapshot(workerID)
+	redundancy := s.cfg.AnswersPerTask
+	backing := make([]assign.TaskState, 0, len(tasks))
+	for _, t := range tasks {
+		if golden[t.ID] || excluded[t.ID] {
 			continue
 		}
-		if cap := s.cfg.AnswersPerTask; cap > 0 && s.inc.Answers(t.ID) >= cap {
+		v := s.inc.View(t.ID)
+		if v == nil {
 			continue
 		}
-		states = append(states, &assign.TaskState{
-			ID: t.ID, R: t.Domain, M: s.inc.M(t.ID), S: s.inc.S(t.ID),
-		})
+		if redundancy > 0 && v.NumAnswers >= redundancy {
+			continue
+		}
+		// The view's M and S are immutable snapshots: OTA reads them
+		// without copying or locking.
+		backing = append(backing, assign.TaskState{ID: t.ID, R: t.Domain, M: v.M, S: v.S})
 	}
-	ids := assign.Assign(states, q, k, nil)
+	as := s.assigners.Get().(*assign.Assigner)
+	ids := as.AssignStates(backing, q, k, nil)
+	s.assigners.Put(as)
 	out := make([]*model.Task, 0, len(ids))
+	s.mu.RLock()
 	for _, id := range ids {
 		out = append(out, s.byID[id])
 	}
+	s.mu.RUnlock()
 	return out, nil
 }
 
 // Submit records a worker's answer. Golden-task answers feed the worker's
 // quality profile; regular answers flow through incremental truth
 // inference, with a periodic full iterative re-run every RerunEvery
-// submissions.
+// submissions (inline, or on the background worker with AsyncRerun).
 func (s *System) Submit(workerID string, taskID, choice int) error {
 	if workerID == "" {
 		return fmt.Errorf("core: empty worker ID")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	t, ok := s.byID[taskID]
+	isGolden := s.golden[taskID]
+	goldenList := s.goldenList
+	s.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("core: unknown task %d", taskID)
 	}
@@ -248,29 +379,48 @@ func (s *System) Submit(workerID string, taskID, choice int) error {
 	}
 	a := model.Answer{Worker: workerID, Task: taskID, Choice: choice}
 
-	if s.golden[taskID] {
-		for _, prev := range s.goldenAnswers[workerID] {
+	if isGolden {
+		sh := s.shard(workerID)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		ws := sh.state(workerID)
+		for _, prev := range ws.goldenAnswers {
 			if prev.Task == taskID {
 				return fmt.Errorf("core: worker %q already answered golden task %d", workerID, taskID)
 			}
 		}
-		s.goldenAnswers[workerID] = append(s.goldenAnswers[workerID], a)
-		if len(s.goldenAnswers[workerID]) == len(s.goldenIDsLocked()) {
-			s.profileWorkerLocked(workerID)
+		ws.goldenAnswers = append(ws.goldenAnswers, a)
+		if len(ws.goldenAnswers) == len(goldenList) {
+			s.profileWorker(workerID, ws, goldenList)
 		}
 		return nil
 	}
 
-	if err := s.answers.Add(a); err != nil {
-		return err
-	}
-	s.ensureWorkerLocked(workerID)
+	// Seed the worker's quality from the long-run store before her first
+	// answer enters the incremental engine.
+	s.ensureWorker(workerID)
+	// The truth engine's per-task lock is the authority on duplicate
+	// answers; ingest updates only that task's state plus the touched
+	// workers' shards, so submits to different tasks run in parallel.
 	if err := s.inc.Submit(a); err != nil {
 		return err
 	}
-	s.submissions++
-	if z := s.cfg.RerunEvery; z > 0 && s.submissions%z == 0 {
-		if err := s.rerunLocked(); err != nil {
+	sh := s.shard(workerID)
+	sh.mu.Lock()
+	sh.state(workerID).answered[taskID] = true
+	sh.mu.Unlock()
+	s.logMu.Lock()
+	s.log = append(s.log, a)
+	s.logMu.Unlock()
+
+	n := s.submissions.Add(1)
+	if z := s.cfg.RerunEvery; z > 0 && n%int64(z) == 0 {
+		if s.cfg.AsyncRerun {
+			select {
+			case s.rerunCh <- struct{}{}:
+			default: // a rerun is already pending; it will cover this batch
+			}
+		} else if err := s.runRerun(); err != nil {
 			return err
 		}
 	}
@@ -278,11 +428,14 @@ func (s *System) Submit(workerID string, taskID, choice int) error {
 }
 
 // Result returns the current inferred truth and probabilistic truth of a
-// task (choice −1 for golden/unknown tasks, which are not inferred).
+// task (choice −1 for golden/unknown tasks, which are not inferred). It
+// reads the latest immutable snapshot and never blocks submits.
 func (s *System) Result(taskID int) (choice int, confidence []float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.inc.Truth(taskID), s.inc.S(taskID)
+	v := s.inc.View(taskID)
+	if v == nil {
+		return model.NoTruth, nil
+	}
+	return v.Truth, mathx.Clone(v.S)
 }
 
 // Results runs the full iterative truth inference over everything received
@@ -290,16 +443,20 @@ func (s *System) Result(taskID int) (choice int, confidence []float64) {
 // tasks and the workers' golden answers participate as pinned evidence so
 // the quality scale stays anchored. It also merges each worker's session
 // statistics into the long-run store (Theorem 1) and saves the store.
+// Inference runs over a snapshot of the answer log, so submits continue
+// concurrently (answers arriving after the snapshot appear in the next
+// call).
 func (s *System) Results() (*truth.Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	inferTasks := s.inferTasksLocked()
-	combined, answers, pinned, err := s.combinedLocked(inferTasks)
+	as := s.answersSnapshot()
+	s.mu.RLock()
+	inferTasks := s.inferTasksRLocked()
+	s.mu.RUnlock()
+	combined, answers, pinned, err := s.combined(inferTasks, as)
 	if err != nil {
 		return nil, err
 	}
 	res, err := truth.Infer(combined, answers, s.m, truth.Options{
-		InitQuality: s.initQualityLocked(),
+		InitQuality: s.initQuality(as),
 		Pinned:      pinned,
 	})
 	if err != nil {
@@ -321,32 +478,56 @@ func (s *System) Results() (*truth.Result, error) {
 	return res, nil
 }
 
-// combinedLocked appends the golden tasks (with pinned truths) and the
-// golden answers to the campaign's tasks and answers, anchoring inference.
-func (s *System) combinedLocked(inferTasks []*model.Task) ([]*model.Task, *model.AnswerSet, map[int]int, error) {
+// answersSnapshot rebuilds an AnswerSet from a point-in-time copy of the
+// chronological answer log. Keeping the original submission order matters:
+// several consumers accumulate floating-point sums over the per-task and
+// per-worker slices, and a reordering would perturb results in the last ulp.
+func (s *System) answersSnapshot() *model.AnswerSet {
+	s.logMu.Lock()
+	logCopy := append([]model.Answer(nil), s.log...)
+	s.logMu.Unlock()
+	as := model.NewAnswerSet()
+	for _, a := range logCopy {
+		// The log only ever holds answers the truth engine accepted, so
+		// duplicates cannot occur here.
+		if err := as.Add(a); err != nil {
+			panic(fmt.Sprintf("core: corrupt answer log: %v", err))
+		}
+	}
+	return as
+}
+
+// combined appends the golden tasks (with pinned truths) and the golden
+// answers to the campaign's tasks and the given answer snapshot, anchoring
+// inference. The input answer set is cloned, not mutated: callers keep
+// using it as the regular-answers-only view (Reseed and initQuality must
+// not see golden evidence — it is already anchored into worker stats via
+// golden profiling, and folding it in again would double-count).
+func (s *System) combined(inferTasks []*model.Task, answers *model.AnswerSet) ([]*model.Task, *model.AnswerSet, map[int]int, error) {
+	s.mu.RLock()
+	goldenList := s.goldenList
+	s.mu.RUnlock()
 	combined := inferTasks
 	pinned := make(map[int]int)
-	answers := s.answers
-	if len(s.golden) > 0 {
-		combined = make([]*model.Task, len(inferTasks), len(inferTasks)+len(s.golden))
+	if len(goldenList) > 0 {
+		combined = make([]*model.Task, len(inferTasks), len(inferTasks)+len(goldenList))
 		copy(combined, inferTasks)
-		for _, t := range s.tasks {
-			if s.golden[t.ID] {
-				combined = append(combined, t)
-				pinned[t.ID] = t.Truth
-			}
+		for _, t := range goldenList {
+			combined = append(combined, t)
+			pinned[t.ID] = t.Truth
 		}
-		answers = s.answers.Clone()
+		answers = answers.Clone()
 		// Sorted worker order: golden answers must enter the answer set in
 		// a fixed order, or per-task likelihood sums reorder between runs
 		// and ulp-level differences flip assignment ties.
-		workers := make([]string, 0, len(s.goldenAnswers))
-		for w := range s.goldenAnswers {
+		golden := s.goldenAnswersByWorker()
+		workers := make([]string, 0, len(golden))
+		for w := range golden {
 			workers = append(workers, w)
 		}
 		sort.Strings(workers)
 		for _, w := range workers {
-			for _, a := range s.goldenAnswers[w] {
+			for _, a := range golden[w] {
 				if err := answers.Add(a); err != nil {
 					return nil, nil, nil, err
 				}
@@ -356,109 +537,35 @@ func (s *System) combinedLocked(inferTasks []*model.Task) ([]*model.Task, *model
 	return combined, answers, pinned, nil
 }
 
+// goldenAnswersByWorker gathers every worker's golden answers across the
+// shards.
+func (s *System) goldenAnswersByWorker() map[string][]model.Answer {
+	out := make(map[string][]model.Answer)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for w, ws := range sh.workers {
+			if len(ws.goldenAnswers) > 0 {
+				out[w] = append([]model.Answer(nil), ws.goldenAnswers...)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // InferTasks returns the non-golden tasks in publication order (the tasks
 // Results infers over, in the same order as the result slices).
 func (s *System) InferTasks() []*model.Task {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.inferTasksLocked()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inferTasksRLocked()
 }
 
 // WorkerQuality returns the system's current quality estimate for a worker.
 func (s *System) WorkerQuality(workerID string) model.QualityVector {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.workerQualityLocked(workerID)
-}
-
-// Answers returns a snapshot of the collected non-golden answers.
-func (s *System) Answers() *model.AnswerSet {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.answers.Clone()
-}
-
-// --- internal helpers (callers hold s.mu) ---
-
-func (s *System) inferTasksLocked() []*model.Task {
-	out := make([]*model.Task, 0, len(s.tasks))
-	for _, t := range s.tasks {
-		if !s.golden[t.ID] {
-			out = append(out, t)
-		}
-	}
-	return out
-}
-
-func (s *System) goldenIDsLocked() []int {
-	var out []int
-	for _, t := range s.tasks {
-		if s.golden[t.ID] {
-			out = append(out, t.ID)
-		}
-	}
-	return out
-}
-
-func (s *System) goldenAnsweredLocked(workerID string) map[int]bool {
-	out := make(map[int]bool)
-	for _, a := range s.goldenAnswers[workerID] {
-		out[a.Task] = true
-	}
-	return out
-}
-
-// workerReadyLocked reports whether the worker can receive regular tasks:
-// either profiled this session, known to the store, or there are no golden
-// tasks to profile with.
-func (s *System) workerReadyLocked(workerID string) bool {
-	if s.profiled[workerID] {
-		return true
-	}
-	if len(s.golden) == 0 {
-		return true
-	}
-	if _, ok := s.store.Worker(workerID); ok {
-		s.profiled[workerID] = true
-		if st, _ := s.store.Worker(workerID); st != nil {
-			_ = s.inc.SetWorker(workerID, st)
-		}
-		return true
-	}
-	return false
-}
-
-// profileWorkerLocked initializes the worker's quality from her golden-task
-// answers and registers it with the incremental engine and the store.
-func (s *System) profileWorkerLocked(workerID string) {
-	var golden []*model.Task
-	for _, t := range s.tasks {
-		if s.golden[t.ID] {
-			golden = append(golden, t)
-		}
-	}
-	st := truth.EstimateFromGolden(golden, s.goldenAnswers[workerID], s.m)
-	_ = s.inc.SetWorker(workerID, st)
-	_ = s.store.Merge(workerID, st)
-	s.profiled[workerID] = true
-}
-
-// ensureWorkerLocked makes sure the incremental engine knows the worker,
-// seeding from the store when possible.
-func (s *System) ensureWorkerLocked(workerID string) {
-	if s.inc.Worker(workerID) != nil {
-		return
-	}
-	if st, ok := s.store.Worker(workerID); ok {
-		_ = s.inc.SetWorker(workerID, st)
-	}
-}
-
-func (s *System) workerQualityLocked(workerID string) model.QualityVector {
 	if st := s.inc.Worker(workerID); st != nil {
-		q := make(model.QualityVector, s.m)
-		copy(q, st.Q)
-		return q
+		return st.Q // Worker returns a private copy
 	}
 	if st, ok := s.store.Worker(workerID); ok {
 		return st.Q
@@ -470,42 +577,163 @@ func (s *System) workerQualityLocked(workerID string) model.QualityVector {
 	return q
 }
 
-// rerunLocked runs the full iterative TI (with pinned golden evidence) and
-// reseeds the incremental engine (the paper's "delayed" batch refresh every
-// z submissions).
-func (s *System) rerunLocked() error {
-	inferTasks := s.inferTasksLocked()
-	combined, answers, pinned, err := s.combinedLocked(inferTasks)
+// Answers returns a snapshot of the collected non-golden answers.
+func (s *System) Answers() *model.AnswerSet {
+	return s.answersSnapshot()
+}
+
+// AnswerCount returns the number of accepted non-golden answers so far.
+func (s *System) AnswerCount() int64 { return s.submissions.Load() }
+
+// Epoch returns the truth engine's snapshot epoch: it increases with every
+// accepted answer and every batch-rerun swap, so two equal reads bracket a
+// quiescent system.
+func (s *System) Epoch() uint64 { return s.inc.Epoch() }
+
+// Reruns returns how many periodic batch re-inference runs have completed
+// and how many failed.
+func (s *System) Reruns() (completed, failed int64) {
+	return s.reruns.Load(), s.rerunErrs.Load()
+}
+
+// --- internal helpers ---
+
+// inferTasksRLocked returns the non-golden tasks; callers hold s.mu (read
+// side suffices — the slice is append-only after Publish).
+func (s *System) inferTasksRLocked() []*model.Task {
+	out := make([]*model.Task, 0, len(s.tasks))
+	for _, t := range s.tasks {
+		if !s.golden[t.ID] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// goldenAnswered returns the set of golden tasks the worker has answered.
+func (s *System) goldenAnswered(workerID string) map[int]bool {
+	out := make(map[int]bool)
+	sh := s.shard(workerID)
+	sh.mu.Lock()
+	if ws, ok := sh.workers[workerID]; ok {
+		for _, a := range ws.goldenAnswers {
+			out[a.Task] = true
+		}
+	}
+	sh.mu.Unlock()
+	return out
+}
+
+// answeredSnapshot returns a private copy of the worker's answered-task set
+// (T(w)); the copy lets the assignment scan run without holding her shard
+// lock.
+func (s *System) answeredSnapshot(workerID string) map[int]bool {
+	sh := s.shard(workerID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ws, ok := sh.workers[workerID]
+	if !ok || len(ws.answered) == 0 {
+		return nil
+	}
+	out := make(map[int]bool, len(ws.answered))
+	for id := range ws.answered {
+		out[id] = true
+	}
+	return out
+}
+
+// workerReady reports whether the worker can receive regular tasks: either
+// profiled this session, known to the store, or there are no golden tasks
+// to profile with.
+func (s *System) workerReady(workerID string, goldenList []*model.Task) bool {
+	if len(goldenList) == 0 {
+		return true
+	}
+	sh := s.shard(workerID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// Lookup without creating: bare Request traffic (including unknown or
+	// scanning worker IDs) must not grow the shard maps — per-worker state
+	// is materialized only when there is something to record.
+	if ws, ok := sh.workers[workerID]; ok && ws.profiled {
+		return true
+	}
+	if st, ok := s.store.Worker(workerID); ok {
+		sh.state(workerID).profiled = true
+		_, _ = s.inc.SeedWorker(workerID, st)
+		return true
+	}
+	return false
+}
+
+// profileWorker initializes the worker's quality from her golden-task
+// answers and registers it with the incremental engine and the store.
+// Callers hold the worker's shard lock.
+func (s *System) profileWorker(workerID string, ws *workerState, goldenList []*model.Task) {
+	st := truth.EstimateFromGolden(goldenList, ws.goldenAnswers, s.m)
+	_ = s.inc.SetWorker(workerID, st)
+	_ = s.store.Merge(workerID, st)
+	ws.profiled = true
+}
+
+// ensureWorker makes sure the incremental engine knows the worker, seeding
+// from the store when possible. The set-if-absent seed keeps a racing pair
+// of the worker's first submits from clobbering each other's updates.
+func (s *System) ensureWorker(workerID string) {
+	if s.inc.HasWorker(workerID) {
+		return
+	}
+	if st, ok := s.store.Worker(workerID); ok {
+		_, _ = s.inc.SeedWorker(workerID, st)
+	}
+}
+
+// runRerun runs the full iterative TI (with pinned golden evidence) over a
+// snapshot of the answer log and reseeds the incremental engine (the
+// paper's "delayed" batch refresh every z submissions). Runs are
+// serialized. The reseed skips tasks that received answers after the
+// snapshot, so per-task truth state is never overwritten with stale
+// values; worker quality stats are overwritten from the rerun's session
+// statistics, so a worker's post-snapshot increments can regress until the
+// next rerun — the same drift-and-correct contract the incremental engine
+// documents.
+func (s *System) runRerun() error {
+	s.rerunMu.Lock()
+	defer s.rerunMu.Unlock()
+	as := s.answersSnapshot()
+	s.mu.RLock()
+	inferTasks := s.inferTasksRLocked()
+	s.mu.RUnlock()
+	combined, answers, pinned, err := s.combined(inferTasks, as)
 	if err != nil {
 		return err
 	}
 	res, err := truth.Infer(combined, answers, s.m, truth.Options{
-		InitQuality: s.initQualityLocked(),
+		InitQuality: s.initQuality(as),
 		Pinned:      pinned,
 	})
 	if err != nil {
 		return err
 	}
-	s.inc.Reseed(combined, res, s.answers)
+	s.inc.Reseed(combined, res, as)
+	s.reruns.Add(1)
 	return nil
 }
 
-// initQualityLocked gathers the initial quality per answering worker. The
+// initQuality gathers the initial quality per answering worker. The
 // long-run store is preferred: its estimates are anchored by golden tasks
 // and past sessions (Theorem 1), whereas the incremental engine's estimates
 // drift between batch reruns and, used as initialization, can place the EM
 // in a label-flipped basin.
-func (s *System) initQualityLocked() map[string]model.QualityVector {
+func (s *System) initQuality(answers *model.AnswerSet) map[string]model.QualityVector {
 	init := make(map[string]model.QualityVector)
-	for _, w := range s.answers.Workers() {
+	for _, w := range answers.Workers() {
 		if st, ok := s.store.Worker(w); ok {
 			init[w] = st.Q
 			continue
 		}
 		if st := s.inc.Worker(w); st != nil {
-			q := make(model.QualityVector, s.m)
-			copy(q, st.Q)
-			init[w] = q
+			init[w] = st.Q // already a private copy
 		}
 	}
 	return init

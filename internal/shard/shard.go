@@ -1,0 +1,22 @@
+// Package shard provides the string-key shard selection used by the
+// concurrent serving maps (per-worker state in core, per-worker statistics
+// in truth). Centralizing the hash keeps every sharded map in the repo
+// partitioning identically.
+package shard
+
+// Count is the default shard count for per-worker maps: wide enough that
+// dozens of concurrent workers rarely collide, small enough that iterating
+// all shards (e.g. to gather golden answers) stays cheap. Power of two so
+// Index folds with a mask.
+const Count = 32
+
+// Index returns the shard index for key within n shards using FNV-1a.
+// n must be a power of two.
+func Index(key string, n int) int {
+	var h uint32 = 2166136261 // FNV offset basis
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619 // FNV prime
+	}
+	return int(h) & (n - 1)
+}

@@ -1,0 +1,29 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestIndexInRangeAndDeterministic(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("worker-%d", i)
+		got := Index(k, Count)
+		if got < 0 || got >= Count {
+			t.Fatalf("Index(%q) = %d out of [0,%d)", k, got, Count)
+		}
+		if again := Index(k, Count); again != got {
+			t.Fatalf("Index(%q) not deterministic: %d vs %d", k, got, again)
+		}
+	}
+}
+
+func TestIndexSpreads(t *testing.T) {
+	seen := make(map[int]int)
+	for i := 0; i < 32*32; i++ {
+		seen[Index(fmt.Sprintf("w%d", i), Count)]++
+	}
+	if len(seen) < Count/2 {
+		t.Errorf("1024 sequential keys hit only %d/%d shards", len(seen), Count)
+	}
+}

@@ -3,10 +3,17 @@ package truth
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"docs/internal/mathx"
 	"docs/internal/model"
+	"docs/internal/shard"
 )
+
+// workerShardCount shards the per-worker statistics so concurrent submits
+// touching different workers do not contend on one lock.
+const workerShardCount = shard.Count
 
 // Incremental is the online truth-inference engine of Section 4.2. Instead
 // of re-running the full iterative algorithm on every submission, it stores
@@ -23,28 +30,89 @@ import (
 // trade-off, as the paper notes, is that incremental estimates can drift
 // from the batch fixed point; DOCS therefore re-runs the iterative solver
 // every z submissions (see the core orchestrator).
+//
+// The engine is safe for concurrent use. Mutations take a per-task lock
+// (serializing answers to the same task) plus sharded per-worker locks, so
+// submits to different tasks proceed in parallel. Readers never touch live
+// state: every mutation publishes an immutable TaskView via an atomic
+// pointer, and View/S/M/Truth/Answers read the latest published snapshot
+// without blocking writers. Under concurrency the incremental estimates can
+// interleave differently than a serial replay — the same kind of drift the
+// periodic batch rerun already corrects — but every published view is an
+// internally consistent (task, M, s) snapshot.
 type Incremental struct {
-	m       int
-	tasks   map[int]*incTask
-	workers map[string]*Stats
+	m     int
+	epoch atomic.Uint64 // bumped on every state mutation
+
+	mu    sync.RWMutex // guards the tasks map itself (not per-task state)
+	tasks map[int]*incTask
+
+	workers [workerShardCount]workerShard
+}
+
+type workerShard struct {
+	mu sync.Mutex
+	m  map[string]*Stats
 }
 
 type incTask struct {
+	mu   sync.Mutex
 	task *model.Task
 	// mhat[k][j] is the running numerator of Equation 3 for domain k and
 	// choice j, rescaled per row to avoid underflow (only ratios matter).
 	mhat    [][]float64
 	s       []float64
 	answers []model.Answer
+	qbuf    []float64 // scratch copy of the submitting worker's quality
+
+	view atomic.Pointer[TaskView]
+}
+
+// TaskView is an immutable snapshot of one task's inference state, published
+// atomically after every mutation. All slices are private copies: readers
+// (the OTA hot path, the HTTP result endpoints) may hold a view across
+// concurrent submits but must not modify it.
+type TaskView struct {
+	// Task is the underlying task (immutable after publication).
+	Task *model.Task
+	// M is the row-normalized truth matrix M^(i) at snapshot time.
+	M [][]float64
+	// S is the probabilistic truth s_i at snapshot time.
+	S []float64
+	// Truth is argmax(S), model.NoTruth only for degenerate states.
+	Truth int
+	// NumAnswers is |V(i)| at snapshot time.
+	NumAnswers int
+	// Epoch is the engine-wide mutation counter when the view was taken;
+	// later views of any task carry larger epochs.
+	Epoch uint64
 }
 
 // NewIncremental returns an empty incremental engine over m domains.
 func NewIncremental(m int) *Incremental {
-	return &Incremental{
-		m:       m,
-		tasks:   make(map[int]*incTask),
-		workers: make(map[string]*Stats),
+	inc := &Incremental{m: m, tasks: make(map[int]*incTask)}
+	for i := range inc.workers {
+		inc.workers[i].m = make(map[string]*Stats)
 	}
+	return inc
+}
+
+func (inc *Incremental) shard(w string) *workerShard {
+	return &inc.workers[shard.Index(w, workerShardCount)]
+}
+
+// withWorker runs f with the worker's live stats under the shard lock,
+// creating default stats first if the worker is unseen.
+func (inc *Incremental) withWorker(w string, f func(st *Stats)) {
+	sh := inc.shard(w)
+	sh.mu.Lock()
+	st, ok := sh.m[w]
+	if !ok {
+		st = NewStats(inc.m)
+		sh.m[w] = st
+	}
+	f(st)
+	sh.mu.Unlock()
 }
 
 // AddTask registers a task. The task must have a domain vector.
@@ -55,11 +123,8 @@ func (inc *Incremental) AddTask(t *model.Task) error {
 	if err := t.Validate(inc.m); err != nil {
 		return err
 	}
-	if _, dup := inc.tasks[t.ID]; dup {
-		return fmt.Errorf("truth: incremental task %d already registered", t.ID)
-	}
 	ell := t.NumChoices()
-	it := &incTask{task: t, mhat: make([][]float64, inc.m)}
+	it := &incTask{task: t, mhat: make([][]float64, inc.m), qbuf: make([]float64, inc.m)}
 	for k := range it.mhat {
 		row := make([]float64, ell)
 		for j := range row {
@@ -68,8 +133,41 @@ func (inc *Incremental) AddTask(t *model.Task) error {
 		it.mhat[k] = row
 	}
 	it.s = applyDomain(t.Domain, normalizeRows(it.mhat))
+	// Publish the initial view before the task becomes visible in the map:
+	// a Submit racing this AddTask can only find the task after the insert,
+	// by which point the view exists and every later view carries a larger
+	// epoch.
+	it.publishView(inc.epoch.Add(1))
+
+	inc.mu.Lock()
+	if _, dup := inc.tasks[t.ID]; dup {
+		inc.mu.Unlock()
+		return fmt.Errorf("truth: incremental task %d already registered", t.ID)
+	}
 	inc.tasks[t.ID] = it
+	inc.mu.Unlock()
 	return nil
+}
+
+// publishView snapshots the task's current state into an immutable view.
+// Callers hold it.mu (or have exclusive access, as in AddTask).
+func (it *incTask) publishView(epoch uint64) {
+	v := &TaskView{
+		Task:       it.task,
+		M:          normalizeRows(it.mhat),
+		S:          mathx.Clone(it.s),
+		Truth:      mathx.ArgMax(it.s),
+		NumAnswers: len(it.answers),
+		Epoch:      epoch,
+	}
+	it.view.Store(v)
+}
+
+func (inc *Incremental) lookup(id int) *incTask {
+	inc.mu.RLock()
+	it := inc.tasks[id]
+	inc.mu.RUnlock()
+	return it
 }
 
 // SetWorker installs stored statistics for a worker (e.g. loaded from the
@@ -79,45 +177,85 @@ func (inc *Incremental) SetWorker(w string, st *Stats) error {
 	if err := st.Validate(inc.m); err != nil {
 		return fmt.Errorf("truth: worker %q: %w", w, err)
 	}
-	inc.workers[w] = st.Clone()
+	sh := inc.shard(w)
+	sh.mu.Lock()
+	sh.m[w] = st.Clone()
+	sh.mu.Unlock()
 	return nil
 }
 
-// Worker returns the current statistics for a worker (nil if unseen).
-func (inc *Incremental) Worker(w string) *Stats { return inc.workers[w] }
-
-// ensureWorker returns the stats for w, creating defaults if needed.
-func (inc *Incremental) ensureWorker(w string) *Stats {
-	st, ok := inc.workers[w]
-	if !ok {
-		st = NewStats(inc.m)
-		inc.workers[w] = st
+// Worker returns a copy of the current statistics for a worker (nil if
+// unseen). The copy is private to the caller: live stats are only ever
+// mutated under the engine's shard locks.
+func (inc *Incremental) Worker(w string) *Stats {
+	sh := inc.shard(w)
+	sh.mu.Lock()
+	st := sh.m[w]
+	if st != nil {
+		st = st.Clone()
 	}
+	sh.mu.Unlock()
 	return st
 }
 
-// Submit processes one answer through the two incremental steps.
+// HasWorker reports whether the engine has statistics for the worker,
+// without copying them.
+func (inc *Incremental) HasWorker(w string) bool {
+	sh := inc.shard(w)
+	sh.mu.Lock()
+	_, ok := sh.m[w]
+	sh.mu.Unlock()
+	return ok
+}
+
+// SeedWorker installs the statistics only if the worker is still unseen —
+// the atomic set-if-absent the orchestrator needs when two of a worker's
+// first answers race: the loser must not overwrite stats the winner's
+// submit already updated. Reports whether the seed was installed.
+func (inc *Incremental) SeedWorker(w string, st *Stats) (bool, error) {
+	if err := st.Validate(inc.m); err != nil {
+		return false, fmt.Errorf("truth: worker %q: %w", w, err)
+	}
+	sh := inc.shard(w)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[w]; ok {
+		return false, nil
+	}
+	sh.m[w] = st.Clone()
+	return true, nil
+}
+
+// Submit processes one answer through the two incremental steps. Concurrent
+// submits to distinct tasks run in parallel; submits to the same task are
+// serialized by the per-task lock.
 func (inc *Incremental) Submit(a model.Answer) error {
-	it, ok := inc.tasks[a.Task]
-	if !ok {
+	it := inc.lookup(a.Task)
+	if it == nil {
 		return fmt.Errorf("truth: answer for unknown task %d", a.Task)
 	}
 	ell := it.task.NumChoices()
 	if a.Choice < 0 || a.Choice >= ell {
 		return fmt.Errorf("truth: choice %d out of range for task %d (ℓ=%d)", a.Choice, a.Task, ell)
 	}
+
+	it.mu.Lock()
+	defer it.mu.Unlock()
 	for _, prev := range it.answers {
 		if prev.Worker == a.Worker {
 			return fmt.Errorf("truth: worker %q already answered task %d", a.Worker, a.Task)
 		}
 	}
-	st := inc.ensureWorker(a.Worker)
+	// Snapshot the submitting worker's quality: Step 1 folds it into M̂ and
+	// must see one consistent vector even if other tasks' submits are
+	// adjusting this worker concurrently.
+	inc.withWorker(a.Worker, func(st *Stats) { copy(it.qbuf, st.Q) })
 	r := it.task.Domain
 
 	// Step 1: fold the answer's likelihood into M̂^(i), refresh M and s.
 	sTilde := mathx.Clone(it.s)
 	for k := 0; k < inc.m; k++ {
-		qk := clampQ(st.Q[k])
+		qk := clampQ(it.qbuf[k])
 		wrong := (1 - qk) / float64(ell-1)
 		row := it.mhat[k]
 		var max float64
@@ -140,94 +278,144 @@ func (inc *Incremental) Submit(a model.Answer) error {
 	it.s = applyDomain(r, normalizeRows(it.mhat))
 
 	// Step 2a: the submitting worker absorbs the new evidence.
-	for k := 0; k < inc.m; k++ {
-		if rk := r[k]; rk > 0 {
-			st.Q[k] = clamp01((st.Q[k]*st.U[k] + it.s[a.Choice]*rk) / (st.U[k] + rk))
-			st.U[k] += rk
+	inc.withWorker(a.Worker, func(st *Stats) {
+		for k := 0; k < inc.m; k++ {
+			if rk := r[k]; rk > 0 {
+				st.Q[k] = clamp01((st.Q[k]*st.U[k] + it.s[a.Choice]*rk) / (st.U[k] + rk))
+				st.U[k] += rk
+			}
 		}
-	}
+	})
 
 	// Step 2b: workers who answered this task before are corrected for the
 	// truth shift s̃ → s on their own chosen option.
 	for _, prev := range it.answers {
-		ps := inc.workers[prev.Worker]
-		for k := 0; k < inc.m; k++ {
-			rk := r[k]
-			if rk == 0 || ps.U[k] == 0 {
-				continue
+		prev := prev
+		inc.withWorker(prev.Worker, func(ps *Stats) {
+			for k := 0; k < inc.m; k++ {
+				rk := r[k]
+				if rk == 0 || ps.U[k] == 0 {
+					continue
+				}
+				ps.Q[k] = clamp01((ps.Q[k]*ps.U[k] - sTilde[prev.Choice]*rk + it.s[prev.Choice]*rk) / ps.U[k])
 			}
-			ps.Q[k] = clamp01((ps.Q[k]*ps.U[k] - sTilde[prev.Choice]*rk + it.s[prev.Choice]*rk) / ps.U[k])
-		}
+		})
 	}
 
 	it.answers = append(it.answers, a)
+	it.publishView(inc.epoch.Add(1))
 	return nil
 }
 
-// S returns task id's current probabilistic truth (nil if unknown task).
-func (inc *Incremental) S(id int) []float64 {
-	it, ok := inc.tasks[id]
-	if !ok {
+// View returns the latest published immutable snapshot for task id (nil if
+// the task is unknown). This is the lock-free read path: the returned view
+// is never mutated, so callers may use its M and S slices directly.
+func (inc *Incremental) View(id int) *TaskView {
+	it := inc.lookup(id)
+	if it == nil {
 		return nil
 	}
-	return mathx.Clone(it.s)
+	return it.view.Load()
 }
 
-// M returns task id's current truth matrix M^(i) (row-normalized).
-func (inc *Incremental) M(id int) [][]float64 {
-	it, ok := inc.tasks[id]
-	if !ok {
+// Epoch returns the engine-wide mutation counter: it increases on every
+// AddTask, Submit, and Reseed. Two reads returning the same epoch bracket a
+// quiescent engine.
+func (inc *Incremental) Epoch() uint64 { return inc.epoch.Load() }
+
+// S returns task id's current probabilistic truth (nil if unknown task).
+// The returned slice is the caller's to keep.
+func (inc *Incremental) S(id int) []float64 {
+	v := inc.View(id)
+	if v == nil {
 		return nil
 	}
-	return normalizeRows(it.mhat)
+	return mathx.Clone(v.S)
+}
+
+// M returns task id's current truth matrix M^(i) (row-normalized). The
+// returned matrix is the caller's to keep.
+func (inc *Incremental) M(id int) [][]float64 {
+	v := inc.View(id)
+	if v == nil {
+		return nil
+	}
+	out := make([][]float64, len(v.M))
+	for k, row := range v.M {
+		out[k] = mathx.Clone(row)
+	}
+	return out
 }
 
 // Truth returns the current inferred truth for task id (-1 if unknown).
 func (inc *Incremental) Truth(id int) int {
-	it, ok := inc.tasks[id]
-	if !ok {
+	v := inc.View(id)
+	if v == nil {
 		return model.NoTruth
 	}
-	return mathx.ArgMax(it.s)
+	return v.Truth
 }
 
 // Answers returns the number of answers received for task id.
 func (inc *Incremental) Answers(id int) int {
-	it, ok := inc.tasks[id]
-	if !ok {
+	v := inc.View(id)
+	if v == nil {
 		return 0
 	}
-	return len(it.answers)
+	return v.NumAnswers
 }
 
 // Reseed overwrites the engine's task states and worker qualities from a
 // batch inference result; the core orchestrator calls this after the
-// periodic full iterative run (every z submissions).
+// periodic full iterative run (every z submissions). The swap is atomic per
+// task: readers see either the pre-rerun view or the reseeded one, never a
+// mix. A task that has received more answers than the result's answer set
+// covers (possible when the rerun ran asynchronously off a snapshot) is
+// left untouched — its extra incremental evidence would otherwise be lost;
+// the next rerun picks it up.
 func (inc *Incremental) Reseed(tasks []*model.Task, res *Result, answers *model.AnswerSet) {
 	pos := make(map[int]int, len(tasks))
 	for idx, t := range tasks {
 		pos[t.ID] = idx
 	}
+	inc.mu.RLock()
+	all := make([]*incTask, 0, len(inc.tasks))
+	ids := make([]int, 0, len(inc.tasks))
 	for id, it := range inc.tasks {
-		i, ok := pos[id]
+		all = append(all, it)
+		ids = append(ids, id)
+	}
+	inc.mu.RUnlock()
+	for n, it := range all {
+		i, ok := pos[ids[n]]
 		if !ok {
+			continue
+		}
+		snap := answers.ForTask(ids[n])
+		it.mu.Lock()
+		if len(it.answers) > len(snap) {
+			it.mu.Unlock()
 			continue
 		}
 		for k := range it.mhat {
 			copy(it.mhat[k], res.M[i][k])
 		}
 		it.s = mathx.Clone(res.S[i])
-		it.answers = append(it.answers[:0], answers.ForTask(id)...)
+		it.answers = append(it.answers[:0], snap...)
+		it.publishView(inc.epoch.Add(1))
+		it.mu.Unlock()
 	}
 	session := SessionStats(tasks, answers, res, inc.m)
 	for w, st := range session {
-		cur := inc.ensureWorker(w)
-		for k := 0; k < inc.m; k++ {
-			if st.U[k] > 0 {
-				cur.Q[k] = st.Q[k]
-				cur.U[k] = st.U[k]
+		st := st
+		inc.withWorker(w, func(cur *Stats) {
+			for k := 0; k < inc.m; k++ {
+				if st.U[k] > 0 {
+					cur.Q[k] = st.Q[k]
+					cur.U[k] = st.U[k]
+				}
 			}
-		}
+		})
 	}
 }
 
