@@ -270,6 +270,53 @@ func BenchmarkParallelServe(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelServeWAL is BenchmarkParallelServe with the write-ahead
+// log armed (group commit, no per-record fsync): every accepted submit is
+// appended durably before it is acknowledged. The acceptance bar for the
+// durability work is <= 20% ops/sec regression against BenchmarkParallelServe.
+func BenchmarkParallelServeWAL(b *testing.B) {
+	s := newServeSystemWAL(b, core.Config{GoldenCount: -1, HITSize: 5, RerunEvery: 100, CheckpointEvery: -1})
+	defer s.Close()
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			serveWorkload(b, ctr.Add(1), s.Request, s.Submit)
+		}
+	})
+}
+
+// BenchmarkParallelServeWALAsyncRerun adds the async rerun on top of the
+// WAL — the full production configuration of cmd/docs-server.
+func BenchmarkParallelServeWALAsyncRerun(b *testing.B) {
+	s := newServeSystemWAL(b, core.Config{GoldenCount: -1, HITSize: 5, RerunEvery: 100, CheckpointEvery: -1, AsyncRerun: true})
+	defer s.Close()
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			serveWorkload(b, ctr.Add(1), s.Request, s.Submit)
+		}
+	})
+}
+
+func newServeSystemWAL(b *testing.B, cfg core.Config) *core.System {
+	b.Helper()
+	s, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Recover(b.TempDir()); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Publish(serveTasks(s.Domains().Size(), 400)); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
 // BenchmarkParallelServeAsyncRerun is BenchmarkParallelServe with the
 // periodic batch re-inference moved off the Submit path.
 func BenchmarkParallelServeAsyncRerun(b *testing.B) {

@@ -9,16 +9,23 @@
 //	docs-bench -seed 42         # change the deterministic seed
 //
 // Experiments: table3, fig3, fig4a, fig4b, fig4c, fig4d, fig4e, fig5,
-// fig6, fig7a, fig7b, fig8, fig8c, all.
+// fig6, fig7a, fig7b, fig8, fig8c, wal, all.
+//
+// The wal experiment measures the durable ingest path added on top of the
+// paper (answer WAL with group commit); -wal-dir points it at a real
+// device instead of a temp directory.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"docs/internal/experiment"
+	"docs/internal/wal"
 )
 
 type runner struct {
@@ -45,11 +52,13 @@ var runners = []runner{
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table3, fig3, ..., fig8c, all)")
+	exp := flag.String("exp", "all", "experiment to run (table3, fig3, ..., fig8c, wal, all)")
 	seed := flag.Uint64("seed", 20160412, "deterministic seed")
 	quick := flag.Bool("quick", false, "reduced sizes for a fast pass")
+	walDir := flag.String("wal-dir", "", "directory for the wal experiment's log files (empty = a temp directory)")
 	flag.Parse()
 
+	runners := append(runners, runner{"wal", walThroughput(*walDir), "answer WAL group-commit throughput"})
 	ran := 0
 	for _, r := range runners {
 		if *exp != "all" && *exp != r.id {
@@ -73,5 +82,81 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr)
 		os.Exit(2)
+	}
+}
+
+// walThroughput returns a runner measuring the durable ingest path: append
+// throughput of the answer WAL under increasing submitter concurrency,
+// with and without per-batch fsync. It quantifies what durability costs
+// the serving core's hot path (compare the single-appender row against the
+// grouped ones to see group commit amortizing the write syscalls).
+func walThroughput(dir string) func(seed uint64, quick bool) (*experiment.Table, error) {
+	return func(seed uint64, quick bool) (*experiment.Table, error) {
+		records := 200000
+		if quick {
+			records = 20000
+		}
+		tb := &experiment.Table{
+			Title:  "WAL — group-commit append throughput",
+			Header: []string{"appenders", "sync", "records", "records/sec", "µs/record"},
+		}
+		for _, policy := range []wal.SyncPolicy{wal.SyncNever, wal.SyncEveryBatch} {
+			for _, appenders := range []int{1, 4, 16} {
+				d := dir
+				if d == "" {
+					tmp, err := os.MkdirTemp("", "docs-walbench-*")
+					if err != nil {
+						return nil, err
+					}
+					defer os.RemoveAll(tmp)
+					d = tmp
+				}
+				d = filepath.Join(d, fmt.Sprintf("run-%d-%d", policy, appenders))
+				l, err := wal.Open(d, wal.Options{Sync: policy})
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				var wg sync.WaitGroup
+				perG := records / appenders
+				errs := make(chan error, appenders)
+				for g := 0; g < appenders; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						rec := wal.Record{Kind: wal.KindAnswer, Worker: fmt.Sprintf("w%d", g)}
+						for i := 0; i < perG; i++ {
+							rec.Task, rec.Choice = i, i%4
+							if _, err := l.Append(rec); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					l.Close()
+					return nil, err
+				}
+				if err := l.Close(); err != nil {
+					return nil, err
+				}
+				elapsed := time.Since(start)
+				n := perG * appenders
+				rate := float64(n) / elapsed.Seconds()
+				syncName := "none"
+				if policy == wal.SyncEveryBatch {
+					syncName = "batch"
+				}
+				tb.AddRow(fmt.Sprintf("%d", appenders), syncName, fmt.Sprintf("%d", n),
+					fmt.Sprintf("%.0f", rate), fmt.Sprintf("%.2f", elapsed.Seconds()/float64(n)*1e6))
+			}
+		}
+		tb.Notes = append(tb.Notes,
+			"append = enqueue + wait for the group-commit batch; sync=batch adds one fsync per batch",
+			"logs written under a fresh directory per row; pass -wal-dir to target a real device")
+		return tb, nil
 	}
 }

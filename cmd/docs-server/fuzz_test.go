@@ -1,0 +1,59 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"docs"
+)
+
+// FuzzSubmitJSON drives arbitrary bytes through the POST /submit body — the
+// one endpoint every worker on the platform hits — against a live published
+// campaign. The handler must never panic and must answer every body with a
+// well-formed JSON response in {200, 400}; anything else means hostile
+// input reached deeper than the decode layer. Seed corpus under
+// testdata/fuzz/FuzzSubmitJSON (checked in).
+func FuzzSubmitJSON(f *testing.F) {
+	srv, err := newServer(docs.Config{GoldenCount: -1, HITSize: 3, RerunEvery: -1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Publish a minimal campaign so valid submits exercise the accept path.
+	tasks := []docs.Task{
+		{ID: 0, Text: "a or b", Choices: []string{"a", "b"}, GoldenTruth: docs.NoTruth},
+		{ID: 1, Text: "c or d", Choices: []string{"c", "d"}, GoldenTruth: docs.NoTruth},
+	}
+	if err := srv.sys.Publish(tasks); err != nil {
+		f.Fatal(err)
+	}
+	srv.published.Store(true)
+	handler := srv.handler()
+
+	f.Add(`{"worker":"w1","task":0,"choice":1}`)
+	f.Add(`{"worker":"","task":0,"choice":0}`)
+	f.Add(`{"worker":"w1","task":99,"choice":0}`)
+	f.Add(`{"worker":"w1","task":0,"choice":-1}`)
+	f.Add(`{"task":0}`)
+	f.Add(`{}`)
+	f.Add(``)
+	f.Add(`[`)
+	f.Add(`{"worker":"w1","task":1e309,"choice":0}`)
+	f.Add("{\"worker\":\"\u0000\",\"task\":0,\"choice\":0}")
+	f.Add(`{"worker":"w1","task":"0","choice":0}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/submit", strings.NewReader(body))
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK && rr.Code != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 200 or 400", body, rr.Code)
+		}
+		if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("body %q: content-type %q", body, ct)
+		}
+		if !strings.HasPrefix(strings.TrimSpace(rr.Body.String()), "{") {
+			t.Fatalf("body %q: non-JSON response %q", body, rr.Body.String())
+		}
+	})
+}

@@ -1,13 +1,19 @@
 // Command docs-server runs the DOCS system as an HTTP service: a requester
 // publishes tasks with POST /publish, workers obtain assignments with
 // GET /request and answer with POST /submit, and the requester reads
-// inferred truths from GET /results. See server.go for the full API.
+// inferred truths from GET /results. See server.go for the full API and
+// README.md for the durability contract.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"docs"
@@ -16,6 +22,9 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	storePath := flag.String("store", "", "optional JSON path persisting worker statistics across campaigns")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory: accepted submits become durable and are replayed on boot (empty = memory-only)")
+	walFsync := flag.Bool("wal-fsync", false, "fsync the WAL once per group-commit batch (survive power loss, not just process crashes)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "answers between WAL checkpoints (0 = default 5000, negative = never)")
 	golden := flag.Int("golden", 0, "golden task count (0 = default 20, negative = disabled)")
 	hitSize := flag.Int("hit", 0, "tasks per assignment (0 = default 20)")
 	perTask := flag.Int("redundancy", 0, "max answers per task (0 = unlimited)")
@@ -23,20 +32,49 @@ func main() {
 	flag.Parse()
 
 	srv, err := newServer(docs.Config{
-		StorePath:      *storePath,
-		GoldenCount:    *golden,
-		HITSize:        *hitSize,
-		AnswersPerTask: *perTask,
-		AsyncRerun:     !*syncRerun,
+		StorePath:         *storePath,
+		WALDir:            *walDir,
+		WALSyncEveryBatch: *walFsync,
+		CheckpointEvery:   *checkpointEvery,
+		GoldenCount:       *golden,
+		HITSize:           *hitSize,
+		AnswersPerTask:    *perTask,
+		AsyncRerun:        !*syncRerun,
 	})
 	if err != nil {
 		log.Fatalf("docs-server: %v", err)
+	}
+	if rec := srv.sys.Recovery(); rec.Enabled {
+		log.Printf("docs-server: recovered %d records from %s in %.3fs (torn tail: %v)",
+			rec.Records, *walDir, rec.Seconds, rec.TornTail)
 	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// Close the system — which flushes and fsyncs the WAL — so a SIGTERM
+	// loses nothing even under the no-fsync default.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errC := make(chan error, 1)
+	go func() { errC <- hs.ListenAndServe() }()
 	log.Printf("docs-server listening on %s", *addr)
-	log.Fatal(hs.ListenAndServe())
+	select {
+	case err := <-errC:
+		log.Fatal(err)
+	case sig := <-stop:
+		log.Printf("docs-server: %v: draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("docs-server: shutdown: %v", err)
+		}
+		if err := srv.sys.Close(); err != nil {
+			log.Fatalf("docs-server: close: %v", err)
+		}
+		log.Printf("docs-server: WAL flushed, bye")
+	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -48,7 +49,11 @@ func newServer(cfg docs.Config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &server{sys: sys, cfg: cfg, start: time.Now()}, nil
+	s := &server{sys: sys, cfg: cfg, start: time.Now()}
+	// WAL recovery may have replayed the campaign publication; the HTTP
+	// flag must agree or the recovered server would 409 every request.
+	s.published.Store(sys.Published())
+	return s, nil
 }
 
 func (s *server) handler() http.Handler {
@@ -100,7 +105,13 @@ func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	// publication, so a racing pair of publishes cannot both succeed; the
 	// flag above only provides the friendlier 409 for the common case.
 	if err := s.sys.Publish(tasks); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		// Publish can fail AFTER the campaign took effect in memory (the
+		// WAL append is last). Resync the flag with the core so a durability
+		// error does not wedge the server into "published but unservable",
+		// and report server-side durability failures as 500, not 400 — the
+		// requester's payload was fine.
+		s.published.Store(s.sys.Published())
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	s.published.Store(true)
@@ -158,7 +169,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sys.Submit(req.Worker, req.Task, req.Choice); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
@@ -214,6 +225,15 @@ type statsJSON struct {
 	AnswersPerSec       float64 `json:"answers_per_sec"`
 	AnswersPerSecRecent float64 `json:"answers_per_sec_recent"`
 	Goroutines          int     `json:"goroutines"`
+
+	// Durability counters, all zero when the server runs without -wal-dir.
+	WALEnabled           bool    `json:"wal_enabled"`
+	WALLastSeq           uint64  `json:"wal_last_seq"`
+	CheckpointsCompleted int64   `json:"checkpoints_completed"`
+	CheckpointsFailed    int64   `json:"checkpoints_failed"`
+	RecoveredRecords     int     `json:"recovered_records"`
+	RecoveredTornTail    bool    `json:"recovered_torn_tail"`
+	RecoverySeconds      float64 `json:"recovery_seconds"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -224,14 +244,22 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.sys.Stats()
 	now := time.Now()
 	uptime := now.Sub(s.start).Seconds()
+	rec := s.sys.Recovery()
 	out := statsJSON{
-		Published:       s.published.Load(),
-		Answers:         st.Answers,
-		SnapshotEpoch:   st.SnapshotEpoch,
-		RerunsCompleted: st.RerunsCompleted,
-		RerunsFailed:    st.RerunsFailed,
-		UptimeSeconds:   uptime,
-		Goroutines:      runtime.NumGoroutine(),
+		Published:            s.published.Load(),
+		Answers:              st.Answers,
+		SnapshotEpoch:        st.SnapshotEpoch,
+		RerunsCompleted:      st.RerunsCompleted,
+		RerunsFailed:         st.RerunsFailed,
+		UptimeSeconds:        uptime,
+		Goroutines:           runtime.NumGoroutine(),
+		WALEnabled:           st.WALEnabled,
+		WALLastSeq:           st.WALLastSeq,
+		CheckpointsCompleted: st.CheckpointsCompleted,
+		CheckpointsFailed:    st.CheckpointsFailed,
+		RecoveredRecords:     rec.Records,
+		RecoveredTornTail:    rec.TornTail,
+		RecoverySeconds:      rec.Seconds,
 	}
 	if uptime > 0 {
 		out.AnswersPerSec = float64(st.Answers) / uptime
@@ -245,6 +273,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.lastAnswers = st.Answers
 	s.rateMu.Unlock()
 	writeJSON(w, http.StatusOK, out)
+}
+
+// statusFor maps a serving error to an HTTP status: durability failures
+// are the server's fault (500), everything else is a rejected input (400).
+func statusFor(err error) int {
+	if errors.Is(err, docs.ErrDurability) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

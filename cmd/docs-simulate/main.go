@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
 	"docs/internal/core"
 	"docs/internal/crowd"
 	"docs/internal/dataset"
 	"docs/internal/kb"
 	"docs/internal/truth"
+	"docs/internal/wal"
 )
 
 func main() {
@@ -29,24 +31,49 @@ func main() {
 	hit := flag.Int("hit", 20, "tasks per HIT")
 	golden := flag.Int("golden", 20, "golden task count")
 	seed := flag.Uint64("seed", 20160412, "deterministic seed")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory: the campaign becomes durable, and an interrupted simulation resumes from the log (empty = memory-only, the pre-WAL behavior)")
+	walFsync := flag.Bool("wal-fsync", false, "fsync the WAL once per group-commit batch")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "answers between WAL checkpoints (0 = default, negative = never)")
 	flag.Parse()
 
 	ds, err := dataset.ByName(*name, *seed)
 	if err != nil {
 		log.Fatalf("docs-simulate: %v", err)
 	}
+	walSync := wal.SyncNever
+	if *walFsync {
+		walSync = wal.SyncEveryBatch
+	}
 	sys, err := core.New(core.Config{
-		GoldenCount:    *golden,
-		HITSize:        *hit,
-		AnswersPerTask: *redundancy,
+		GoldenCount:     *golden,
+		HITSize:         *hit,
+		AnswersPerTask:  *redundancy,
+		CheckpointEvery: *checkpointEvery,
+		WALSync:         walSync,
 	})
 	if err != nil {
 		log.Fatalf("docs-simulate: %v", err)
 	}
-	if err := sys.Publish(ds.Tasks); err != nil {
-		log.Fatalf("docs-simulate: publish: %v", err)
+	defer sys.Close()
+	if *walDir != "" {
+		info, err := sys.Recover(*walDir)
+		if err != nil {
+			log.Fatalf("docs-simulate: recover: %v", err)
+		}
+		if info.Records > 0 {
+			fmt.Printf("recovered %d records from %s in %s (torn tail: %v)\n",
+				info.Records, *walDir, info.Duration.Round(time.Millisecond), info.TornTail)
+		}
 	}
-	fmt.Printf("published %d tasks (%s), %d golden\n", len(ds.Tasks), *name, len(sys.GoldenTasks()))
+	if sys.Published() {
+		fmt.Printf("resuming recovered campaign: %d answers already collected, %d golden tasks\n",
+			sys.AnswerCount(), len(sys.GoldenTasks()))
+	} else {
+		if err := sys.Publish(ds.Tasks); err != nil {
+			log.Fatalf("docs-simulate: publish: %v", err)
+		}
+		fmt.Printf("published %d tasks (%s), %d golden\n", len(ds.Tasks), *name, len(sys.GoldenTasks()))
+	}
 
 	pop, err := crowd.NewPopulation(crowd.Config{
 		NumWorkers:      *workers,
@@ -60,7 +87,7 @@ func main() {
 
 	r := pop.Rand()
 	target := *redundancy * (len(ds.Tasks) - len(sys.GoldenTasks()))
-	collected := 0
+	collected := int(sys.AnswerCount()) // non-zero when resuming from a WAL
 	hits := 0
 	idle := 0
 	for collected < target && idle < 5000 {

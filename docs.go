@@ -46,6 +46,32 @@
 // Staleness contract: CurrentResult and Request may trail the newest
 // answer by the snapshot in flight; Results always infers over all answers
 // accepted before it was called.
+//
+// # Persistence
+//
+// Two artifacts survive a restart. Config.StorePath keeps the long-run
+// per-worker statistics (the paper stores these in the system database so
+// returning workers keep their profile across requesters); it is written
+// as an atomically-replaced JSON checkpoint plus an append-only delta log,
+// so no crash window loses a merged session. Config.WALDir keeps the
+// campaign itself: every accepted publication and answer is appended to a
+// segmented, CRC-checked write-ahead log (package docs/internal/wal) with
+// group-commit batching, and New replays the log — checkpoint prefix
+// first, then the intact segment records, dropping a torn final record —
+// through the ordinary serial submit path before serving. Because
+// concurrent serving is provably equivalent to a serial replay of the
+// chronological answer log, the recovered state is bit-identical to an
+// uninterrupted serial run of the logged stream; the crash-injection suite
+// in docs/internal/core asserts exactly that over randomized kill points.
+//
+// Durability levels: by default an acknowledged Submit has reached the OS
+// (survives process crashes); Config.WALSyncEveryBatch adds one fsync per
+// group-commit batch (survives power loss). Checkpoints every
+// Config.CheckpointEvery answers bound the log's disk footprint — they
+// compact the replayed prefix and delete covered segments — but recovery
+// work stays linear in campaign size, because the canonical state is
+// defined by replay, not by a float snapshot. See docs/persistence.md for
+// the full contract.
 package docs
 
 import (
@@ -56,10 +82,16 @@ import (
 	"docs/internal/model"
 	"docs/internal/store"
 	"docs/internal/truth"
+	"docs/internal/wal"
 )
 
 // NoTruth marks an unknown ground truth.
 const NoTruth = -1
+
+// ErrDurability marks a failed durability promise: the mutation took
+// effect in memory but could not be logged to the WAL. Check with
+// errors.Is; servers should answer 5xx, not 4xx.
+var ErrDurability = core.ErrDurability
 
 // Task is a multiple-choice crowdsourcing task.
 type Task struct {
@@ -111,11 +143,27 @@ type Config struct {
 	// StorePath persists worker statistics as JSON across campaigns
 	// (empty = memory-only).
 	StorePath string
+	// WALDir arms the write-ahead log: every accepted Publish/Submit is
+	// appended durably (group-commit batched), and New replays whatever a
+	// previous process left in the directory before serving. Empty keeps
+	// the campaign memory-only. See the Persistence section of the package
+	// comment.
+	WALDir string
+	// CheckpointEvery writes a WAL checkpoint (and truncates covered
+	// segments) every so many accepted answers when WALDir is set
+	// (0 = default 5000, negative = never).
+	CheckpointEvery int
+	// WALSyncEveryBatch fsyncs the WAL once per group-commit batch,
+	// surviving power loss at the cost of one fsync amortized over each
+	// batch; the default flushes batches to the OS only (survives process
+	// crashes).
+	WALSyncEveryBatch bool
 }
 
 // System is a running DOCS campaign.
 type System struct {
 	sys *core.System
+	st  *store.Store // non-nil when New opened a file-backed store
 }
 
 // New creates a System over the built-in knowledge base.
@@ -131,19 +179,61 @@ func New(cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
+	walSync := wal.SyncNever
+	if cfg.WALSyncEveryBatch {
+		walSync = wal.SyncEveryBatch
+	}
 	sys, err := core.New(core.Config{
-		KB:             k,
-		Store:          st,
-		GoldenCount:    cfg.GoldenCount,
-		HITSize:        cfg.HITSize,
-		AnswersPerTask: cfg.AnswersPerTask,
-		RerunEvery:     cfg.RerunEvery,
-		AsyncRerun:     cfg.AsyncRerun,
+		KB:              k,
+		Store:           st,
+		GoldenCount:     cfg.GoldenCount,
+		HITSize:         cfg.HITSize,
+		AnswersPerTask:  cfg.AnswersPerTask,
+		RerunEvery:      cfg.RerunEvery,
+		AsyncRerun:      cfg.AsyncRerun,
+		CheckpointEvery: cfg.CheckpointEvery,
+		WALSync:         walSync,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &System{sys: sys}, nil
+	if cfg.WALDir != "" {
+		if _, err := sys.Recover(cfg.WALDir); err != nil {
+			sys.Close()
+			if st != nil {
+				st.Close()
+			}
+			return nil, err
+		}
+	}
+	return &System{sys: sys, st: st}, nil
+}
+
+// Recovery describes what New replayed from Config.WALDir.
+type Recovery struct {
+	// Enabled is true when a WAL is armed.
+	Enabled bool
+	// Records is how many durable records (publication + answers) were
+	// replayed on boot.
+	Records int
+	// TornTail is true when the log ended in a torn, dropped record (the
+	// previous process crashed mid-append; the record was never
+	// acknowledged).
+	TornTail bool
+	// Seconds is the wall-clock recovery lag the boot paid.
+	Seconds float64
+}
+
+// Recovery returns what New replayed from the WAL (zero value when no WAL
+// is armed).
+func (s *System) Recovery() Recovery {
+	info := s.sys.Recovery()
+	return Recovery{
+		Enabled:  info.Enabled,
+		Records:  info.Records,
+		TornTail: info.TornTail,
+		Seconds:  info.Duration.Seconds(),
+	}
 }
 
 // Publish registers the campaign's tasks and runs Domain Vector Estimation
@@ -183,6 +273,10 @@ func (s *System) Submit(workerID string, taskID, choice int) error {
 // GoldenTaskIDs returns the IDs of the selected golden tasks.
 func (s *System) GoldenTaskIDs() []int { return s.sys.GoldenTasks() }
 
+// Published reports whether a campaign is in place — via Publish or via
+// WAL recovery on New.
+func (s *System) Published() bool { return s.sys.Published() }
+
 // DomainNames returns the system's domain set (the 26 Yahoo! Answers
 // domains for the default knowledge base).
 func (s *System) DomainNames() []string { return s.sys.Domains().Names() }
@@ -211,23 +305,44 @@ type Stats struct {
 	// runs.
 	RerunsCompleted int64
 	RerunsFailed    int64
+	// WALEnabled reports whether a write-ahead log is armed; WALLastSeq is
+	// the sequence number of the last durable record and Checkpoints*
+	// count WAL checkpoint passes. All zero without a WAL.
+	WALEnabled           bool
+	WALLastSeq           uint64
+	CheckpointsCompleted int64
+	CheckpointsFailed    int64
 }
 
 // Stats returns the current serving counters. Safe to call concurrently
 // with serving.
 func (s *System) Stats() Stats {
 	done, failed := s.sys.Reruns()
+	ckpts, ckptErrs := s.sys.Checkpoints()
 	return Stats{
-		Answers:         s.sys.AnswerCount(),
-		SnapshotEpoch:   s.sys.Epoch(),
-		RerunsCompleted: done,
-		RerunsFailed:    failed,
+		Answers:              s.sys.AnswerCount(),
+		SnapshotEpoch:        s.sys.Epoch(),
+		RerunsCompleted:      done,
+		RerunsFailed:         failed,
+		WALEnabled:           s.sys.Recovery().Enabled,
+		WALLastSeq:           s.sys.WALSeq(),
+		CheckpointsCompleted: ckpts,
+		CheckpointsFailed:    ckptErrs,
 	}
 }
 
-// Close stops the background re-inference worker started by
-// Config.AsyncRerun (a no-op otherwise). Do not serve after Close.
-func (s *System) Close() { s.sys.Close() }
+// Close stops the background re-inference and checkpoint workers and
+// flushes, fsyncs and closes the WAL and the worker store, so a graceful
+// shutdown loses nothing. Do not serve after Close.
+func (s *System) Close() error {
+	err := s.sys.Close()
+	if s.st != nil {
+		if cerr := s.st.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // Results runs the final iterative truth inference over all collected
 // answers, merges worker statistics into the persistent store, and returns

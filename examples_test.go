@@ -1,0 +1,89 @@
+package docs
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesBuildAndRun builds and smoke-runs every program under
+// examples/ so CI catches example rot — the seed shipped them untested, and
+// nothing else exercises the public API the way the README points
+// newcomers at it. Each example is a deterministic, sub-second program;
+// the test asserts a clean exit and a content marker that proves it got
+// past setup into real inference output.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke-run skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not found: %v", err)
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "examples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A marker per example that only appears when the run reached its
+	// inference results (not just flag parsing or an early log line).
+	markers := map[string]string{
+		"quickstart":       "inferred:",
+		"campaign":         "campaign 2:",
+		"photolabel":       "assignment routing",
+		"entityresolution": "SAME",
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		found++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctxTimeout := 2 * time.Minute
+			deadline, ok := t.Deadline()
+			if ok {
+				if d := time.Until(deadline) - 5*time.Second; d < ctxTimeout {
+					ctxTimeout = d
+				}
+			}
+			cmd := exec.Command(goBin, "run", "./examples/"+name)
+			cmd.Dir = root
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(ctxTimeout):
+				_ = cmd.Process.Kill()
+				<-done
+				t.Fatalf("example %s did not finish within %v", name, ctxTimeout)
+			}
+			if runErr != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, runErr, out)
+			}
+			marker, known := markers[name]
+			if !known {
+				t.Fatalf("example %s has no output marker registered in this test — add one", name)
+			}
+			if !strings.Contains(string(out), marker) {
+				t.Fatalf("example %s output lacks marker %q:\n%s", name, marker, out)
+			}
+		})
+	}
+	if found == 0 {
+		t.Fatal("no examples found")
+	}
+}

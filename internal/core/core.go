@@ -26,6 +26,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -40,6 +41,7 @@ import (
 	"docs/internal/shard"
 	"docs/internal/store"
 	"docs/internal/truth"
+	"docs/internal/wal"
 )
 
 // Config configures a System.
@@ -67,6 +69,16 @@ type Config struct {
 	// after the snapshot. The default (false) reruns synchronously inside
 	// Submit, which serial callers rely on for exact reproducibility.
 	AsyncRerun bool
+	// CheckpointEvery writes a WAL checkpoint (and truncates covered
+	// segments) every so many accepted answers when a WAL is armed via
+	// Recover (default 5000, negative = never).
+	CheckpointEvery int
+	// WALSegmentBytes overrides the WAL segment rotation size (0 = the wal
+	// package default).
+	WALSegmentBytes int64
+	// WALSync selects the WAL durability level (default group-commit
+	// writes without per-batch fsync; see wal.SyncPolicy).
+	WALSync wal.SyncPolicy
 }
 
 // workerShardCount shards per-worker serving state.
@@ -92,11 +104,12 @@ type System struct {
 	// every serving path takes the read side.
 	mu sync.RWMutex
 
-	kb     *kb.KB
-	linker *entitylink.Linker
-	m      int
-	store  *store.Store
-	cfg    Config
+	kb        *kb.KB
+	linker    *entitylink.Linker
+	m         int
+	store     *store.Store
+	ownsStore bool // New created the store, so Close releases it
+	cfg       Config
 
 	tasks      []*model.Task // published, with domain vectors
 	byID       map[int]*model.Task
@@ -107,14 +120,31 @@ type System struct {
 
 	shards [workerShardCount]workerShard
 
-	// logMu guards the chronological answer log, the only globally ordered
-	// write structure left on the Submit path (a single slice append).
-	logMu sync.Mutex
-	log   []model.Answer
+	// logMu guards the chronological answer log — the only globally ordered
+	// write structure left on the Submit path (a single slice append) — and,
+	// when a WAL is armed, the WAL reservation that must share its order.
+	logMu  sync.Mutex
+	log    []model.Answer
+	durLog []wal.Record // full durable-record mirror, the checkpoint source
+
+	// wal fields are written once by Recover, before serving starts.
+	wal        *wal.Log
+	walDir     string
+	recovering bool // Recover's replay is in flight: no re-logging, sync reruns
+	recovery   RecoveryInfo
 
 	submissions atomic.Int64
 	reruns      atomic.Int64
 	rerunErrs   atomic.Int64
+	ckpts       atomic.Int64
+	ckptErrs    atomic.Int64
+
+	// ckptMu serializes checkpoint passes and guards the cached checkpoint
+	// tail (last covered sequence and byte length of the intact file).
+	ckptMu      sync.Mutex
+	ckptLastSeq uint64
+	ckptBytes   int64
+	ckptCh      chan struct{}
 
 	rerunMu sync.Mutex // serializes batch re-inference runs
 	rerunCh chan struct{}
@@ -136,12 +166,14 @@ func New(cfg Config) (*System, error) {
 		}
 	}
 	st := cfg.Store
+	ownsStore := false
 	if st == nil {
 		var err error
 		st, err = store.Open("", k.Domains().Size())
 		if err != nil {
 			return nil, err
 		}
+		ownsStore = true
 	}
 	if cfg.GoldenCount == 0 {
 		cfg.GoldenCount = assign.DefaultGoldenCount
@@ -152,18 +184,23 @@ func New(cfg Config) (*System, error) {
 	if cfg.RerunEvery == 0 {
 		cfg.RerunEvery = 100
 	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 5000
+	}
 	m := k.Domains().Size()
 	s := &System{
-		kb:      k,
-		linker:  entitylink.New(k),
-		m:       m,
-		store:   st,
-		cfg:     cfg,
-		byID:    make(map[int]*model.Task),
-		golden:  make(map[int]bool),
-		inc:     truth.NewIncremental(m),
-		rerunCh: make(chan struct{}, 1),
-		quit:    make(chan struct{}),
+		kb:        k,
+		linker:    entitylink.New(k),
+		m:         m,
+		store:     st,
+		ownsStore: ownsStore,
+		cfg:       cfg,
+		byID:      make(map[int]*model.Task),
+		golden:    make(map[int]bool),
+		inc:       truth.NewIncremental(m),
+		rerunCh:   make(chan struct{}, 1),
+		ckptCh:    make(chan struct{}, 1),
+		quit:      make(chan struct{}),
 	}
 	for i := range s.shards {
 		s.shards[i].workers = make(map[string]*workerState)
@@ -176,11 +213,25 @@ func New(cfg Config) (*System, error) {
 	return s, nil
 }
 
-// Close stops the background rerun worker (if any). Pending rerun requests
-// are drained first. Serving methods must not be called after Close.
-func (s *System) Close() {
+// Close stops the background rerun and checkpoint workers (pending
+// requests are drained first) and then flushes, fsyncs and closes the WAL,
+// so a graceful shutdown loses nothing regardless of sync policy. A store
+// this System created (rather than received via Config.Store) is released
+// too; a caller-provided store stays open — the caller may share it.
+// Serving methods must not be called after Close.
+func (s *System) Close() error {
 	s.closed.Do(func() { close(s.quit) })
 	s.wg.Wait()
+	var err error
+	if s.wal != nil {
+		err = s.wal.Close()
+	}
+	if s.ownsStore {
+		if cerr := s.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 func (s *System) rerunWorker() {
@@ -277,7 +328,33 @@ func (s *System) Publish(tasks []*model.Task) error {
 			return err
 		}
 	}
+
+	// Log the publication — tasks with their DVE-computed domain vectors —
+	// so recovery does not depend on re-running entity linking against a
+	// possibly different knowledge-base build. Campaign structure is
+	// settled at this point; a failure below only voids durability.
+	if s.wal != nil {
+		blob, err := json.Marshal(tasks)
+		if err != nil {
+			return fmt.Errorf("core: wal: %w", err)
+		}
+		s.logMu.Lock()
+		p, err := s.walReserve(wal.Record{Kind: wal.KindPublish, Blob: blob})
+		s.logMu.Unlock()
+		if err != nil {
+			return err
+		}
+		return s.walCommit(p)
+	}
 	return nil
+}
+
+// Published reports whether the campaign's tasks are in place (directly or
+// via WAL recovery).
+func (s *System) Published() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tasks) > 0
 }
 
 // GoldenTasks returns the golden task IDs in publication order.
@@ -382,16 +459,43 @@ func (s *System) Submit(workerID string, taskID, choice int) error {
 	if isGolden {
 		sh := s.shard(workerID)
 		sh.mu.Lock()
-		defer sh.mu.Unlock()
 		ws := sh.state(workerID)
 		for _, prev := range ws.goldenAnswers {
 			if prev.Task == taskID {
+				sh.mu.Unlock()
 				return fmt.Errorf("core: worker %q already answered golden task %d", workerID, taskID)
 			}
 		}
 		ws.goldenAnswers = append(ws.goldenAnswers, a)
-		if len(ws.goldenAnswers) == len(goldenList) {
-			s.profileWorker(workerID, ws, goldenList)
+		completesGauntlet := len(ws.goldenAnswers) == len(goldenList)
+		// Reserve the WAL slot before releasing the shard lock: a worker's
+		// golden answers must replay in the order profiling consumed them.
+		s.logMu.Lock()
+		p, err := s.walReserve(wal.Record{Kind: wal.KindAnswer, Worker: workerID, Task: taskID, Choice: choice})
+		s.logMu.Unlock()
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		// The answer becomes durable BEFORE the profiling merge: recovery
+		// skips persistent-store merges on the premise the store already
+		// absorbed them, so a crash in the merge-then-log order would leave
+		// a durable merge whose golden answer never replays — the worker
+		// re-answers and the merge double-counts, compounding per restart.
+		// In this order the worst crash loses one profiling merge (the
+		// worker just starts from the default prior next campaign), which
+		// is bounded and self-correcting.
+		if err := s.walCommit(p); err != nil {
+			return err
+		}
+		if completesGauntlet {
+			sh.mu.Lock()
+			// Exactly one submit observes the gauntlet completing (the
+			// duplicate check above serializes a worker's golden answers),
+			// so profiling runs once.
+			err = s.profileWorker(workerID, ws, goldenList)
+			sh.mu.Unlock()
+			return err
 		}
 		return nil
 	}
@@ -411,11 +515,21 @@ func (s *System) Submit(workerID string, taskID, choice int) error {
 	sh.mu.Unlock()
 	s.logMu.Lock()
 	s.log = append(s.log, a)
+	// The WAL reservation shares logMu, so durable replay order is exactly
+	// the chronological answer-log order the serial-replay equivalence is
+	// proven against. The wait for the group-commit batch happens below,
+	// outside the lock, so concurrent submits still share one write.
+	p, walErr := s.walReserve(wal.Record{Kind: wal.KindAnswer, Worker: workerID, Task: taskID, Choice: choice})
 	s.logMu.Unlock()
+	if walErr != nil {
+		return walErr
+	}
 
 	n := s.submissions.Add(1)
 	if z := s.cfg.RerunEvery; z > 0 && n%int64(z) == 0 {
-		if s.cfg.AsyncRerun {
+		// During recovery the rerun must be synchronous regardless of
+		// AsyncRerun: replay determinism is the whole point of the WAL.
+		if s.cfg.AsyncRerun && !s.recovering {
 			select {
 			case s.rerunCh <- struct{}{}:
 			default: // a rerun is already pending; it will cover this batch
@@ -424,7 +538,8 @@ func (s *System) Submit(workerID string, taskID, choice int) error {
 			return err
 		}
 	}
-	return nil
+	s.maybeCheckpoint(n)
+	return s.walCommit(p)
 }
 
 // Result returns the current inferred truth and probabilistic truth of a
@@ -669,11 +784,26 @@ func (s *System) workerReady(workerID string, goldenList []*model.Task) bool {
 // profileWorker initializes the worker's quality from her golden-task
 // answers and registers it with the incremental engine and the store.
 // Callers hold the worker's shard lock.
-func (s *System) profileWorker(workerID string, ws *workerState, goldenList []*model.Task) {
+//
+// During WAL recovery the merge into a persistent store is skipped: the
+// previous process already merged (and durably logged) this exact
+// profiling result when the golden answers first arrived, so replaying it
+// would double-count the worker's statistics — compounding on every
+// restart. A memory-only store is derived state and is rebuilt by the
+// replay as usual.
+func (s *System) profileWorker(workerID string, ws *workerState, goldenList []*model.Task) error {
 	st := truth.EstimateFromGolden(goldenList, ws.goldenAnswers, s.m)
+	// The durable merge goes first: recovery assumes a logged merge is on
+	// disk and never re-applies it, so a failure here must abort profiling
+	// (the caller unwinds the triggering answer) rather than be dropped.
+	if !(s.recovering && s.store.Persistent()) {
+		if err := s.store.Merge(workerID, st); err != nil {
+			return err
+		}
+	}
 	_ = s.inc.SetWorker(workerID, st)
-	_ = s.store.Merge(workerID, st)
 	ws.profiled = true
+	return nil
 }
 
 // ensureWorker makes sure the incremental engine knows the worker, seeding

@@ -1,0 +1,749 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"docs/internal/kb"
+	"docs/internal/mathx"
+	"docs/internal/model"
+	"docs/internal/store"
+	"docs/internal/wal"
+)
+
+// The crash-injection harness. One uninterrupted serial campaign runs with
+// the WAL armed; the resulting log is then "killed" at randomized points —
+// clean record boundaries and torn mid-record cuts — and each surviving
+// prefix is recovered into a fresh System. The recovered state must be
+// bit-identical (float bits included) to a reference System that applied
+// exactly the surviving records through the ordinary serial path. That is
+// the durability contract: recovery IS the serial replay the concurrency
+// work proved equivalent to live serving.
+
+// fingerprint captures every piece of campaign state the durability
+// contract covers, with float64s rendered as raw bits so "close" never
+// passes for "equal": published tasks and golden selection, per-task truth
+// state (truth, answer count, S and M), the chronological answer log, the
+// golden answers and profiling flags per worker, per-worker incremental
+// stats, and the long-run store.
+func fingerprint(s *System) string {
+	var b strings.Builder
+	bits := func(f float64) { fmt.Fprintf(&b, "%016x,", math.Float64bits(f)) }
+
+	s.mu.RLock()
+	fmt.Fprintf(&b, "tasks:%d;", len(s.tasks))
+	for _, t := range s.tasks {
+		fmt.Fprintf(&b, "t%d:g%v:", t.ID, s.golden[t.ID])
+		for _, r := range t.Domain {
+			bits(r)
+		}
+	}
+	tasks := s.tasks
+	s.mu.RUnlock()
+
+	fmt.Fprintf(&b, ";answers:%d;", s.submissions.Load())
+	s.logMu.Lock()
+	for _, a := range s.log {
+		fmt.Fprintf(&b, "%s/%d/%d,", a.Worker, a.Task, a.Choice)
+	}
+	s.logMu.Unlock()
+
+	b.WriteString(";views:")
+	for _, t := range tasks {
+		v := s.inc.View(t.ID)
+		if v == nil {
+			fmt.Fprintf(&b, "t%d:nil;", t.ID)
+			continue
+		}
+		fmt.Fprintf(&b, "t%d:c%d:n%d:S", t.ID, v.Truth, v.NumAnswers)
+		for _, x := range v.S {
+			bits(x)
+		}
+		b.WriteString("M")
+		for _, row := range v.M {
+			for _, x := range row {
+				bits(x)
+			}
+		}
+		b.WriteString(";")
+	}
+
+	b.WriteString(";golden:")
+	golden := s.goldenAnswersByWorker()
+	workers := make([]string, 0, len(golden))
+	for w := range golden {
+		workers = append(workers, w)
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for w, ws := range sh.workers {
+			if ws.profiled {
+				workers = append(workers, w+"+profiled")
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(workers)
+	for _, w := range workers {
+		fmt.Fprintf(&b, "%s(", w)
+		for _, a := range golden[strings.TrimSuffix(w, "+profiled")] {
+			fmt.Fprintf(&b, "%d/%d,", a.Task, a.Choice)
+		}
+		b.WriteString(")")
+	}
+
+	b.WriteString(";workerstats:")
+	for _, w := range s.inc.Workers() {
+		st := s.inc.Worker(w)
+		fmt.Fprintf(&b, "%s:q", w)
+		for _, q := range st.Q {
+			bits(q)
+		}
+		b.WriteString("u")
+		for _, u := range st.U {
+			bits(u)
+		}
+		b.WriteString(";")
+	}
+
+	b.WriteString(";store:")
+	for _, w := range s.store.Workers() {
+		st, _ := s.store.Worker(w)
+		fmt.Fprintf(&b, "%s:q", w)
+		for _, q := range st.Q {
+			bits(q)
+		}
+		b.WriteString("u")
+		for _, u := range st.U {
+			bits(u)
+		}
+		b.WriteString(";")
+	}
+	return b.String()
+}
+
+// runLoggedCampaign drives a deterministic serial campaign with the WAL
+// armed at dir and returns the record stream it wrote (publish + answers,
+// in durable order).
+func runLoggedCampaign(t *testing.T, cfg Config, dir string, nTasks int) []wal.Record {
+	t.Helper()
+	s := newSystem(t, cfg)
+	if _, err := s.Recover(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(concTasks(s.m, nTasks)); err != nil {
+		t.Fatal(err)
+	}
+	goldenSet := map[int]bool{}
+	for _, id := range s.GoldenTasks() {
+		goldenSet[id] = true
+	}
+	r := mathx.NewRand(42)
+	for i := 0; ; i++ {
+		w := fmt.Sprintf("w%d", i%11)
+		got, err := s.Request(w, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			break
+		}
+		for _, tk := range got {
+			c := tk.Truth
+			if c == model.NoTruth {
+				c = 0
+			} else if !goldenSet[tk.ID] && r.Float64() >= 0.85 {
+				c = 1 - c
+			}
+			if err := s.Submit(w, tk.ID, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read back the durable stream: checkpoint prefix (if any) + segments.
+	var recs []wal.Record
+	var cpSeq uint64
+	cp, err := wal.ReadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != nil {
+		recs = append(recs, cp.Records...)
+		cpSeq = cp.LastSeq
+	}
+	st, err := wal.Replay(dir, func(rec wal.Record) error {
+		if rec.Seq > cpSeq {
+			recs = append(recs, rec)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TornTail {
+		t.Fatal("uninterrupted run left a torn tail")
+	}
+	return recs
+}
+
+// frameSpan locates each record's frame: which segment file it lives in
+// and its [start, end) byte offsets there.
+type frameSpan struct {
+	file       string
+	start, end int64
+}
+
+func segmentSpans(t *testing.T, dir string, afterSeq uint64) map[uint64]frameSpan {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := make(map[uint64]frameSpan)
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".wal") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		err := wal.ScanSegment(path, func(rec wal.Record, start, end int64) error {
+			if rec.Seq > afterSeq {
+				spans[rec.Seq] = frameSpan{file: e.Name(), start: start, end: end}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return spans
+}
+
+// buildCrashDir reconstructs what disk looks like when the process dies
+// with `surviving` whole records down plus (optionally) tornBytes of the
+// next frame: segments are copied, the one holding the cut is truncated,
+// later ones vanish (they were never created), and the checkpoint (if any)
+// survives untouched.
+func buildCrashDir(t *testing.T, srcDir string, recs []wal.Record, spans map[uint64]frameSpan, surviving int, tornBytes int64) string {
+	t.Helper()
+	dst := t.TempDir()
+	if data, err := os.ReadFile(filepath.Join(srcDir, "checkpoint")); err == nil {
+		if err := os.WriteFile(filepath.Join(dst, "checkpoint"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The byte cut: end of the last surviving record, plus torn bytes into
+	// the next frame (capped to stay strictly inside it).
+	cutFile, cutOff := "", int64(0)
+	if surviving > 0 {
+		if sp, ok := spans[recs[surviving-1].Seq]; ok {
+			cutFile, cutOff = sp.file, sp.end
+		}
+		// else: the record lives in the checkpoint only; cut is "no segment
+		// bytes at all" and stays at "", 0.
+	}
+	if tornBytes > 0 && surviving < len(recs) {
+		if next, ok := spans[recs[surviving].Seq]; ok {
+			if next.file != cutFile {
+				cutFile, cutOff = next.file, next.start
+			}
+			frameLen := next.end - next.start
+			if tornBytes >= frameLen {
+				tornBytes = frameLen - 1
+			}
+			cutOff += tornBytes
+		}
+	}
+	if cutFile == "" {
+		// The cut precedes every surviving segment byte: the crash dir has
+		// the checkpoint (if any) and no segments.
+		return dst
+	}
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".wal") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // zero-padded hex: lexicographic == sequence order
+	for _, name := range names {
+		if name > cutFile {
+			break // these segments did not exist yet at crash time
+		}
+		data, err := os.ReadFile(filepath.Join(srcDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == cutFile {
+			data = data[:cutOff]
+		}
+		if err := os.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// applyPrefix replays records through a WAL-less reference system — the
+// uninterrupted serial run the recovered state must match bit for bit.
+func applyPrefix(t *testing.T, s *System, recs []wal.Record) {
+	t.Helper()
+	for _, rec := range recs {
+		if err := s.applyRecord(rec, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+const crashKillPoints = 100
+
+// TestCrashInjectionRecoveryExact is the acceptance test: 100 randomized
+// kill points over a logged campaign (clean boundaries and torn final
+// records), each recovered and compared bit-identical against the serial
+// reference. The reference advances incrementally so the whole sweep costs
+// one extra serial pass plus the recoveries themselves.
+func TestCrashInjectionRecoveryExact(t *testing.T) {
+	cfg := Config{GoldenCount: 4, HITSize: 4, AnswersPerTask: 3, RerunEvery: 20,
+		CheckpointEvery: -1, WALSegmentBytes: 1 << 10}
+	srcDir := t.TempDir()
+	recs := runLoggedCampaign(t, cfg, srcDir, 60)
+	if len(recs) < 50 {
+		t.Fatalf("campaign produced only %d records", len(recs))
+	}
+	spans := segmentSpans(t, srcDir, 0)
+	for _, rec := range recs {
+		if _, ok := spans[rec.Seq]; !ok {
+			t.Fatalf("record %d not found in any segment", rec.Seq)
+		}
+	}
+
+	// Randomized kill points, sorted so the reference system can advance
+	// incrementally. Roughly a third tear the next record mid-frame; the
+	// final kill point is always "everything but a torn last record".
+	r := mathx.NewRand(7)
+	type kill struct {
+		surviving int
+		torn      int64
+	}
+	kills := make([]kill, 0, crashKillPoints)
+	for i := 0; i < crashKillPoints-1; i++ {
+		k := kill{surviving: int(r.Float64() * float64(len(recs)+1))}
+		if k.surviving > len(recs) {
+			k.surviving = len(recs)
+		}
+		if k.surviving < len(recs) && r.Float64() < 0.35 {
+			k.torn = 1 + int64(r.Float64()*16)
+		}
+		kills = append(kills, k)
+	}
+	kills = append(kills, kill{surviving: len(recs) - 1, torn: 5}) // torn FINAL record
+	sort.Slice(kills, func(i, j int) bool { return kills[i].surviving < kills[j].surviving })
+
+	ref := newSystem(t, cfg)
+	applied := 0
+	refPrint := fingerprint(ref)
+	for i, k := range kills {
+		if k.surviving > applied {
+			applyPrefix(t, ref, recs[applied:k.surviving])
+			applied = k.surviving
+			refPrint = fingerprint(ref)
+		}
+		crashDir := buildCrashDir(t, srcDir, recs, spans, k.surviving, k.torn)
+		rec := newSystem(t, cfg)
+		info, err := rec.Recover(crashDir)
+		if err != nil {
+			t.Fatalf("kill %d (surviving=%d torn=%d): recover: %v", i, k.surviving, k.torn, err)
+		}
+		if info.Records != k.surviving {
+			t.Fatalf("kill %d: recovered %d records, want %d (torn=%d)", i, info.Records, k.surviving, k.torn)
+		}
+		if k.torn > 0 && !info.TornTail {
+			t.Errorf("kill %d: torn cut not reported as torn tail", i)
+		}
+		if got := fingerprint(rec); got != refPrint {
+			t.Fatalf("kill %d (surviving=%d torn=%d): recovered state differs from serial reference\nrecovered: %.300s\nreference: %.300s",
+				i, k.surviving, k.torn, got, refPrint)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashRecoveryThenContinueServing recovers from a mid-campaign crash
+// and pushes the remaining answer stream through the recovered system; the
+// final state must equal the uninterrupted run's. This is the "restart
+// under traffic" scenario: sequence numbers continue, re-logging works,
+// and nothing double-applies.
+func TestCrashRecoveryThenContinueServing(t *testing.T) {
+	cfg := Config{GoldenCount: 4, HITSize: 4, AnswersPerTask: 3, RerunEvery: 20,
+		CheckpointEvery: -1, WALSegmentBytes: 1 << 10}
+	srcDir := t.TempDir()
+	recs := runLoggedCampaign(t, cfg, srcDir, 40)
+	spans := segmentSpans(t, srcDir, 0)
+
+	full := newSystem(t, cfg)
+	applyPrefix(t, full, recs)
+	want := fingerprint(full)
+
+	for _, cut := range []int{1, len(recs) / 3, len(recs) / 2, len(recs) - 1} {
+		crashDir := buildCrashDir(t, srcDir, recs, spans, cut, 0)
+		s := newSystem(t, cfg)
+		if _, err := s.Recover(crashDir); err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs[cut:] {
+			switch rec.Kind {
+			case wal.KindPublish:
+				var tasks []*model.Task
+				mustUnmarshal(t, rec.Blob, &tasks)
+				if err := s.Publish(tasks); err != nil {
+					t.Fatal(err)
+				}
+			case wal.KindAnswer:
+				if err := s.Submit(rec.Worker, rec.Task, rec.Choice); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if got := fingerprint(s); got != want {
+			t.Fatalf("cut=%d: continued state differs from uninterrupted run", cut)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// And the continued log must itself recover to the same state.
+		s2 := newSystem(t, cfg)
+		if _, err := s2.Recover(crashDir); err != nil {
+			t.Fatal(err)
+		}
+		if got := fingerprint(s2); got != want {
+			t.Fatalf("cut=%d: re-recovery of continued log differs", cut)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashInjectionWithCheckpoints kills a campaign whose WAL was
+// checkpointed and truncated mid-run: recovery must stitch checkpoint +
+// surviving segments back into the exact serial state. The checkpoint
+// state is constructed deterministically (checkpoint at 2/3 of the stream,
+// fully-covered segments deleted, exactly what the checkpoint worker
+// produces) so every kill point is reproducible.
+func TestCrashInjectionWithCheckpoints(t *testing.T) {
+	cfg := Config{GoldenCount: 4, HITSize: 4, AnswersPerTask: 3, RerunEvery: 20,
+		CheckpointEvery: -1, WALSegmentBytes: 1 << 10}
+	srcDir := t.TempDir()
+	recs := runLoggedCampaign(t, cfg, srcDir, 50)
+
+	covered := len(recs) * 2 / 3
+	cpSeq := recs[covered-1].Seq
+	if err := wal.WriteCheckpoint(srcDir, cpSeq, recs[:covered]); err != nil {
+		t.Fatal(err)
+	}
+	// Emulate TruncateBefore: delete segments all of whose records the
+	// checkpoint covers (never the last one).
+	all := segmentSpans(t, srcDir, 0)
+	maxSeqByFile := map[string]uint64{}
+	lastFile := ""
+	for seq, sp := range all {
+		if seq > maxSeqByFile[sp.file] {
+			maxSeqByFile[sp.file] = seq
+		}
+		if sp.file > lastFile {
+			lastFile = sp.file
+		}
+	}
+	for file, maxSeq := range maxSeqByFile {
+		if file != lastFile && maxSeq <= cpSeq {
+			if err := os.Remove(filepath.Join(srcDir, file)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	spans := segmentSpans(t, srcDir, 0)
+
+	// Sorted randomized kill points in [covered, n], so the serial
+	// reference advances incrementally.
+	r := mathx.NewRand(11)
+	ks := make([]int, 0, 20)
+	torns := map[int]int64{}
+	for i := 0; i < 20; i++ {
+		k := covered + int(r.Float64()*float64(len(recs)-covered+1))
+		if k > len(recs) {
+			k = len(recs)
+		}
+		if k < len(recs) && r.Float64() < 0.4 {
+			torns[k] = 1 + int64(r.Float64()*12)
+		}
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+
+	ref := newSystem(t, cfg)
+	applied := 0
+	refPrint := fingerprint(ref)
+	for i, k := range ks {
+		if k > applied {
+			applyPrefix(t, ref, recs[applied:k])
+			applied = k
+			refPrint = fingerprint(ref)
+		}
+		crashDir := buildCrashDir(t, srcDir, recs, spans, k, torns[k])
+		rec := newSystem(t, cfg)
+		info, err := rec.Recover(crashDir)
+		if err != nil {
+			t.Fatalf("kill %d (surviving=%d torn=%d): %v", i, k, torns[k], err)
+		}
+		if info.CheckpointRecords != covered {
+			t.Fatalf("kill %d: checkpoint contributed %d records, want %d", i, info.CheckpointRecords, covered)
+		}
+		if info.Records != k {
+			t.Fatalf("kill %d: recovered %d records, want %d", i, info.Records, k)
+		}
+		if got := fingerprint(rec); got != refPrint {
+			t.Fatalf("kill %d (surviving=%d torn=%d): recovered state differs from serial reference", i, k, torns[k])
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAsyncCheckpointIntegration runs a campaign with the background
+// checkpoint worker live (small CheckpointEvery forces several passes) and
+// asserts (a) checkpoints actually completed and truncated nothing needed,
+// and (b) full recovery of the resulting dir — whatever mix of checkpoint
+// and segments the worker's timing left — equals the serial reference.
+func TestAsyncCheckpointIntegration(t *testing.T) {
+	cfg := Config{GoldenCount: 4, HITSize: 4, AnswersPerTask: 3, RerunEvery: 20,
+		CheckpointEvery: 30, WALSegmentBytes: 1 << 10}
+	dir := t.TempDir()
+	recs := runLoggedCampaign(t, cfg, dir, 50)
+
+	cp, err := wal.ReadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("no checkpoint written despite CheckpointEvery=30")
+	}
+
+	ref := newSystem(t, cfg)
+	applyPrefix(t, ref, recs)
+	s := newSystem(t, cfg)
+	info, err := s.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != len(recs) {
+		t.Fatalf("recovered %d records, want %d", info.Records, len(recs))
+	}
+	if info.CheckpointRecords == 0 {
+		t.Error("recovery used no checkpoint records")
+	}
+	if fingerprint(s) != fingerprint(ref) {
+		t.Fatal("async-checkpointed log recovered to a different state")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentServeWithWALRecovers hammers the system from many
+// goroutines with the WAL armed (group commit under real contention, run
+// with -race), then recovers the log into a fresh system. The recovered
+// answer count must equal what the live system accepted, and the final
+// batch inference over the recovered state must match the live system's
+// bit for bit — the WAL order is the same chronological order the serial
+// replay equivalence is proven against.
+func TestConcurrentServeWithWALRecovers(t *testing.T) {
+	cfg := Config{GoldenCount: 6, HITSize: 4, AnswersPerTask: 5, RerunEvery: 40,
+		AsyncRerun: true, CheckpointEvery: 60, WALSegmentBytes: 1 << 11}
+	dir := t.TempDir()
+	s := newSystem(t, cfg)
+	if _, err := s.Recover(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(concTasks(s.m, 120)); err != nil {
+		t.Fatal(err)
+	}
+	goldenSet := map[int]bool{}
+	for _, id := range s.GoldenTasks() {
+		goldenSet[id] = true
+	}
+	hammer(t, s, 8, 0.9, goldenSet)
+	res, err := s.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := s.AnswerCount()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := newSystem(t, cfg)
+	info, err := r.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if info.TornTail {
+		t.Error("graceful shutdown left a torn tail")
+	}
+	if got := r.AnswerCount(); got != accepted {
+		t.Fatalf("recovered %d answers, live system accepted %d", got, accepted)
+	}
+	res2, err := r.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Truth) != len(res2.Truth) {
+		t.Fatalf("result sizes differ: %d vs %d", len(res.Truth), len(res2.Truth))
+	}
+	for i := range res.Truth {
+		if res.Truth[i] != res2.Truth[i] {
+			t.Fatalf("task %d: live truth %d, recovered truth %d", i, res.Truth[i], res2.Truth[i])
+		}
+		for j := range res.S[i] {
+			if math.Float64bits(res.S[i][j]) != math.Float64bits(res2.S[i][j]) {
+				t.Fatalf("task %d choice %d: confidence differs in the last ulp", i, j)
+			}
+		}
+	}
+}
+
+// TestRecoveryDeterminism recovers the same directory twice; the two
+// Systems must fingerprint identically (replay is a pure function of the
+// log bytes).
+func TestRecoveryDeterminism(t *testing.T) {
+	cfg := Config{GoldenCount: 4, HITSize: 4, AnswersPerTask: 3, RerunEvery: 20, CheckpointEvery: -1}
+	dir := t.TempDir()
+	runLoggedCampaign(t, cfg, dir, 30)
+	a := newSystem(t, cfg)
+	if _, err := a.Recover(dir); err != nil {
+		t.Fatal(err)
+	}
+	b := newSystem(t, cfg)
+	if _, err := b.Recover(dir); err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) != fingerprint(b) {
+		t.Fatal("two recoveries of the same log differ")
+	}
+	a.Close()
+	b.Close()
+}
+
+// TestRecoveryDoesNotDoubleMergePersistentStore: golden profiling merges
+// worker stats into the long-run store at serving time, and a file-backed
+// store already holds (and durably logged) those merges. Replaying the
+// WAL must not merge them again — before the fix every restart compounded
+// each profiled worker's statistics.
+func TestRecoveryDoesNotDoubleMergePersistentStore(t *testing.T) {
+	dir := t.TempDir()
+	storePath := filepath.Join(t.TempDir(), "store.json")
+	newSys := func() *System {
+		st, err := store.Open(storePath, kb.MustDefault().Domains().Size())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := newSystem(t, Config{GoldenCount: 4, HITSize: 4, AnswersPerTask: 3,
+			RerunEvery: -1, CheckpointEvery: -1, Store: st})
+		return s
+	}
+
+	s := newSys()
+	if _, err := s.Recover(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(concTasks(s.m, 20)); err != nil {
+		t.Fatal(err)
+	}
+	goldenSet := map[int]bool{}
+	for _, id := range s.GoldenTasks() {
+		goldenSet[id] = true
+	}
+	// One worker clears the golden gauntlet (profiling merges into store).
+	for done := 0; done < len(goldenSet); {
+		got, err := s.Request("w0", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tk := range got {
+			if !goldenSet[tk.ID] {
+				t.Fatalf("unprofiled worker served regular task %d", tk.ID)
+			}
+			if err := s.Submit("w0", tk.ID, tk.Truth); err != nil {
+				t.Fatal(err)
+			}
+			done++
+		}
+	}
+	want, ok := s.store.Worker("w0")
+	if !ok {
+		t.Fatal("profiling did not reach the store")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for restart := 0; restart < 3; restart++ {
+		r := newSys()
+		if _, err := r.Recover(dir); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := r.store.Worker("w0")
+		if !ok {
+			t.Fatal("store lost the worker across restart")
+		}
+		for k := range got.U {
+			if math.Float64bits(got.U[k]) != math.Float64bits(want.U[k]) ||
+				math.Float64bits(got.Q[k]) != math.Float64bits(want.Q[k]) {
+				t.Fatalf("restart %d: store stats changed (U[%d]=%v, want %v) — replay re-merged profiling",
+					restart, k, got.U[k], want.U[k])
+			}
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRecoverRefusesAfterServing pins the API contract: Recover is a
+// construction-time call.
+func TestRecoverRefusesAfterServing(t *testing.T) {
+	s := newSystem(t, Config{GoldenCount: -1, RerunEvery: -1})
+	if err := s.Publish(concTasks(s.m, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(t.TempDir()); err == nil {
+		t.Fatal("Recover after Publish must fail")
+	}
+	if _, err := s.Recover(""); err == nil {
+		t.Fatal("Recover with empty dir must fail")
+	}
+}
+
+func mustUnmarshal(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+// Durability: the orchestrator's write-ahead logging and crash recovery.
+//
+// When a WAL is armed (Recover), every accepted mutation — the campaign
+// publication and each golden or regular answer — is reserved in the log
+// under the same lock that orders the in-memory answer log, so the durable
+// order equals the order the serial-replay equivalence proofs are anchored
+// to. Submit acknowledges only after the record's group-commit batch is
+// down. Recovery replays the checkpoint prefix and then the live segments
+// through the ordinary Publish/Submit path with periodic reruns forced
+// synchronous, which reconstructs the exact deterministic serial state.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"docs/internal/model"
+	"docs/internal/wal"
+)
+
+// ErrDurability marks failures of the durability promise itself — the WAL
+// could not accept or flush a record — as opposed to validation errors.
+// The mutation that triggered it is already applied in memory; callers
+// (the HTTP server) use the distinction to answer 5xx instead of 4xx.
+var ErrDurability = errors.New("durability failure")
+
+// RecoveryInfo describes what a Recover call replayed.
+type RecoveryInfo struct {
+	// Enabled is true once a WAL is armed.
+	Enabled bool
+	// CheckpointRecords is how many records came from the checkpoint file.
+	CheckpointRecords int
+	// Records is the total records replayed (checkpoint + segments).
+	Records int
+	// TornTail is true when the final segment ended in a torn record that
+	// was dropped (the crash interrupted an unacknowledged append).
+	TornTail bool
+	// LastSeq is the sequence number serving resumed from.
+	LastSeq uint64
+	// Duration is the wall-clock cost of the replay — the recovery lag a
+	// restarted server paid before it could serve again.
+	Duration time.Duration
+}
+
+// Recover arms the write-ahead log at dir, first replaying any state a
+// previous process left there: the checkpoint prefix, then every intact
+// WAL record after it, all through the ordinary Publish/Submit path. The
+// periodic batch rerun runs synchronously during replay even when
+// Config.AsyncRerun is set, so the recovered state is the deterministic
+// serial state of the logged stream — bit-identical to an uninterrupted
+// serial run, which the crash-injection tests assert record by record.
+//
+// Recover must be called once, before any Publish or Submit (it refuses
+// otherwise). After it returns, every subsequent accepted mutation is
+// appended to the log with group-commit batching.
+func (s *System) Recover(dir string) (RecoveryInfo, error) {
+	var info RecoveryInfo
+	if dir == "" {
+		return info, fmt.Errorf("core: empty WAL directory")
+	}
+	s.mu.RLock()
+	published := len(s.tasks) > 0
+	s.mu.RUnlock()
+	if published || s.submissions.Load() != 0 || s.wal != nil {
+		return info, fmt.Errorf("core: Recover must run once, before serving")
+	}
+
+	start := time.Now()
+	s.recovering = true
+	cp, err := wal.ReadCheckpoint(dir)
+	if err != nil {
+		s.recovering = false
+		return info, err
+	}
+	var cpSeq uint64
+	if cp != nil {
+		cpSeq = cp.LastSeq
+		s.ckptLastSeq, s.ckptBytes = cp.LastSeq, cp.ValidBytes
+		for _, rec := range cp.Records {
+			// Checkpointed records are not mirrored into durLog: the
+			// in-memory mirror holds only the un-checkpointed suffix (the
+			// next checkpoint extends the file rather than rebuilding the
+			// whole stream from RAM).
+			if err := s.applyRecord(rec, false); err != nil {
+				s.recovering = false
+				return info, fmt.Errorf("core: checkpoint replay: %w", err)
+			}
+		}
+		info.CheckpointRecords = len(cp.Records)
+		info.Records = len(cp.Records)
+		info.LastSeq = cpSeq
+	}
+	st, err := wal.Replay(dir, func(rec wal.Record) error {
+		if rec.Seq <= cpSeq {
+			// Segment truncation is whole-file, so surviving segments can
+			// still hold records the checkpoint already covers.
+			return nil
+		}
+		if err := s.applyRecord(rec, s.cfg.CheckpointEvery > 0); err != nil {
+			return err
+		}
+		info.Records++
+		info.LastSeq = rec.Seq
+		return nil
+	})
+	s.recovering = false
+	if err != nil {
+		return info, fmt.Errorf("core: WAL replay: %w", err)
+	}
+	info.TornTail = st.TornTail
+
+	log, err := wal.Open(dir, wal.Options{
+		SegmentBytes: s.cfg.WALSegmentBytes,
+		Sync:         s.cfg.WALSync,
+	})
+	if err != nil {
+		return info, err
+	}
+	s.wal = log
+	s.walDir = dir
+	info.Enabled = true
+	info.Duration = time.Since(start)
+	s.recovery = info
+	if s.cfg.CheckpointEvery > 0 {
+		s.wg.Add(1)
+		go s.checkpointWorker()
+	}
+	return info, nil
+}
+
+// Recovery returns what the last Recover call replayed (zero value when no
+// WAL is armed).
+func (s *System) Recovery() RecoveryInfo { return s.recovery }
+
+// WALSeq returns the sequence number of the last durable record, 0 when no
+// WAL is armed.
+func (s *System) WALSeq() uint64 {
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.LastSeq()
+}
+
+// Checkpoints returns how many WAL checkpoints have completed and failed.
+func (s *System) Checkpoints() (completed, failed int64) {
+	return s.ckpts.Load(), s.ckptErrs.Load()
+}
+
+// applyRecord replays one durable record through the ordinary serving path.
+// The WAL is nil during recovery, so the replay does not re-log; with
+// mirror set the record enters the un-checkpointed durLog suffix with its
+// original sequence number (false for records the checkpoint file already
+// holds).
+func (s *System) applyRecord(rec wal.Record, mirror bool) error {
+	switch rec.Kind {
+	case wal.KindPublish:
+		var tasks []*model.Task
+		if err := json.Unmarshal(rec.Blob, &tasks); err != nil {
+			return fmt.Errorf("publish record %d: %w", rec.Seq, err)
+		}
+		if err := s.Publish(tasks); err != nil {
+			return fmt.Errorf("publish record %d: %w", rec.Seq, err)
+		}
+	case wal.KindAnswer:
+		if err := s.Submit(rec.Worker, rec.Task, rec.Choice); err != nil {
+			return fmt.Errorf("answer record %d: %w", rec.Seq, err)
+		}
+	default:
+		return fmt.Errorf("record %d has unknown kind %d", rec.Seq, rec.Kind)
+	}
+	if mirror {
+		s.logMu.Lock()
+		s.durLog = append(s.durLog, rec)
+		s.logMu.Unlock()
+	}
+	return nil
+}
+
+// walReserve queues one record for the armed WAL and, when checkpointing
+// is enabled, mirrors it into the checkpoint source (with checkpoints off
+// nothing ever drains the mirror, so it must not grow). Callers hold logMu
+// (directly or transitively), which makes reservation order — and
+// therefore durable replay order — equal to the in-memory answer-log
+// order. Returns a zero Pending when no WAL is armed.
+func (s *System) walReserve(rec wal.Record) (wal.Pending, error) {
+	if s.wal == nil {
+		return wal.Pending{}, nil
+	}
+	p, err := s.wal.Reserve(rec)
+	if err != nil {
+		return wal.Pending{}, fmt.Errorf("core: %w: %v", ErrDurability, err)
+	}
+	if s.cfg.CheckpointEvery > 0 {
+		rec.Seq = p.Seq()
+		s.durLog = append(s.durLog, rec)
+	}
+	return p, nil
+}
+
+// walCommit waits for a reservation's group-commit batch. A zero Pending
+// (no WAL) is a no-op.
+func (s *System) walCommit(p wal.Pending) error {
+	if p == (wal.Pending{}) {
+		return nil
+	}
+	if err := p.Wait(); err != nil {
+		// The mutation is already applied in memory; what failed is the
+		// durability promise. Surface it so the platform can stop acking.
+		return fmt.Errorf("core: %w: %v", ErrDurability, err)
+	}
+	return nil
+}
+
+// maybeCheckpoint nudges the checkpoint worker every CheckpointEvery
+// accepted answers.
+func (s *System) maybeCheckpoint(n int64) {
+	z := s.cfg.CheckpointEvery
+	if s.wal == nil || z <= 0 || n%int64(z) != 0 {
+		return
+	}
+	select {
+	case s.ckptCh <- struct{}{}:
+	default: // one is already pending; it will cover this batch too
+	}
+}
+
+func (s *System) checkpointWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			select {
+			case <-s.ckptCh:
+				s.runCheckpoint()
+			default:
+			}
+			return
+		case <-s.ckptCh:
+			s.runCheckpoint()
+		}
+	}
+}
+
+// runCheckpoint appends the records accepted since the last pass to the
+// checkpoint file (O(new), not a prefix rewrite — the tail position is
+// cached across passes) and then truncates the segments it now covers.
+// The checkpoint stores the record stream rather than engine floats: the
+// serving core's canonical state is defined as the serial replay of its
+// log, so replaying the stream is the only representation that recovers
+// it bit-for-bit. durLog holds only the un-checkpointed suffix, so the
+// mirror's steady-state memory is bounded by the checkpoint cadence, not
+// the campaign length.
+func (s *System) runCheckpoint() {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.logMu.Lock()
+	fresh := append([]wal.Record(nil), s.durLog...)
+	s.logMu.Unlock()
+	if len(fresh) > 0 {
+		lastSeq, bytes, err := wal.ExtendCheckpoint(s.walDir, s.ckptLastSeq, s.ckptBytes, fresh)
+		if err != nil {
+			s.ckptErrs.Add(1)
+			return
+		}
+		s.ckptLastSeq, s.ckptBytes = lastSeq, bytes
+		// Trim the mirror immediately — the checkpoint now owns these
+		// records, and a later failure must not leave them queued for
+		// re-append (a duplicate would corrupt the stream). Records that
+		// arrived since the snapshot stay: append order under logMu makes
+		// the snapshot a strict prefix of the current durLog.
+		s.logMu.Lock()
+		s.durLog = append([]wal.Record(nil), s.durLog[len(fresh):]...)
+		s.logMu.Unlock()
+		// The checkpoint data is durable: the pass counts as completed even
+		// if the segment cleanup below hits a transient error.
+		s.ckpts.Add(1)
+	}
+	// Truncation runs every pass (not only when new records arrived), so a
+	// previously failed cleanup is retried; until then the covered segments
+	// merely linger — recovery skips their records by sequence number.
+	if s.ckptLastSeq > 0 {
+		if err := s.wal.TruncateBefore(s.ckptLastSeq); err != nil {
+			s.ckptErrs.Add(1)
+		}
+	}
+}

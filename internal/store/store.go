@@ -2,8 +2,26 @@
 // vector q^w and weight vector u^w (Section 4.2, Theorem 1). The paper keeps
 // these in the system's SQL database so workers returning for a later
 // requester's tasks start from their history; here the store is an
-// in-memory map with an optional JSON snapshot on disk, safe for concurrent
-// use by the HTTP server.
+// in-memory map persisted as a checkpoint plus a delta log, safe for
+// concurrent use by the HTTP server.
+//
+// # On-disk layout
+//
+// The checkpoint at `path` is a JSON snapshot, always replaced atomically
+// (temp file, fsync, rename, directory fsync), so a crash mid-save leaves
+// the previous checkpoint intact. Between saves, every Merge and Put also
+// appends one CRC-framed JSON record to `path+".delta"`, so a crash loses
+// no update that ever returned success — the seed rewrote the whole JSON
+// file on Save only, leaving everything since the last Save to die with
+// the process. Open loads the checkpoint and replays the delta log; a torn
+// final delta (the crash interrupted the append) is dropped, torn data
+// anywhere else is corruption. Save folds the deltas into a fresh
+// checkpoint and resets the log.
+//
+// Replaying a delta twice would double-count a Merge, so checkpoint and
+// deltas carry a generation number: Save bumps it, and Open skips deltas
+// older than the checkpoint's generation — which is exactly the crash
+// window between the checkpoint rename and the delta-log reset.
 package store
 
 import (
@@ -17,6 +35,7 @@ import (
 	"sync"
 
 	"docs/internal/truth"
+	"docs/internal/wal"
 )
 
 // Store holds per-worker statistics, keyed by platform worker ID.
@@ -25,17 +44,28 @@ type Store struct {
 	m       int
 	workers map[string]*truth.Stats
 	path    string
+	gen     uint64   // bumped by every Save; tags delta records
+	deltaF  *os.File // append-only delta log, nil for memory-only stores
 }
 
-// snapshot is the JSON wire format.
+// snapshot is the checkpoint JSON wire format.
 type snapshot struct {
 	M       int                     `json:"m"`
+	Gen     uint64                  `json:"gen,omitempty"`
 	Workers map[string]*truth.Stats `json:"workers"`
 }
 
-// Open creates a store over m domains. If path is non-empty and the file
-// exists, the snapshot is loaded; Save writes back to the same path. An
-// empty path keeps the store memory-only.
+// delta is one logged update.
+type delta struct {
+	Gen   uint64       `json:"gen"`
+	Op    string       `json:"op"` // "merge" or "put"
+	ID    string       `json:"id"`
+	Stats *truth.Stats `json:"stats"`
+}
+
+// Open creates a store over m domains. If path is non-empty the checkpoint
+// (if present) is loaded and the delta log replayed; Save writes back to
+// the same path. An empty path keeps the store memory-only.
 func Open(path string, m int) (*Store, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("store: m = %d, want > 0", m)
@@ -45,26 +75,110 @@ func Open(path string, m int) (*Store, error) {
 		return s, nil
 	}
 	data, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return s, nil
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// fresh store
+	case err != nil:
+		return nil, fmt.Errorf("store: %w", err)
+	default:
+		var snap snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("store: corrupt snapshot %s: %w", path, err)
+		}
+		if snap.M != m {
+			return nil, fmt.Errorf("store: snapshot has m=%d, want %d", snap.M, m)
+		}
+		for w, st := range snap.Workers {
+			if err := st.Validate(m); err != nil {
+				return nil, fmt.Errorf("store: worker %q: %w", w, err)
+			}
+			s.workers[w] = st
+		}
+		s.gen = snap.Gen
 	}
+	if err := s.replayDeltas(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.deltaPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	var snap snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("store: corrupt snapshot %s: %w", path, err)
-	}
-	if snap.M != m {
-		return nil, fmt.Errorf("store: snapshot has m=%d, want %d", snap.M, m)
-	}
-	for w, st := range snap.Workers {
-		if err := st.Validate(m); err != nil {
-			return nil, fmt.Errorf("store: worker %q: %w", w, err)
-		}
-		s.workers[w] = st
-	}
+	s.deltaF = f
 	return s, nil
+}
+
+func (s *Store) deltaPath() string { return s.path + ".delta" }
+
+// Persistent reports whether the store is file-backed: its contents
+// survive the process, so replay-style recovery must not re-apply merges
+// the store already absorbed.
+func (s *Store) Persistent() bool { return s.path != "" }
+
+// replayDeltas applies the delta log on top of the loaded checkpoint,
+// skipping records from generations the checkpoint already folded in and
+// tolerating a torn final record.
+func (s *Store) replayDeltas() error {
+	data, err := os.ReadFile(s.deltaPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	torn, err := wal.DecodeFrames(data, func(payload []byte) error {
+		var d delta
+		if err := json.Unmarshal(payload, &d); err != nil {
+			return fmt.Errorf("store: corrupt delta record: %w", err)
+		}
+		if d.Gen < s.gen {
+			// Written before the checkpoint that is already loaded; the
+			// crash hit between checkpoint rename and delta reset.
+			return nil
+		}
+		if d.Stats == nil {
+			return fmt.Errorf("store: delta for %q has no stats", d.ID)
+		}
+		if err := d.Stats.Validate(s.m); err != nil {
+			return fmt.Errorf("store: delta for %q: %w", d.ID, err)
+		}
+		switch d.Op {
+		case "merge":
+			s.mergeLocked(d.ID, d.Stats)
+		case "put":
+			s.workers[d.ID] = d.Stats.Clone()
+		default:
+			return fmt.Errorf("store: delta op %q", d.Op)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: delta log %s: %w", s.deltaPath(), err)
+	}
+	_ = torn // a torn tail is the expected crash artifact; drop it silently
+	return nil
+}
+
+// appendDelta logs one update, fsynced before returning: WAL recovery
+// relies on a persistent store's merges being durable (it skips
+// re-applying them), so a delta that only reached the page cache would be
+// a silent loss under power failure. Deltas are rare — one per worker
+// profiling plus one per worker per Results call — so the fsync is off
+// every hot path. Callers hold s.mu.
+func (s *Store) appendDelta(op, id string, st *truth.Stats) error {
+	if s.deltaF == nil {
+		return nil
+	}
+	payload, err := json.Marshal(delta{Gen: s.gen, Op: op, ID: id, Stats: st})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.deltaF.Write(wal.EncodeFrame(nil, payload)); err != nil {
+		return fmt.Errorf("store: delta: %w", err)
+	}
+	if err := s.deltaF.Sync(); err != nil {
+		return fmt.Errorf("store: delta: %w", err)
+	}
+	return nil
 }
 
 // Len returns the number of workers with stored statistics.
@@ -86,7 +200,8 @@ func (s *Store) Worker(id string) (*truth.Stats, bool) {
 	return st.Clone(), true
 }
 
-// Put overwrites the worker's stored statistics.
+// Put overwrites the worker's stored statistics (durably, when the store
+// is file-backed: the delta is on disk before Put returns).
 func (s *Store) Put(id string, st *truth.Stats) error {
 	if err := st.Validate(s.m); err != nil {
 		return fmt.Errorf("store: worker %q: %w", id, err)
@@ -94,17 +209,22 @@ func (s *Store) Put(id string, st *truth.Stats) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.workers[id] = st.Clone()
-	return nil
+	return s.appendDelta("put", id, st)
 }
 
 // Merge folds a session's statistics into the stored ones per Theorem 1,
-// creating the record if absent.
+// creating the record if absent (durably, when the store is file-backed).
 func (s *Store) Merge(id string, session *truth.Stats) error {
 	if err := session.Validate(s.m); err != nil {
 		return fmt.Errorf("store: worker %q: %w", id, err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.mergeLocked(id, session)
+	return s.appendDelta("merge", id, session)
+}
+
+func (s *Store) mergeLocked(id string, session *truth.Stats) {
 	cur, ok := s.workers[id]
 	if !ok {
 		cur = &truth.Stats{Q: make([]float64, s.m), U: make([]float64, s.m)}
@@ -114,7 +234,6 @@ func (s *Store) Merge(id string, session *truth.Stats) error {
 		s.workers[id] = cur
 	}
 	cur.Merge(session)
-	return nil
 }
 
 // Workers returns the stored worker IDs in sorted order.
@@ -129,16 +248,26 @@ func (s *Store) Workers() []string {
 	return ids
 }
 
-// Save writes the JSON snapshot atomically (write temp file, rename). It is
-// a no-op for memory-only stores.
+// Save writes a fresh checkpoint atomically (temp file, fsync, rename,
+// directory fsync) and resets the delta log. A crash at any point leaves a
+// loadable store: before the rename the old checkpoint + deltas win, after
+// it the generation guard keeps the stale deltas from re-applying. It is a
+// no-op for memory-only stores.
+//
+// Save deliberately holds the exclusive lock across the file I/O: a Merge
+// landing between the marshal and the delta-log reset would append a
+// record the new checkpoint does not contain and the reset then destroys.
+// The stall is bounded by one small-file write + fsync and Save is only
+// called from Results (itself a full batch inference), so correctness wins
+// over the brief pause.
 func (s *Store) Save() error {
 	if s.path == "" {
 		return nil
 	}
-	s.mu.RLock()
-	snap := snapshot{M: s.m, Workers: s.workers}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := snapshot{M: s.m, Gen: s.gen + 1, Workers: s.workers}
 	data, err := json.MarshalIndent(&snap, "", "  ")
-	s.mu.RUnlock()
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -148,10 +277,16 @@ func (s *Store) Save() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
+	cleanup := func(err error) error {
 		tmp.Close()
 		os.Remove(tmpName)
 		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
@@ -161,5 +296,32 @@ func (s *Store) Save() error {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: %w", err)
 	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	s.gen++
+	// Reset the delta log: its records are folded into the checkpoint now.
+	if s.deltaF != nil {
+		if err := s.deltaF.Truncate(0); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, err := s.deltaF.Seek(0, 0); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
 	return nil
+}
+
+// Close releases the delta log file handle. The store must not be used
+// after Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.deltaF == nil {
+		return nil
+	}
+	err := s.deltaF.Close()
+	s.deltaF = nil
+	return err
 }

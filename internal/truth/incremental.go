@@ -3,6 +3,7 @@ package truth
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -196,6 +197,24 @@ func (inc *Incremental) Worker(w string) *Stats {
 	}
 	sh.mu.Unlock()
 	return st
+}
+
+// Workers returns the IDs of every worker the engine has statistics for,
+// in sorted order. Used by state fingerprinting (recovery equivalence
+// checks) and diagnostics; it takes each shard lock briefly, so it is safe
+// but not free to call while serving.
+func (inc *Incremental) Workers() []string {
+	var ids []string
+	for i := range inc.workers {
+		sh := &inc.workers[i]
+		sh.mu.Lock()
+		for w := range sh.m {
+			ids = append(ids, w)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // HasWorker reports whether the engine has statistics for the worker,

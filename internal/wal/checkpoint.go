@@ -1,0 +1,188 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// A checkpoint compacts the replayed prefix of the log into one file so
+// fully-covered segments can be deleted (TruncateBefore). It stores the
+// record stream itself, not a serialized engine state: the serving core's
+// canonical state is *defined* as the serial replay of its answer log, and
+// replaying the checkpointed prefix reproduces that state bit-for-bit —
+// float-by-float snapshots could drift from the replay the equivalence
+// proofs are anchored to. The trade-off is that recovery time stays linear
+// in campaign size; the checkpoint consolidates segments, it does not
+// shrink the stream.
+//
+// File layout: an 8-byte magic, then frames — the same length+CRC encoding
+// as a segment, in strictly increasing sequence order:
+//
+//	magic "DOCSCKP2" | frame | frame | ...
+//
+// The file is extended in place by ExtendCheckpoint (append + fsync), so
+// growing it costs O(new records), not a rewrite of the prefix. A crash
+// mid-extend leaves a torn final frame; because segment truncation only
+// happens after a successful extend, the torn records still live in the
+// segments and recovery is whole. Torn-tail tolerance follows the segment
+// rule: a frame cut short by EOF is a tear, bytes present-but-wrong are
+// corruption.
+
+const (
+	checkpointName = "checkpoint"
+	ckptMagic      = "DOCSCKP2"
+)
+
+// Checkpoint is a decoded checkpoint file.
+type Checkpoint struct {
+	// LastSeq is the highest sequence number the checkpoint covers;
+	// recovery replays it first, then WAL records with Seq > LastSeq.
+	LastSeq uint64
+	// Records is the covered prefix of the log, in sequence order.
+	Records []Record
+	// TornTail is true when the file ended in a torn frame (an interrupted
+	// extend); the dropped records are still in the WAL segments.
+	TornTail bool
+	// ValidBytes is the byte length of the intact prefix (magic + whole
+	// frames) — where the next extend appends.
+	ValidBytes int64
+}
+
+// WriteCheckpoint atomically replaces the log directory's checkpoint with
+// the given records (temp file, fsync, rename, directory fsync). records
+// must be in strictly increasing sequence order ending at lastSeq.
+// ExtendCheckpoint is the incremental path; this full rewrite serves
+// first-time creation and test fabrication.
+func WriteCheckpoint(dir string, lastSeq uint64, records []Record) error {
+	if n := len(records); n > 0 && records[n-1].Seq != lastSeq {
+		return fmt.Errorf("wal: checkpoint ends at seq %d, caller claims %d", records[n-1].Seq, lastSeq)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(ckptMagic)
+	var frame []byte
+	for _, rec := range records {
+		frame = rec.appendFrame(frame[:0])
+		buf.Write(frame)
+	}
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, checkpointName)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// ExtendCheckpoint appends records at the known tail of the directory's
+// checkpoint (creating the file when lastSeq and validBytes are zero) and
+// fsyncs; the cost is O(new records), independent of the prefix length.
+// Callers track (lastSeq, validBytes) across passes — ReadCheckpoint
+// provides both after a restart. Anything past validBytes (a torn tail
+// from an interrupted extend) is truncated away first; the records it
+// carried are still in the segments, which callers truncate only after
+// this returns successfully. records must continue the sequence order.
+func ExtendCheckpoint(dir string, lastSeq uint64, validBytes int64, records []Record) (newLastSeq uint64, newValidBytes int64, err error) {
+	if len(records) == 0 {
+		return lastSeq, validBytes, nil
+	}
+	if records[0].Seq <= lastSeq {
+		return lastSeq, validBytes, fmt.Errorf("wal: checkpoint extend: record seq %d does not continue %d", records[0].Seq, lastSeq)
+	}
+	newLastSeq = records[len(records)-1].Seq
+	if validBytes == 0 {
+		if err := WriteCheckpoint(dir, newLastSeq, records); err != nil {
+			return lastSeq, validBytes, err
+		}
+		n := int64(len(ckptMagic))
+		var frame []byte
+		for _, rec := range records {
+			frame = rec.appendFrame(frame[:0])
+			n += int64(len(frame))
+		}
+		return newLastSeq, n, nil
+	}
+	f, err := os.OpenFile(filepath.Join(dir, checkpointName), os.O_RDWR, 0o644)
+	if err != nil {
+		return lastSeq, validBytes, fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(validBytes); err != nil {
+		return lastSeq, validBytes, fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	var buf []byte
+	for _, rec := range records {
+		buf = rec.appendFrame(buf)
+	}
+	if _, err := f.WriteAt(buf, validBytes); err != nil {
+		return lastSeq, validBytes, fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return lastSeq, validBytes, fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	return newLastSeq, validBytes + int64(len(buf)), nil
+}
+
+// ReadCheckpoint loads the directory's checkpoint, or returns (nil, nil)
+// when none exists. A torn final frame (interrupted extend) is dropped and
+// reported via Checkpoint.TornTail; present-but-wrong bytes — CRC
+// mismatch, absurd length, undecodable payload, out-of-order sequence —
+// are corruption.
+func ReadCheckpoint(dir string) (*Checkpoint, error) {
+	data, err := os.ReadFile(filepath.Join(dir, checkpointName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	return decodeCheckpoint(data)
+}
+
+func decodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < len(ckptMagic) || string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("%w: checkpoint header", ErrCorrupt)
+	}
+	cp := &Checkpoint{ValidBytes: int64(len(ckptMagic))}
+	torn, err := DecodeFrames(data[len(ckptMagic):], func(payload []byte) error {
+		rec, err := Decode(payload)
+		if err != nil {
+			return fmt.Errorf("%w: checkpoint: %v", ErrCorrupt, err)
+		}
+		if rec.Seq <= cp.LastSeq {
+			return fmt.Errorf("%w: checkpoint seq %d after %d", ErrCorrupt, rec.Seq, cp.LastSeq)
+		}
+		cp.LastSeq = rec.Seq
+		cp.Records = append(cp.Records, rec)
+		cp.ValidBytes += frameHeaderLen + int64(len(payload))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cp.TornTail = torn
+	return cp, nil
+}

@@ -1,0 +1,96 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenRecords is a fixed sequence covering every record kind, varint
+// width boundaries (1-byte and 2-byte uvarints), empty and non-ASCII
+// strings, and an empty blob.
+func goldenRecords() []Record {
+	return []Record{
+		{Seq: 1, Kind: KindPublish, Blob: []byte(`[{"id":0,"text":"t","choices":["a","b"]}]`)},
+		{Seq: 2, Kind: KindAnswer, Worker: "w0", Task: 0, Choice: 0},
+		{Seq: 3, Kind: KindAnswer, Worker: "worker-with-a-longer-name", Task: 127, Choice: 1},
+		{Seq: 128, Kind: KindAnswer, Worker: "", Task: 128, Choice: 2},
+		{Seq: 300, Kind: KindAnswer, Worker: "wörker-ünïcode", Task: 16384, Choice: 0},
+		{Seq: 301, Kind: KindPublish, Blob: nil},
+	}
+}
+
+// TestGoldenFormat pins the on-disk encoding: the framed bytes of a fixed
+// record sequence must match the checked-in golden file byte for byte.
+// The WAL is a durability contract — logs written by one build must replay
+// on the next — so any intentional format change must both update this
+// file (go test ./internal/wal -run Golden -update) and add migration
+// handling for old logs.
+func TestGoldenFormat(t *testing.T) {
+	var got []byte
+	for _, rec := range goldenRecords() {
+		got = rec.appendFrame(got)
+	}
+	path := filepath.Join("testdata", "format.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding drifted from golden file:\n got %s\nwant %s",
+			hex.EncodeToString(got), hex.EncodeToString(want))
+	}
+	// And the golden bytes must decode back to the original records: replay
+	// of old logs is the other half of the contract.
+	off := 0
+	var decoded []Record
+	for off < len(want) {
+		n := int(uint32(want[off]) | uint32(want[off+1])<<8 | uint32(want[off+2])<<16 | uint32(want[off+3])<<24)
+		payload := want[off+frameHeaderLen : off+frameHeaderLen+n]
+		rec, err := Decode(payload)
+		if err != nil {
+			t.Fatalf("decode golden frame at %d: %v", off, err)
+		}
+		decoded = append(decoded, rec)
+		off += frameHeaderLen + n
+	}
+	wantRecs := goldenRecords()
+	if len(decoded) != len(wantRecs) {
+		t.Fatalf("decoded %d records, want %d", len(decoded), len(wantRecs))
+	}
+	for i := range decoded {
+		g, w := decoded[i], wantRecs[i]
+		if g.Seq != w.Seq || g.Kind != w.Kind || g.Worker != w.Worker ||
+			g.Task != w.Task || g.Choice != w.Choice || !bytes.Equal(g.Blob, w.Blob) {
+			t.Errorf("record %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+// TestEncodeDecodeRoundtrip is the property the fuzz target extends: any
+// record that can be encoded decodes back to itself.
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	for i, rec := range goldenRecords() {
+		got, err := Decode(rec.Encode())
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Seq != rec.Seq || got.Kind != rec.Kind || got.Worker != rec.Worker ||
+			got.Task != rec.Task || got.Choice != rec.Choice || !bytes.Equal(got.Blob, rec.Blob) {
+			t.Errorf("record %d roundtrip = %+v, want %+v", i, got, rec)
+		}
+	}
+}

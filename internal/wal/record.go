@@ -1,0 +1,203 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind tags what a record carries.
+type Kind uint8
+
+const (
+	// KindAnswer is one accepted worker answer (golden or regular — replay
+	// routes both through the orchestrator's Submit, which re-derives the
+	// distinction).
+	KindAnswer Kind = 1
+	// KindPublish is the campaign publication: a JSON blob of the published
+	// tasks, including the domain vectors DVE computed, so recovery does
+	// not depend on the knowledge base being byte-identical across builds.
+	KindPublish Kind = 2
+)
+
+// Record is one durable event. Seq is assigned by Log.Append and is
+// strictly increasing across the whole log.
+type Record struct {
+	Seq  uint64
+	Kind Kind
+
+	// KindAnswer fields.
+	Worker string
+	Task   int
+	Choice int
+
+	// KindPublish payload (JSON-encoded tasks).
+	Blob []byte
+}
+
+// maxStringLen bounds decoded string/blob fields, independently of the
+// frame-level MaxPayload, so a hostile payload cannot claim a huge length.
+const maxStringLen = MaxPayload
+
+// Encode returns the deterministic payload encoding of the record (no
+// frame header). The layout is:
+//
+//	kind (1 byte) | seq (uvarint) | kind-specific fields
+//
+// KindAnswer:  len(worker) uvarint | worker bytes | task uvarint | choice uvarint
+// KindPublish: len(blob) uvarint | blob bytes
+func (r Record) Encode() []byte {
+	return r.encode(nil)
+}
+
+func (r Record) encode(dst []byte) []byte {
+	dst = append(dst, byte(r.Kind))
+	dst = binary.AppendUvarint(dst, r.Seq)
+	switch r.Kind {
+	case KindAnswer:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Worker)))
+		dst = append(dst, r.Worker...)
+		dst = binary.AppendUvarint(dst, uint64(r.Task))
+		dst = binary.AppendUvarint(dst, uint64(r.Choice))
+	case KindPublish:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Blob)))
+		dst = append(dst, r.Blob...)
+	}
+	return dst
+}
+
+// appendFrame appends the framed (length + CRC + payload) encoding.
+func (r Record) appendFrame(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	dst = r.encode(dst)
+	payload := dst[start+frameHeaderLen:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
+	return dst
+}
+
+// Decode parses a payload produced by Encode. It never panics on arbitrary
+// input (the fuzz target FuzzWALDecode holds it to that) and rejects
+// payloads with trailing garbage, unknown kinds, or fields whose declared
+// lengths exceed the input.
+func Decode(payload []byte) (Record, error) {
+	var r Record
+	if len(payload) == 0 {
+		return r, fmt.Errorf("wal: empty record payload")
+	}
+	r.Kind = Kind(payload[0])
+	rest := payload[1:]
+	seq, rest, err := readUvarint(rest)
+	if err != nil {
+		return r, fmt.Errorf("wal: seq: %w", err)
+	}
+	r.Seq = seq
+	switch r.Kind {
+	case KindAnswer:
+		var worker []byte
+		worker, rest, err = readBytes(rest)
+		if err != nil {
+			return r, fmt.Errorf("wal: worker: %w", err)
+		}
+		r.Worker = string(worker)
+		var task, choice uint64
+		task, rest, err = readUvarint(rest)
+		if err != nil {
+			return r, fmt.Errorf("wal: task: %w", err)
+		}
+		choice, rest, err = readUvarint(rest)
+		if err != nil {
+			return r, fmt.Errorf("wal: choice: %w", err)
+		}
+		if task > maxInt || choice > maxInt {
+			return r, fmt.Errorf("wal: task/choice out of int range")
+		}
+		r.Task, r.Choice = int(task), int(choice)
+	case KindPublish:
+		r.Blob, rest, err = readBytes(rest)
+		if err != nil {
+			return r, fmt.Errorf("wal: blob: %w", err)
+		}
+	default:
+		return r, fmt.Errorf("wal: unknown record kind %d", r.Kind)
+	}
+	if len(rest) != 0 {
+		return r, fmt.Errorf("wal: %d trailing bytes after record", len(rest))
+	}
+	return r, nil
+}
+
+const maxInt = uint64(^uint(0) >> 1)
+
+// EncodeFrame wraps an arbitrary payload in the WAL's frame format
+// (length + CRC32-C + payload), appending to dst. Together with
+// DecodeFrames it lets sibling durable files (the worker store's delta
+// log) share the torn-write detection this package's fuzzing exercises.
+func EncodeFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeFrames walks a byte buffer of frames, calling fn on each intact
+// payload. A frame cut short by the end of the buffer (what a crashed
+// append leaves: writes deliver prefixes) stops the walk with torn = true;
+// a frame whose bytes are all present but wrong (CRC mismatch, absurd
+// length) is rot, not a tear, and returns an error so callers fail loudly
+// instead of silently dropping everything after it.
+func DecodeFrames(data []byte, fn func(payload []byte) error) (torn bool, err error) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeaderLen {
+			return true, nil
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if n > MaxPayload {
+			return false, fmt.Errorf("%w: frame length %d at offset %d", ErrCorrupt, n, off)
+		}
+		if len(rest) < frameHeaderLen+int(n) {
+			return true, nil
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+int(n)]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return false, fmt.Errorf("%w: CRC mismatch at offset %d", ErrCorrupt, off)
+		}
+		if err := fn(payload); err != nil {
+			return false, err
+		}
+		off += frameHeaderLen + int(n)
+	}
+	return false, nil
+}
+
+// readUvarint pops one uvarint, rejecting non-minimal ("overlong")
+// encodings: the format is canonical, so every accepted payload re-encodes
+// to the exact same bytes. Without this, two byte strings could alias the
+// same record and CRC-valid garbage would have more ways to parse.
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, fmt.Errorf("bad varint")
+	}
+	if n > 1 && v>>(7*(n-1)) == 0 {
+		return 0, b, fmt.Errorf("non-minimal varint")
+	}
+	return v, b[n:], nil
+}
+
+// readBytes pops a uvarint-length-prefixed byte field.
+func readBytes(b []byte) (field, rest []byte, err error) {
+	n, rest, err := readUvarint(b)
+	if err != nil {
+		return nil, b, fmt.Errorf("bad length: %w", err)
+	}
+	if n > maxStringLen || n > uint64(len(rest)) {
+		return nil, b, fmt.Errorf("length %d exceeds remaining %d bytes", n, len(rest))
+	}
+	return rest[:n], rest[n:], nil
+}

@@ -1,0 +1,597 @@
+// Package wal is the durable answer log of the DOCS serving core: a
+// segmented, CRC-checked write-ahead log whose replay reconstructs a
+// campaign exactly.
+//
+// The paper keeps worker quality vectors and task truth in the system
+// database so campaigns survive requesters coming and going; this package
+// is the reproduction's equivalent for the serving state that PR 1 moved
+// into memory. Every accepted Submit appends one record; recovery replays
+// the records through the orchestrator's serial submit path, and because
+// the concurrent serving core was proven equivalent to a serial replay of
+// its chronological answer log, the recovered state is exact by
+// construction rather than by approximation.
+//
+// # On-disk format
+//
+// A log is a directory of segment files named <firstSeq:016x>.wal. Each
+// segment is a sequence of frames:
+//
+//	+----------------+----------------+=================+
+//	| length (u32le) | CRC32-C (u32le)|  payload bytes  |
+//	+----------------+----------------+=================+
+//
+// The CRC covers the payload only. A frame whose bytes end before the
+// length it declares (writes deliver prefixes, so this is what a crashed
+// append leaves behind) is a torn write: at the tail of the last segment
+// it is expected and silently dropped — the submit it carried was never
+// acknowledged durable — and anywhere else it is corruption. A frame whose
+// bytes are all present but wrong (CRC mismatch, absurd length,
+// undecodable payload) cannot come from a torn append and always fails
+// replay loudly, so rot never silently truncates acknowledged records.
+//
+// Payloads are records (see Record): a kind byte followed by kind-specific
+// fields in uvarint/raw-byte encoding. The encoding is deterministic —
+// byte-for-byte reproducible from the record — which the golden-format
+// test pins down so the format cannot drift silently.
+//
+// # Group commit
+//
+// Append enqueues the encoded record under a short lock and then waits for
+// the background flusher to write its batch; concurrent appenders share
+// one write (and one fsync, when SyncEveryBatch is set) per batch, so the
+// sharded ingest path keeps its throughput. Durability levels:
+//
+//	SyncNever      frames reach the OS on every batch flush; fsync only on
+//	               segment rotation and Close. Survives process crashes,
+//	               not power loss.
+//	SyncEveryBatch one fsync per group-commit batch. Survives power loss
+//	               at the cost of one fsync amortized over the batch.
+//
+// Append returns only after the record's batch reached the chosen level,
+// so an acknowledged submit is durable under the configured contract.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SyncPolicy selects the durability level of Append.
+type SyncPolicy int
+
+const (
+	// SyncNever writes batches to the OS without fsync (fsync still runs on
+	// rotation and Close).
+	SyncNever SyncPolicy = iota
+	// SyncEveryBatch fsyncs once per group-commit batch.
+	SyncEveryBatch
+)
+
+// Options tunes a Log. The zero value is ready to use.
+type Options struct {
+	// SegmentBytes rotates to a new segment once the active one exceeds
+	// this size (default 8 MiB, minimum 1 KiB).
+	SegmentBytes int64
+	// Sync is the durability level (default SyncNever).
+	Sync SyncPolicy
+}
+
+const (
+	defaultSegmentBytes = 8 << 20
+	minSegmentBytes     = 1 << 10
+	segmentSuffix       = ".wal"
+	frameHeaderLen      = 8
+	// MaxPayload bounds a single record; the length prefix of a frame
+	// claiming more is treated as corruption, which keeps the decoder from
+	// allocating attacker-controlled amounts.
+	MaxPayload = 16 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrCorrupt wraps frame-level corruption found before the final torn tail.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Log is an open write-ahead log. It is safe for concurrent Append.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast when flushed or err advances
+	buf     []byte     // encoded frames waiting for the flusher
+	seq     uint64     // last assigned sequence number
+	pending uint64     // last sequence number sitting in buf
+	flushed uint64     // last sequence number durable per policy
+	err     error      // sticky: first I/O failure poisons the log
+	closed  bool
+
+	// ioMu guards the active-segment file handle across the flusher's
+	// writes/rotations and Sync/Close's fsyncs. Lock order: ioMu before mu,
+	// never the reverse.
+	ioMu sync.Mutex
+	f    *os.File // active segment
+	size int64    // bytes written to the active segment
+
+	flusherC    chan struct{}
+	done        chan struct{}
+	flusherDone chan struct{}
+}
+
+// Open opens (creating if needed) the log directory and positions the
+// writer after the last valid record. It does NOT replay records — use
+// Replay first when recovering, then Open to continue appending. If the
+// last segment ends in a torn frame the tail is truncated away so new
+// frames never follow garbage.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.SegmentBytes < minSegmentBytes {
+		opts.SegmentBytes = minSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		dir: dir, opts: opts,
+		flusherC:    make(chan struct{}, 1),
+		done:        make(chan struct{}),
+		flusherDone: make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+
+	// The writer must never assign a sequence number the checkpoint already
+	// covers — recovery skips those as checkpointed, silently dropping the
+	// new records. The checkpoint can be AHEAD of the segments: it snapshots
+	// reserved records whose group-commit batch may not have landed before a
+	// crash. So numbering continues from max(segment tail, checkpoint).
+	var cpSeq uint64
+	if cp, err := ReadCheckpoint(dir); err != nil {
+		return nil, err
+	} else if cp != nil {
+		cpSeq = cp.LastSeq
+	}
+
+	if len(segs) == 0 {
+		first := cpSeq + 1
+		l.seq, l.pending, l.flushed = cpSeq, cpSeq, cpSeq
+		if err := l.openSegment(first); err != nil {
+			return nil, err
+		}
+	} else {
+		// Scan the last segment to find the end of valid data and the last
+		// sequence number; truncate a torn tail in place.
+		last := segs[len(segs)-1]
+		lastSeq := last.firstSeq - 1
+		end := int64(0)
+		serr := ScanSegment(filepath.Join(dir, last.name), func(rec Record, _, off int64) error {
+			lastSeq = rec.Seq
+			end = off
+			return nil
+		})
+		if serr != nil && !errors.Is(serr, errTornTail) {
+			return nil, serr
+		}
+		if cpSeq > lastSeq {
+			lastSeq = cpSeq
+		}
+		f, err := os.OpenFile(filepath.Join(dir, last.name), os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if _, err := f.Seek(end, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f, l.size = f, end
+		l.seq, l.pending, l.flushed = lastSeq, lastSeq, lastSeq
+	}
+	go l.flusher()
+	return l, nil
+}
+
+// Pending is a reservation handed out by Reserve: the record has a
+// sequence number and sits in the flusher's queue, but is not yet durable.
+type Pending struct {
+	l   *Log
+	seq uint64
+}
+
+// Seq returns the reserved sequence number.
+func (p Pending) Seq() uint64 { return p.seq }
+
+// Wait blocks until the reservation's group-commit batch is durable per
+// the sync policy (or the log is poisoned by an I/O error).
+func (p Pending) Wait() error {
+	l := p.l
+	l.mu.Lock()
+	for l.flushed < p.seq && l.err == nil {
+		l.cond.Wait()
+	}
+	landed := l.flushed >= p.seq // batch made it down before any failure
+	err := l.err
+	l.mu.Unlock()
+	if landed {
+		return nil
+	}
+	return err
+}
+
+// Reserve encodes the record, assigns it the next sequence number and
+// queues it for the flusher without waiting. Callers that need an ordering
+// guarantee relative to their own state can Reserve under their own lock —
+// reservation order is durable order — and Wait outside it, preserving
+// group-commit batching. Record.Seq is ignored on input.
+func (l *Log) Reserve(rec Record) (Pending, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return Pending{}, ErrClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return Pending{}, err
+	}
+	l.seq++
+	rec.Seq = l.seq
+	seq := l.seq
+	l.buf = rec.appendFrame(l.buf)
+	l.pending = seq
+	l.mu.Unlock()
+	select {
+	case l.flusherC <- struct{}{}:
+	default: // a wakeup is already queued; the flusher will see our bytes
+	}
+	return Pending{l: l, seq: seq}, nil
+}
+
+// Append is Reserve followed by Wait: it blocks until the record's
+// group-commit batch is durable and returns the assigned sequence number.
+func (l *Log) Append(rec Record) (uint64, error) {
+	p, err := l.Reserve(rec)
+	if err != nil {
+		return 0, err
+	}
+	return p.seq, p.Wait()
+}
+
+// LastSeq returns the sequence number of the last durable record.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}
+
+// Sync flushes any pending batch and fsyncs the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	for l.flushed < l.pending && l.err == nil {
+		l.cond.Wait()
+	}
+	err := l.err
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.poison(err)
+	}
+	return nil
+}
+
+// Close flushes, fsyncs and closes the log. Appends after Close fail with
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.flusherDone
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.done)
+	<-l.flusherDone // the flusher drains the buffer before exiting
+	l.mu.Lock()
+	err := l.err
+	l.mu.Unlock()
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	if l.f != nil {
+		if serr := l.f.Sync(); err == nil {
+			err = serr
+		}
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f = nil
+	}
+	return err
+}
+
+// TruncateBefore deletes every segment whose records all have sequence
+// numbers <= seq (typically a checkpoint's last covered sequence). The
+// active segment is never deleted. Replay after truncation may still see
+// records <= seq in the surviving segments; recovery skips them.
+func (l *Log) TruncateBefore(seq uint64) error {
+	segs, err := segments(l.dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		// Segment i spans [segs[i].firstSeq, segs[i+1].firstSeq); it is
+		// fully covered when the next segment starts at or below seq+1.
+		if segs[i+1].firstSeq <= seq+1 {
+			if err := os.Remove(filepath.Join(l.dir, segs[i].name)); err != nil {
+				return fmt.Errorf("wal: truncate: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// poison records the first I/O error and wakes every waiter.
+func (l *Log) poison(err error) error {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: %w", err)
+	}
+	err = l.err
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return err
+}
+
+// flusher is the group-commit loop: it grabs whatever frames accumulated
+// since its last pass, writes them in one syscall, fsyncs per policy,
+// rotates full segments, then wakes the appenders it covered.
+func (l *Log) flusher() {
+	defer close(l.flusherDone)
+	for {
+		select {
+		case <-l.done:
+		case <-l.flusherC:
+		}
+		l.mu.Lock()
+		batch := l.buf
+		upTo := l.pending
+		l.buf = nil
+		closed := l.closed
+		l.mu.Unlock()
+		if len(batch) > 0 {
+			err := l.writeBatch(batch, upTo)
+			l.mu.Lock()
+			if err != nil {
+				if l.err == nil {
+					l.err = fmt.Errorf("wal: %w", err)
+				}
+			} else {
+				l.flushed = upTo
+			}
+			l.cond.Broadcast()
+			l.mu.Unlock()
+		}
+		if closed {
+			// Append fails once closed is set, so the buffer cannot grow
+			// again: one more pass drains anything that raced in.
+			l.mu.Lock()
+			empty := len(l.buf) == 0
+			l.mu.Unlock()
+			if empty {
+				return
+			}
+		}
+	}
+}
+
+// writeBatch lands one group-commit batch ending at sequence upTo.
+func (l *Log) writeBatch(batch []byte, upTo uint64) error {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	if _, err := l.f.Write(batch); err != nil {
+		return err
+	}
+	l.size += int64(len(batch))
+	if l.opts.Sync == SyncEveryBatch {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if l.size >= l.opts.SegmentBytes {
+		return l.rotate(upTo + 1)
+	}
+	return nil
+}
+
+// rotate seals the active segment (fsync + close) and opens the next one,
+// named by the first sequence number it will hold. Callers hold ioMu.
+func (l *Log) rotate(nextSeq uint64) error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	return l.openSegment(nextSeq)
+}
+
+func (l *Log) openSegment(firstSeq uint64) error {
+	name := filepath.Join(l.dir, fmt.Sprintf("%016x%s", firstSeq, segmentSuffix))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	// Persist the directory entry: fsyncing the file alone does not make
+	// its existence durable, and a segment that vanishes on power loss
+	// takes every fsynced record inside it along.
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.size = f, 0
+	return nil
+}
+
+// --- segment discovery and replay ---
+
+type segmentInfo struct {
+	name     string
+	firstSeq uint64
+}
+
+func segments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: alien file %q in log directory", name)
+		}
+		segs = append(segs, segmentInfo{name: name, firstSeq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	return segs, nil
+}
+
+// syncDir fsyncs a directory so renames into it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// errTornTail is ScanSegment's signal that the segment ends mid-frame.
+var errTornTail = errors.New("wal: torn tail")
+
+// ScanSegment decodes one segment file, calling fn for every valid record
+// with the byte offsets [start, end) of its frame.
+//
+// It distinguishes two failure shapes. A crashed append leaves a PREFIX of
+// the intended bytes at end-of-file (writes deliver prefixes), so a frame
+// whose header or payload extends past EOF is a torn tail, reported as
+// errTornTail (wrapped) — callers tolerate it in the final segment. Bytes
+// that are all present but wrong — a CRC mismatch, an absurd length field,
+// an undecodable payload — cannot come from a torn append; they are rot or
+// tampering and are reported as ErrCorrupt so acknowledged records after
+// them are never silently truncated away. Exported for diagnostic tooling
+// and the crash-injection harness.
+func ScanSegment(path string, fn func(rec Record, start, end int64) error) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	off := int64(0)
+	for int(off) < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeaderLen {
+			return fmt.Errorf("%s: truncated header at %d: %w", path, off, errTornTail)
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if n > MaxPayload {
+			return fmt.Errorf("%w: %s: frame length %d at %d", ErrCorrupt, path, n, off)
+		}
+		if len(rest) < frameHeaderLen+int(n) {
+			return fmt.Errorf("%s: truncated payload at %d: %w", path, off, errTornTail)
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+int(n)]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return fmt.Errorf("%w: %s: CRC mismatch at %d", ErrCorrupt, path, off)
+		}
+		rec, err := Decode(payload)
+		if err != nil {
+			return fmt.Errorf("%w: %s: offset %d: %v", ErrCorrupt, path, off, err)
+		}
+		end := off + frameHeaderLen + int64(n)
+		if err := fn(rec, off, end); err != nil {
+			return err
+		}
+		off = end
+	}
+	return nil
+}
+
+// ReplayStats summarizes a Replay pass.
+type ReplayStats struct {
+	// Records is the number of valid records delivered to the callback.
+	Records int
+	// LastSeq is the sequence number of the last valid record (0 if none).
+	LastSeq uint64
+	// TornTail is true when the final segment ended in a torn frame that
+	// was dropped.
+	TornTail bool
+}
+
+// Replay streams every valid record in the log directory, in sequence
+// order, to fn. A torn frame at the tail of the last segment is tolerated
+// and reported via ReplayStats.TornTail; torn or corrupt data anywhere else
+// fails with ErrCorrupt. A missing directory replays zero records.
+func Replay(dir string, fn func(rec Record) error) (ReplayStats, error) {
+	var st ReplayStats
+	segs, err := segments(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return st, nil
+	}
+	if err != nil {
+		return st, err
+	}
+	for i, seg := range segs {
+		serr := ScanSegment(filepath.Join(dir, seg.name), func(rec Record, _, _ int64) error {
+			st.Records++
+			st.LastSeq = rec.Seq
+			return fn(rec)
+		})
+		if serr == nil {
+			continue
+		}
+		if errors.Is(serr, errTornTail) && i == len(segs)-1 {
+			st.TornTail = true
+			return st, nil
+		}
+		if errors.Is(serr, errTornTail) {
+			return st, fmt.Errorf("%w: %v", ErrCorrupt, serr)
+		}
+		return st, serr
+	}
+	return st, nil
+}

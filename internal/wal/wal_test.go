@@ -1,0 +1,514 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func answerRec(w string, task, choice int) Record {
+	return Record{Kind: KindAnswer, Worker: w, Task: task, Choice: choice}
+}
+
+func appendAll(t *testing.T, l *Log, recs []Record) {
+	t.Helper()
+	for i, r := range recs {
+		seq, err := l.Append(r)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if want := uint64(i + 1); seq != want && l.opts.SegmentBytes == 0 {
+			t.Fatalf("append %d: seq = %d, want %d", i, seq, want)
+		}
+	}
+}
+
+func replayAll(t *testing.T, dir string) ([]Record, ReplayStats) {
+	t.Helper()
+	var got []Record
+	st, err := Replay(dir, func(rec Record) error {
+		got = append(got, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, st
+}
+
+func testRecords(n int) []Record {
+	recs := make([]Record, 0, n+1)
+	recs = append(recs, Record{Kind: KindPublish, Blob: []byte(`[{"id":1}]`)})
+	for i := 0; len(recs) < n; i++ {
+		recs = append(recs, answerRec(fmt.Sprintf("w%d", i%7), i%31, i%3))
+	}
+	return recs
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(50)
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, st := replayAll(t, dir)
+	if st.TornTail {
+		t.Error("clean log reported a torn tail")
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, g := range got {
+		want := recs[i]
+		want.Seq = uint64(i + 1)
+		if g.Seq != want.Seq || g.Kind != want.Kind || g.Worker != want.Worker ||
+			g.Task != want.Task || g.Choice != want.Choice || !bytes.Equal(g.Blob, want.Blob) {
+			t.Fatalf("record %d = %+v, want %+v", i, g, want)
+		}
+	}
+}
+
+func TestReplayMissingDirIsEmpty(t *testing.T) {
+	got, st := replayAll(t, filepath.Join(t.TempDir(), "nope"))
+	if len(got) != 0 || st.Records != 0 || st.TornTail {
+		t.Fatalf("missing dir: got %d records, stats %+v", len(got), st)
+	}
+}
+
+func TestTornTailToleratedAndTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(10)
+	appendAll(t, l, recs)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := segments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v (%d)", err, len(segs))
+	}
+	path := filepath.Join(dir, segs[0].name)
+	// Tear the final record: chop a few bytes off the file.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, st := replayAll(t, dir)
+	if !st.TornTail {
+		t.Error("torn tail not reported")
+	}
+	if len(got) != len(recs)-1 {
+		t.Fatalf("replayed %d records after tear, want %d", len(got), len(recs)-1)
+	}
+	// Reopen: the torn bytes must be truncated away and appends continue
+	// with the next sequence number.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq := l2.LastSeq(); lastSeq != uint64(len(recs)-1) {
+		t.Fatalf("reopened LastSeq = %d, want %d", lastSeq, len(recs)-1)
+	}
+	seq, err := l2.Append(answerRec("late", 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != uint64(len(recs)) {
+		t.Fatalf("post-reopen seq = %d, want %d", seq, len(recs))
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, st = replayAll(t, dir)
+	if st.TornTail || len(got) != len(recs) {
+		t.Fatalf("after reopen+append: %d records (torn=%v), want %d clean", len(got), st.TornTail, len(recs))
+	}
+}
+
+func TestCorruptionMidLogFails(t *testing.T) {
+	dir := t.TempDir()
+	// Two segments; rot the FIRST one — that is corruption, not a torn tail.
+	l, err := Open(dir, Options{SegmentBytes: minSegmentBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, testRecords(200))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("want >= 2 segments, got %d", len(segs))
+	}
+	path := filepath.Join(dir, segs[0].name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(dir, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-log corruption: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestRotInFinalSegmentFailsLoudly: a CRC flip on a frame whose bytes are
+// all present is rot, not a torn append — even in the final segment it
+// must fail replay and refuse to reopen, never silently truncate the
+// acknowledged records behind it.
+func TestRotInFinalSegmentFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, testRecords(10))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := segments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v (%d)", err, len(segs))
+	}
+	path := filepath.Join(dir, segs[0].name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeaderLen+1] ^= 0x01 // flip a payload bit of the FIRST frame
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay of rotted final segment: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open truncated a rotted segment instead of failing")
+	}
+}
+
+func TestRotationAndTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: minSegmentBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords(300)
+	appendAll(t, l, recs)
+	segs, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("want >= 3 segments after 300 records, got %d", len(segs))
+	}
+	// Truncate through the midpoint; every record > mid must survive.
+	mid := uint64(len(recs) / 2)
+	if err := l.TruncateBefore(mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	left, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) >= len(segs) {
+		t.Errorf("truncation removed no segments (%d -> %d)", len(segs), len(left))
+	}
+	got, _ := replayAll(t, dir)
+	if len(got) == 0 || got[len(got)-1].Seq != uint64(len(recs)) {
+		t.Fatalf("tail lost: last seq %v", got[len(got)-1].Seq)
+	}
+	seen := false
+	for _, r := range got {
+		if r.Seq == mid+1 {
+			seen = true
+		}
+		if r.Seq > mid && seen == false && r.Seq != got[0].Seq {
+			t.Fatalf("records after %d must be contiguous", mid)
+		}
+	}
+	if !seen {
+		t.Fatalf("record %d (first uncovered) was truncated away", mid+1)
+	}
+}
+
+func TestCheckpointRoundtripAndOpenAfterFullTruncation(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(20)
+	for i := range recs {
+		recs[i].Seq = uint64(i + 1)
+	}
+	if err := WriteCheckpoint(dir, recs[len(recs)-1].Seq, recs); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil || cp.LastSeq != uint64(len(recs)) || len(cp.Records) != len(recs) {
+		t.Fatalf("checkpoint roundtrip: %+v", cp)
+	}
+	// A log opened over checkpoint-only state must continue numbering after
+	// the checkpoint, or recovery would skip its records as covered.
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.Append(answerRec("next", 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(len(recs) + 1); seq != want {
+		t.Fatalf("first post-checkpoint seq = %d, want %d", seq, want)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenAfterCheckpointAheadOfSegments: a checkpoint may cover reserved
+// records whose group-commit batch never hit the segments before a crash.
+// Open must continue numbering after the checkpoint, not after the segment
+// tail — reusing covered sequence numbers would make recovery silently
+// drop the new records as already-checkpointed.
+func TestOpenAfterCheckpointAheadOfSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, testRecords(5)) // segments end at seq 5
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cpRecs := testRecords(8) // checkpoint claims seqs 1..8
+	for i := range cpRecs {
+		cpRecs[i].Seq = uint64(i + 1)
+	}
+	if err := WriteCheckpoint(dir, 8, cpRecs); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l2.Append(answerRec("w", 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 9 {
+		t.Fatalf("post-checkpoint seq = %d, want 9 (checkpoint covers 1..8)", seq)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(10)
+	for i := range recs {
+		recs[i].Seq = uint64(i + 1)
+	}
+	if err := WriteCheckpoint(dir, uint64(len(recs)), recs); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, checkpointName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Present-but-wrong bytes are corruption and must refuse to load.
+	for name, mutate := range map[string]func([]byte) []byte{
+		"bit flip":     func(b []byte) []byte { b[len(b)/2] ^= 1; return b },
+		"bad magic":    func(b []byte) []byte { b[0] = 'X'; return b },
+		"payload flip": func(b []byte) []byte { b[16] ^= 0x7f; return b },
+	} {
+		cp := append([]byte(nil), data...)
+		if err := os.WriteFile(path, mutate(cp), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadCheckpoint(dir); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	// A frame cut short at EOF is an interrupted extend: tolerated, with
+	// the torn record dropped and reported (its bytes are still in the
+	// segments, which are only truncated after a successful extend).
+	for name, mutate := range map[string]func([]byte) []byte{
+		"torn tail":     func(b []byte) []byte { return b[:len(b)-1] },
+		"trailing junk": func(b []byte) []byte { return append(b, 0x00, 0x01) },
+	} {
+		cp := append([]byte(nil), data...)
+		if err := os.WriteFile(path, mutate(cp), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadCheckpoint(dir)
+		if err != nil || !got.TornTail {
+			t.Errorf("%s: err=%v torn=%v, want tolerated torn tail", name, err, got != nil && got.TornTail)
+		}
+	}
+}
+
+// TestExtendCheckpoint covers the incremental path: create via extend,
+// extend again, survive an interrupted extend (torn tail truncated away on
+// the next pass), and reject non-continuing sequences.
+func TestExtendCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords(12)
+	for i := range recs {
+		recs[i].Seq = uint64(i + 1)
+	}
+	lastSeq, bytes, err := ExtendCheckpoint(dir, 0, 0, recs[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq != 5 {
+		t.Fatalf("lastSeq = %d, want 5", lastSeq)
+	}
+	lastSeq, bytes, err = ExtendCheckpoint(dir, lastSeq, bytes, recs[5:9])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpoint(dir)
+	if err != nil || cp.LastSeq != 9 || len(cp.Records) != 9 || cp.TornTail {
+		t.Fatalf("after two extends: cp=%+v err=%v", cp, err)
+	}
+	if cp.ValidBytes != bytes {
+		t.Fatalf("ValidBytes = %d, extend reported %d", cp.ValidBytes, bytes)
+	}
+	// Interrupted extend: garbage half-frame at the tail.
+	path := filepath.Join(dir, checkpointName)
+	if err := os.WriteFile(path, append(readFile(t, path), 0x55, 0x66, 0x77), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err = ReadCheckpoint(dir)
+	if err != nil || !cp.TornTail || len(cp.Records) != 9 {
+		t.Fatalf("torn extend: cp=%+v err=%v", cp, err)
+	}
+	// The next extend (from the intact tail) truncates the garbage.
+	lastSeq, bytes, err = ExtendCheckpoint(dir, cp.LastSeq, cp.ValidBytes, recs[9:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err = ReadCheckpoint(dir)
+	if err != nil || cp.TornTail || cp.LastSeq != 12 || len(cp.Records) != 12 {
+		t.Fatalf("extend over torn tail: cp=%+v err=%v", cp, err)
+	}
+	// Sequence must continue.
+	if _, _, err := ExtendCheckpoint(dir, lastSeq, bytes, recs[:1]); err == nil {
+		t.Fatal("extend accepted a non-continuing sequence")
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestConcurrentAppendGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 4 * minSegmentBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		goroutines = 8
+		perG       = 100
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := l.Append(answerRec(fmt.Sprintf("g%d", g), i, 0)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, st := replayAll(t, dir)
+	if len(got) != goroutines*perG || st.TornTail {
+		t.Fatalf("replayed %d records (torn=%v), want %d", len(got), st.TornTail, goroutines*perG)
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d: replay order must equal sequence order", i, r.Seq)
+		}
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(answerRec("w", 0, 0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: err = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil { // double close is a no-op
+		t.Fatal(err)
+	}
+}
+
+func TestSyncEveryBatch(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncEveryBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, testRecords(20))
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := replayAll(t, dir)
+	if len(got) != 20 {
+		t.Fatalf("replayed %d, want 20", len(got))
+	}
+}
