@@ -9,11 +9,15 @@
 //	docs-bench -seed 42         # change the deterministic seed
 //
 // Experiments: table3, fig3, fig4a, fig4b, fig4c, fig4d, fig4e, fig5,
-// fig6, fig7a, fig7b, fig8, fig8c, wal, all.
+// fig6, fig7a, fig7b, fig8, fig8c, wal, multicampaign, all.
 //
 // The wal experiment measures the durable ingest path added on top of the
 // paper (answer WAL with group commit); -wal-dir points it at a real
-// device instead of a temp directory.
+// device instead of a temp directory. The multicampaign experiment
+// measures the campaign registry: N concurrent campaigns served by one
+// overlapping worker population, with the shared worker store (profiles
+// carry across campaigns) against isolated per-campaign stores (every
+// campaign re-profiles every worker).
 package main
 
 import (
@@ -22,9 +26,14 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"docs/internal/core"
 	"docs/internal/experiment"
+	"docs/internal/mathx"
+	"docs/internal/model"
+	"docs/internal/registry"
 	"docs/internal/wal"
 )
 
@@ -58,7 +67,9 @@ func main() {
 	walDir := flag.String("wal-dir", "", "directory for the wal experiment's log files (empty = a temp directory)")
 	flag.Parse()
 
-	runners := append(runners, runner{"wal", walThroughput(*walDir), "answer WAL group-commit throughput"})
+	runners := append(runners,
+		runner{"wal", walThroughput(*walDir), "answer WAL group-commit throughput"},
+		runner{"multicampaign", multiCampaign, "registry serving N campaigns, shared vs isolated worker store"})
 	ran := 0
 	for _, r := range runners {
 		if *exp != "all" && *exp != r.id {
@@ -83,6 +94,161 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 		os.Exit(2)
 	}
+}
+
+// multiCampaign measures the campaign registry end to end: N campaigns in
+// one process, hammered by goroutines driving an overlapping worker
+// population round-robin across campaigns. The "shared" rows host every
+// campaign over one worker store — a worker runs the golden gauntlet once,
+// ever — while the "isolated" rows give each campaign its own store, so
+// every campaign re-profiles every worker. The golden-answer column is the
+// profiling traffic the shared store saves; the answers/sec column is the
+// registry's aggregate ingest rate.
+func multiCampaign(seed uint64, quick bool) (*experiment.Table, error) {
+	nTasks, nWorkers, goroutines := 160, 48, 8
+	counts := []int{1, 2, 4, 8}
+	if quick {
+		nTasks, nWorkers = 60, 24
+		counts = []int{1, 2, 4}
+	}
+	tb := &experiment.Table{
+		Title:  "Multi-campaign registry — overlapping workers, shared vs isolated store",
+		Header: []string{"campaigns", "store", "answers", "golden", "elapsed", "answers/sec"},
+	}
+	m := 26
+	makeTasks := func(offset int) []*model.Task {
+		tasks := make([]*model.Task, nTasks)
+		for i := range tasks {
+			dom := make(model.DomainVector, m)
+			dom[(i+offset)%m] = 1
+			tasks[i] = &model.Task{
+				ID: i, Text: fmt.Sprintf("t%d", i), Choices: []string{"a", "b"},
+				Domain: dom, Truth: (i + offset) % 2, TrueDomain: model.NoTruth,
+			}
+		}
+		return tasks
+	}
+	for _, n := range counts {
+		for _, shared := range []bool{true, false} {
+			// Shared: one registry hosts all N campaigns over one store.
+			// Isolated: N single-campaign registries, one store each.
+			regs := make([]*registry.Registry, 0, n)
+			open := func() (*registry.Registry, error) {
+				return registry.Open(registry.Config{
+					GoldenCount: 8, HITSize: 4, AnswersPerTask: 3, RerunEvery: 50,
+				})
+			}
+			var err error
+			if shared {
+				var reg *registry.Registry
+				if reg, err = open(); err != nil {
+					return nil, err
+				}
+				regs = append(regs, reg)
+			} else {
+				for i := 0; i < n; i++ {
+					reg, oerr := open()
+					if oerr != nil {
+						return nil, oerr
+					}
+					regs = append(regs, reg)
+				}
+			}
+			campaigns := make([]*campaignUnderTest, n)
+			for i := 0; i < n; i++ {
+				reg := regs[0]
+				if !shared {
+					reg = regs[i]
+				}
+				sys, cerr := reg.Create(fmt.Sprintf("c%d", i))
+				if cerr != nil {
+					return nil, cerr
+				}
+				if cerr := sys.Publish(makeTasks(3 * i)); cerr != nil {
+					return nil, cerr
+				}
+				golden := map[int]bool{}
+				for _, id := range sys.GoldenTasks() {
+					golden[id] = true
+				}
+				campaigns[i] = &campaignUnderTest{sys: sys, golden: golden}
+			}
+
+			var goldenAnswers atomic.Int64
+			start := time.Now()
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					r := mathx.NewRand(seed + uint64(1000*g))
+					empty := 0
+					for empty < 100*n {
+						w := fmt.Sprintf("w%d", r.Intn(nWorkers))
+						c := campaigns[r.Intn(n)]
+						got, rerr := c.sys.Request(w, 4)
+						if rerr != nil {
+							errs <- rerr
+							return
+						}
+						if len(got) == 0 {
+							empty++
+							continue
+						}
+						empty = 0
+						for _, tk := range got {
+							choice := tk.Truth
+							if c.golden[tk.ID] {
+								goldenAnswers.Add(1)
+							} else if r.Float64() >= 0.85 {
+								choice = 1 - choice
+							}
+							if serr := c.sys.Submit(w, tk.ID, choice); serr != nil {
+								errs <- serr
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			var answers int64
+			for _, c := range campaigns {
+				answers += c.sys.AnswerCount()
+			}
+			total := answers + goldenAnswers.Load()
+			storeKind := "shared"
+			if !shared {
+				storeKind = "isolated"
+			}
+			tb.AddRow(fmt.Sprintf("%d", n), storeKind,
+				fmt.Sprintf("%d", answers), fmt.Sprintf("%d", goldenAnswers.Load()),
+				elapsed.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()))
+			for _, reg := range regs {
+				if cerr := reg.Close(); cerr != nil {
+					return nil, cerr
+				}
+			}
+		}
+	}
+	tb.Notes = append(tb.Notes,
+		"one overlapping worker pool drives every campaign; golden = profiling answers collected",
+		"shared rows profile each worker once ever (the registry's shared store); isolated rows re-profile per campaign")
+	return tb, nil
+}
+
+// campaignUnderTest pairs a campaign's serving core with its golden set.
+type campaignUnderTest struct {
+	sys    *core.System
+	golden map[int]bool
 }
 
 // walThroughput returns a runner measuring the durable ingest path: append

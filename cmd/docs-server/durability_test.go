@@ -52,13 +52,17 @@ func TestServerWALRestart(t *testing.T) {
 			}
 		}
 	}
-	live := srv1.sys.Stats()
+	sys1, err := srv1.reg.Campaign(defaultCampaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := sys1.Stats()
 	wantResults := map[int]docs.Result{}
 	for id := 0; id < 3; id++ {
-		wantResults[id] = srv1.sys.CurrentResult(id)
+		wantResults[id] = sys1.CurrentResult(id)
 	}
 	ts1.Close()
-	if err := srv1.sys.Close(); err != nil { // graceful shutdown: flush + fsync
+	if err := srv1.close(); err != nil { // graceful shutdown: flush + fsync
 		t.Fatal(err)
 	}
 
@@ -66,22 +70,26 @@ func TestServerWALRestart(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reboot over WAL dir: %v", err)
 	}
-	defer srv2.sys.Close()
-	rec := srv2.sys.Recovery()
+	t.Cleanup(func() { srv2.close() })
+	sys2, err := srv2.reg.Campaign(defaultCampaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sys2.Recovery()
 	if !rec.Enabled || rec.TornTail {
 		t.Fatalf("recovery = %+v, want enabled and clean", rec)
 	}
-	if !srv2.published.Load() {
+	if !sys2.Published() {
 		t.Fatal("recovered server does not know the campaign is published")
 	}
 	ts2 := httptest.NewServer(srv2.handler())
 	defer ts2.Close()
 
-	if got := srv2.sys.Stats(); got.Answers != live.Answers {
+	if got := sys2.Stats(); got.Answers != live.Answers {
 		t.Fatalf("recovered %d answers, live had %d", got.Answers, live.Answers)
 	}
 	for id, want := range wantResults {
-		got := srv2.sys.CurrentResult(id)
+		got := sys2.CurrentResult(id)
 		if got.Choice != want.Choice {
 			t.Errorf("task %d: recovered choice %d, want %d", id, got.Choice, want.Choice)
 		}
@@ -92,7 +100,8 @@ func TestServerWALRestart(t *testing.T) {
 	if resp.StatusCode == http.StatusOK {
 		t.Error("re-publish over a recovered campaign succeeded")
 	}
-	// Serving continues: stats advertise the WAL and recovery lag.
+	// Serving continues: stats advertise the WAL, recovery lag and the
+	// recovered publish flag straight from the core.
 	resp, out := doJSON(t, "GET", ts2.URL+"/stats", nil)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("stats: %d", resp.StatusCode)
@@ -104,5 +113,85 @@ func TestServerWALRestart(t *testing.T) {
 	}
 	if !st.WALEnabled || st.RecoveredRecords == 0 || st.WALLastSeq == 0 {
 		t.Errorf("stats missing durability fields: %+v", st)
+	}
+	if !st.Published {
+		t.Error("/stats reports published=false after recovery restored the campaign")
+	}
+}
+
+// TestServerMultiCampaignRestart reboots a server hosting several
+// campaigns over one WAL root: every campaign must come back with its own
+// answers, the shared worker store must keep carrying profiles across
+// campaigns, and an archived campaign must stay archived.
+func TestServerMultiCampaignRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := docs.Config{GoldenCount: -1, HITSize: 3, WALDir: dir, RerunEvery: 5}
+
+	srv1, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.handler())
+	names := []string{"a1", "a2", "a3"}
+	answers := map[string]int64{}
+	for i, name := range names {
+		if resp, out := doJSON(t, "POST", ts1.URL+"/c/"+name+"/publish", publishBody()); resp.StatusCode != 200 {
+			t.Fatalf("publish %s = %d: %s", name, resp.StatusCode, out["error"])
+		}
+		for task := 0; task <= i; task++ {
+			if resp, out := doJSON(t, "POST", ts1.URL+"/c/"+name+"/submit",
+				map[string]any{"worker": "w", "task": task, "choice": 0}); resp.StatusCode != 200 {
+				t.Fatalf("submit %s = %d: %s", name, resp.StatusCode, out["error"])
+			}
+			answers[name]++
+		}
+	}
+	if resp, _ := doJSON(t, "POST", ts1.URL+"/c/a3/archive", nil); resp.StatusCode != 200 {
+		t.Fatal("archive failed")
+	}
+	ts1.Close()
+	if err := srv1.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := newServer(cfg)
+	if err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	t.Cleanup(func() { srv2.close() })
+	ts2 := httptest.NewServer(srv2.handler())
+	defer ts2.Close()
+
+	resp, out := doJSON(t, "GET", ts2.URL+"/campaigns", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("campaigns = %d", resp.StatusCode)
+	}
+	var list []campaignJSON
+	if err := json.Unmarshal(out["campaigns"], &list); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]campaignJSON{}
+	for _, c := range list {
+		byName[c.Name] = c
+	}
+	for _, name := range []string{"a1", "a2"} {
+		c, ok := byName[name]
+		if !ok {
+			t.Fatalf("campaign %s missing after reboot", name)
+		}
+		if c.Archived || !c.Published || c.Answers != answers[name] {
+			t.Errorf("campaign %s = %+v, want live, published, %d answers", name, c, answers[name])
+		}
+	}
+	if c := byName["a3"]; !c.Archived {
+		t.Errorf("a3 = %+v, want archived after reboot", c)
+	}
+	if resp, _ := doJSON(t, "GET", ts2.URL+"/c/a3/request?worker=w&k=1", nil); resp.StatusCode != http.StatusGone {
+		t.Errorf("archived campaign request = %d, want 410", resp.StatusCode)
+	}
+	// Live campaigns serve on, with separate answer streams.
+	if resp, _ := doJSON(t, "POST", ts2.URL+"/c/a1/submit",
+		map[string]any{"worker": "w2", "task": 2, "choice": 1}); resp.StatusCode != 200 {
+		t.Errorf("submit after reboot = %d", resp.StatusCode)
 	}
 }

@@ -3,10 +3,12 @@ package main
 import (
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 
 	"docs"
+	"docs/internal/registry"
 )
 
 // FuzzSubmitJSON drives arbitrary bytes through the POST /submit body — the
@@ -20,15 +22,19 @@ func FuzzSubmitJSON(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	f.Cleanup(func() { srv.close() })
 	// Publish a minimal campaign so valid submits exercise the accept path.
 	tasks := []docs.Task{
 		{ID: 0, Text: "a or b", Choices: []string{"a", "b"}, GoldenTruth: docs.NoTruth},
 		{ID: 1, Text: "c or d", Choices: []string{"c", "d"}, GoldenTruth: docs.NoTruth},
 	}
-	if err := srv.sys.Publish(tasks); err != nil {
+	sys, err := srv.reg.Campaign(defaultCampaign)
+	if err != nil {
 		f.Fatal(err)
 	}
-	srv.published.Store(true)
+	if err := sys.Publish(tasks); err != nil {
+		f.Fatal(err)
+	}
 	handler := srv.handler()
 
 	f.Add(`{"worker":"w1","task":0,"choice":1}`)
@@ -40,7 +46,7 @@ func FuzzSubmitJSON(f *testing.F) {
 	f.Add(``)
 	f.Add(`[`)
 	f.Add(`{"worker":"w1","task":1e309,"choice":0}`)
-	f.Add("{\"worker\":\"\u0000\",\"task\":0,\"choice\":0}")
+	f.Add("{\"worker\":\"\x00\",\"task\":0,\"choice\":0}")
 	f.Add(`{"worker":"w1","task":"0","choice":0}`)
 	f.Fuzz(func(t *testing.T, body string) {
 		req := httptest.NewRequest(http.MethodPost, "/submit", strings.NewReader(body))
@@ -54,6 +60,54 @@ func FuzzSubmitJSON(f *testing.F) {
 		}
 		if !strings.HasPrefix(strings.TrimSpace(rr.Body.String()), "{") {
 			t.Fatalf("body %q: non-JSON response %q", body, rr.Body.String())
+		}
+	})
+}
+
+// FuzzCampaignPath throws arbitrary methods, paths and bodies at the full
+// campaign router. Whatever the campaign path segment decodes to — path
+// traversal attempts, NULs, over-long names — the server must never panic,
+// must answer every request, and must never have created a campaign whose
+// name fails validation (which is what keeps hostile names out of the WAL
+// root's directory namespace). Seed corpus under
+// testdata/fuzz/FuzzCampaignPath (checked in).
+func FuzzCampaignPath(f *testing.F) {
+	srv, err := newServer(docs.Config{GoldenCount: -1, HITSize: 3, RerunEvery: -1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { srv.close() })
+	handler := srv.handler()
+
+	f.Add("GET", "/c/default/stats", "")
+	f.Add("POST", "/c/new-camp/publish", `{"tasks":[{"id":0,"text":"a","choices":["a","b"],"golden_truth":-1}]}`)
+	f.Add("POST", "/c/../publish", `{"tasks":[{"id":0,"text":"a","choices":["a","b"],"golden_truth":-1}]}`)
+	f.Add("POST", "/c/%2e%2e%2fescape/publish", `{"tasks":[{"id":0,"text":"a","choices":["a","b"],"golden_truth":-1}]}`)
+	f.Add("GET", "/c//request?worker=w", "")
+	f.Add("GET", "/c/a%00b/stats", "")
+	f.Add("POST", "/campaigns", `{"name":"ok-name"}`)
+	f.Add("POST", "/campaigns", `{"name":"../escape"}`)
+	f.Add("POST", "/c/x/archive", "")
+	f.Add("GET", "/c/"+strings.Repeat("x", 200)+"/stats", "")
+	f.Fuzz(func(t *testing.T, method, path, body string) {
+		if _, err := url.ParseRequestURI(path); err != nil || path == "" || path[0] != '/' {
+			t.Skip()
+		}
+		switch method {
+		case http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete:
+		default:
+			t.Skip()
+		}
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, req)
+		if rr.Code < 200 || rr.Code > 599 {
+			t.Fatalf("%s %q: status %d", method, path, rr.Code)
+		}
+		for _, info := range srv.reg.Campaigns() {
+			if err := registry.ValidateName(info.Name); err != nil {
+				t.Fatalf("%s %q created campaign with illegal name %q: %v", method, path, info.Name, err)
+			}
 		}
 	})
 }

@@ -1,7 +1,10 @@
-// Command docs-server runs the DOCS system as an HTTP service: a requester
-// publishes tasks with POST /publish, workers obtain assignments with
-// GET /request and answer with POST /submit, and the requester reads
-// inferred truths from GET /results. See server.go for the full API and
+// Command docs-server runs the DOCS system as an HTTP service hosting many
+// campaigns at once: requesters publish task sets with
+// POST /c/{campaign}/publish, workers obtain assignments with
+// GET /c/{campaign}/request and answer with POST /c/{campaign}/submit, and
+// requesters read inferred truths from GET /c/{campaign}/results. Worker
+// profiles are shared across campaigns through one store. See server.go
+// for the full API (including the legacy single-campaign aliases) and
 // README.md for the durability contract.
 package main
 
@@ -21,11 +24,11 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	storePath := flag.String("store", "", "optional JSON path persisting worker statistics across campaigns")
-	walDir := flag.String("wal-dir", "", "write-ahead log directory: accepted submits become durable and are replayed on boot (empty = memory-only)")
-	walFsync := flag.Bool("wal-fsync", false, "fsync the WAL once per group-commit batch (survive power loss, not just process crashes)")
-	checkpointEvery := flag.Int("checkpoint-every", 0, "answers between WAL checkpoints (0 = default 5000, negative = never)")
-	golden := flag.Int("golden", 0, "golden task count (0 = default 20, negative = disabled)")
+	storePath := flag.String("store", "", "shared worker-statistics store (empty = <wal-dir>/store.json when -wal-dir is set, else memory-only)")
+	walDir := flag.String("wal-dir", "", "registry root directory: each campaign logs under <dir>/campaigns/<name> and is replayed on boot (empty = memory-only)")
+	walFsync := flag.Bool("wal-fsync", false, "fsync each campaign's WAL once per group-commit batch (survive power loss, not just process crashes)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "answers between WAL checkpoints per campaign (0 = default 5000, negative = never)")
+	golden := flag.Int("golden", 0, "golden task count per campaign (0 = default 20, negative = disabled)")
 	hitSize := flag.Int("hit", 0, "tasks per assignment (0 = default 20)")
 	perTask := flag.Int("redundancy", 0, "max answers per task (0 = unlimited)")
 	syncRerun := flag.Bool("sync-rerun", false, "run the periodic batch re-inference on the submitting request instead of the background worker")
@@ -44,9 +47,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("docs-server: %v", err)
 	}
-	if rec := srv.sys.Recovery(); rec.Enabled {
-		log.Printf("docs-server: recovered %d records from %s in %.3fs (torn tail: %v)",
-			rec.Records, *walDir, rec.Seconds, rec.TornTail)
+	for _, info := range srv.reg.Campaigns() {
+		switch {
+		case info.Archived:
+			log.Printf("docs-server: campaign %q: archived", info.Name)
+		case info.RecoveredRecords > 0:
+			log.Printf("docs-server: campaign %q: recovered %d records (%d answers, published=%v)",
+				info.Name, info.RecoveredRecords, info.Answers, info.Published)
+		}
 	}
 	hs := &http.Server{
 		Addr:              *addr,
@@ -55,8 +63,8 @@ func main() {
 	}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests, then
-	// Close the system — which flushes and fsyncs the WAL — so a SIGTERM
-	// loses nothing even under the no-fsync default.
+	// close the registry — which flushes and fsyncs every campaign's WAL —
+	// so a SIGTERM loses nothing even under the no-fsync default.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errC := make(chan error, 1)
@@ -72,9 +80,9 @@ func main() {
 		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("docs-server: shutdown: %v", err)
 		}
-		if err := srv.sys.Close(); err != nil {
+		if err := srv.close(); err != nil {
 			log.Fatalf("docs-server: close: %v", err)
 		}
-		log.Printf("docs-server: WAL flushed, bye")
+		log.Printf("docs-server: WALs flushed, bye")
 	}
 }

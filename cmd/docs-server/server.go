@@ -7,69 +7,137 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"docs"
 )
 
-// server exposes a DOCS campaign over a JSON HTTP API, the deployment
-// shape of Figure 1 (the paper serves AMT workers through a web frontend).
+// server exposes a campaign registry over a JSON HTTP API: one process
+// hosts many named DOCS campaigns (each a full serving core with its own
+// WAL namespace) over one shared worker store, so a worker profiled in one
+// campaign keeps their domain-quality profile in every other.
 //
-//	POST /publish  {"tasks":[{"id":0,"text":"...","choices":["a","b"],"golden_truth":-1}]}
-//	GET  /request?worker=W&k=20        → {"tasks":[...]}
-//	POST /submit   {"worker":"W","task":0,"choice":1}
-//	GET  /result?task=0                → current inferred truth
-//	GET  /results                      → final inference over all answers
-//	GET  /worker?id=W                  → quality vector
-//	GET  /domains                      → domain names
-//	GET  /stats                        → serving counters (see handleStats)
-//	GET  /healthz
+//	GET  /campaigns                      → list hosted campaigns
+//	POST /campaigns  {"name":"photos"}   → create an empty campaign
+//	POST /c/{campaign}/publish  {"tasks":[...]}   (creates the campaign if absent)
+//	GET  /c/{campaign}/request?worker=W&k=20      → {"tasks":[...]}
+//	POST /c/{campaign}/submit   {"worker":"W","task":0,"choice":1}
+//	GET  /c/{campaign}/result?task=0              → current inferred truth
+//	GET  /c/{campaign}/results                    → final inference
+//	GET  /c/{campaign}/worker?id=W                → quality vector
+//	GET  /c/{campaign}/stats                      → serving counters
+//	POST /c/{campaign}/archive                    → end the campaign for good
+//	GET  /domains, GET /healthz                   → registry-wide
 //
-// Handlers take no server-wide lock: docs.System is safe for concurrent
-// use, serving reads from immutable snapshots, so Request, Submit and
-// Result run in parallel and JSON encoding never blocks other handlers.
-// The only cross-handler state is the publish flag, an atomic bool.
+// The pre-registry single-campaign paths (/publish, /request, /submit,
+// /result, /results, /worker, /stats) remain as aliases for the campaign
+// named "default".
+//
+// Handlers take no server-wide lock: each request resolves its campaign in
+// the registry (an RLock'd map read) and the campaign's docs.System is
+// safe for concurrent use. Whether a campaign is published is always read
+// from the serving core itself — the server caches no publish flag, so
+// /stats, /request and the recovery-restore path can never disagree about
+// a half-applied publish.
 type server struct {
-	sys       *docs.System
-	cfg       docs.Config
-	published atomic.Bool
-	start     time.Time
+	reg   *docs.Registry
+	cfg   docs.Config
+	start time.Time
 
-	// rateMu guards the last /stats observation used to compute the recent
+	// rateMu guards the per-campaign observations behind the /stats recent
 	// answer rate; it is touched only by /stats calls, never the hot path.
-	rateMu      sync.Mutex
-	lastStatsAt time.Time
-	lastAnswers int64
+	rateMu sync.Mutex
+	rates  map[string]rateObs
 }
 
+// rateObs is the previous /stats observation for one campaign.
+type rateObs struct {
+	at      time.Time
+	answers int64
+}
+
+// defaultCampaign backs the legacy single-campaign paths.
+const defaultCampaign = "default"
+
 func newServer(cfg docs.Config) (*server, error) {
-	sys, err := docs.New(cfg)
+	reg, err := docs.OpenRegistry(cfg)
 	if err != nil {
 		return nil, err
 	}
-	s := &server{sys: sys, cfg: cfg, start: time.Now()}
-	// WAL recovery may have replayed the campaign publication; the HTTP
-	// flag must agree or the recovered server would 409 every request.
-	s.published.Store(sys.Published())
-	return s, nil
+	// The default campaign always exists (unless a previous process
+	// archived it), so the legacy single-campaign paths behave exactly as
+	// they did before the registry: /stats answers published=false and
+	// /request answers 409 until the first /publish.
+	if _, err := reg.Campaign(defaultCampaign); errors.Is(err, docs.ErrCampaignNotFound) {
+		if _, err := reg.Create(defaultCampaign); err != nil {
+			reg.Close()
+			return nil, err
+		}
+	}
+	return &server{reg: reg, cfg: cfg, start: time.Now(), rates: make(map[string]rateObs)}, nil
 }
+
+// close shuts the registry down gracefully (drain workers, flush + fsync
+// every campaign's WAL, release the shared store).
+func (s *server) close() error { return s.reg.Close() }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /publish", s.handlePublish)
-	mux.HandleFunc("GET /request", s.handleRequest)
-	mux.HandleFunc("POST /submit", s.handleSubmit)
-	mux.HandleFunc("GET /result", s.handleResult)
-	mux.HandleFunc("GET /results", s.handleResults)
-	mux.HandleFunc("GET /worker", s.handleWorker)
+	mux.HandleFunc("GET /campaigns", s.handleCampaigns)
+	mux.HandleFunc("POST /campaigns", s.handleCreate)
+	for _, route := range []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"POST /publish", s.handlePublish},
+		{"GET /request", s.handleRequest},
+		{"POST /submit", s.handleSubmit},
+		{"GET /result", s.handleResult},
+		{"GET /results", s.handleResults},
+		{"GET /worker", s.handleWorker},
+		{"GET /stats", s.handleStats},
+	} {
+		// Every campaign endpoint is registered twice: under its namespace
+		// and at the legacy root path, which serves the "default" campaign.
+		mux.HandleFunc(route.pattern, route.h)
+		method, path, _ := strings.Cut(route.pattern, " ")
+		mux.HandleFunc(method+" /c/{campaign}"+path, route.h)
+	}
+	mux.HandleFunc("POST /c/{campaign}/archive", s.handleArchive)
 	mux.HandleFunc("GET /domains", s.handleDomains)
-	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
+}
+
+// campaignName resolves which campaign a request addresses: the {campaign}
+// path segment, or the default campaign on the legacy alias paths.
+func campaignName(r *http.Request) string {
+	if name := r.PathValue("campaign"); name != "" {
+		return name
+	}
+	return defaultCampaign
+}
+
+// campaign resolves the request's campaign, writing the error response
+// (404 unknown, 410 archived) when it cannot.
+func (s *server) campaign(w http.ResponseWriter, r *http.Request) (*docs.System, string, bool) {
+	name := campaignName(r)
+	sys, err := s.reg.Campaign(name)
+	switch {
+	case err == nil:
+		return sys, name, true
+	case errors.Is(err, docs.ErrCampaignArchived):
+		writeErr(w, http.StatusGone, err)
+	case errors.Is(err, docs.ErrCampaignNotFound):
+		writeErr(w, http.StatusNotFound, err)
+	default:
+		writeErr(w, http.StatusInternalServerError, err)
+	}
+	return nil, name, false
 }
 
 type taskJSON struct {
@@ -81,6 +149,59 @@ type taskJSON struct {
 
 type publishRequest struct {
 	Tasks []taskJSON `json:"tasks"`
+}
+
+type campaignJSON struct {
+	Name             string `json:"name"`
+	Archived         bool   `json:"archived"`
+	Published        bool   `json:"published"`
+	Answers          int64  `json:"answers"`
+	RecoveredRecords int    `json:"recovered_records"`
+}
+
+func (s *server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	infos := s.reg.Campaigns()
+	out := make([]campaignJSON, len(infos))
+	for i, in := range infos {
+		out[i] = campaignJSON{Name: in.Name, Archived: in.Archived, Published: in.Published,
+			Answers: in.Answers, RecoveredRecords: in.RecoveredRecords}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+}
+
+func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return
+	}
+	if _, err := s.reg.Create(req.Name); err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, docs.ErrCampaignExists) {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"created": req.Name})
+}
+
+func (s *server) handleArchive(w http.ResponseWriter, r *http.Request) {
+	name := campaignName(r)
+	if err := s.reg.Archive(name); err != nil {
+		code := http.StatusBadRequest
+		switch {
+		case errors.Is(err, docs.ErrCampaignNotFound):
+			code = http.StatusNotFound
+		case errors.Is(err, docs.ErrCampaignArchived):
+			code = http.StatusGone
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"archived": name})
 }
 
 func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
@@ -97,27 +218,47 @@ func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	for _, t := range req.Tasks {
 		tasks = append(tasks, docs.Task{ID: t.ID, Text: t.Text, Choices: t.Choices, GoldenTruth: t.GoldenTruth})
 	}
-	if s.published.Load() {
+	name := campaignName(r)
+	sys, err := s.reg.Campaign(name)
+	if errors.Is(err, docs.ErrCampaignNotFound) {
+		// Publishing to a fresh name creates the campaign — the one-call
+		// path a requester actually wants. The payload was validated above
+		// so a bad request never leaves an empty campaign behind.
+		sys, err = s.reg.Create(name)
+		if errors.Is(err, docs.ErrCampaignExists) {
+			// Lost a race with a concurrent publish to the same fresh
+			// name: re-resolve and fall through to the published check,
+			// so the loser gets the same 409 a plain double publish gets.
+			sys, err = s.reg.Campaign(name)
+		}
+	}
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, docs.ErrCampaignArchived) {
+			code = http.StatusGone
+		}
+		writeErr(w, code, err)
+		return
+	}
+	if sys.Published() {
 		writeErr(w, http.StatusConflict, fmt.Errorf("tasks already published"))
 		return
 	}
 	// docs.System.Publish is itself exclusive and rejects a second
 	// publication, so a racing pair of publishes cannot both succeed; the
-	// flag above only provides the friendlier 409 for the common case.
-	if err := s.sys.Publish(tasks); err != nil {
-		// Publish can fail AFTER the campaign took effect in memory (the
-		// WAL append is last). Resync the flag with the core so a durability
-		// error does not wedge the server into "published but unservable",
-		// and report server-side durability failures as 500, not 400 — the
-		// requester's payload was fine.
-		s.published.Store(s.sys.Published())
+	// check above only provides the friendlier 409 for the common case.
+	// There is no server-side published flag to resync: every reader asks
+	// the serving core, so even a publish that fails after taking effect
+	// (a durability error on the WAL append) leaves /stats, /request and
+	// recovery agreeing on the core's actual state.
+	if err := sys.Publish(tasks); err != nil {
 		writeErr(w, statusFor(err), err)
 		return
 	}
-	s.published.Store(true)
 	writeJSON(w, http.StatusOK, map[string]any{
+		"campaign":  name,
 		"published": len(tasks),
-		"golden":    s.sys.GoldenTaskIDs(),
+		"golden":    sys.GoldenTaskIDs(),
 	})
 }
 
@@ -135,11 +276,15 @@ func (s *server) handleRequest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if !s.published.Load() {
+	sys, _, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	if !sys.Published() {
 		writeErr(w, http.StatusConflict, fmt.Errorf("no tasks published"))
 		return
 	}
-	tasks, err := s.sys.Request(worker, k)
+	tasks, err := sys.Request(worker, k)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -164,11 +309,15 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
 		return
 	}
-	if !s.published.Load() {
+	sys, _, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	if !sys.Published() {
 		writeErr(w, http.StatusConflict, fmt.Errorf("no tasks published"))
 		return
 	}
-	if err := s.sys.Submit(req.Worker, req.Task, req.Choice); err != nil {
+	if err := sys.Submit(req.Worker, req.Task, req.Choice); err != nil {
 		writeErr(w, statusFor(err), err)
 		return
 	}
@@ -181,13 +330,21 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid task: %w", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.sys.CurrentResult(id))
+	sys, _, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sys.CurrentResult(id))
 }
 
 func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
+	sys, _, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
 	// Results infers over a snapshot of the answer log; submits keep
 	// flowing while inference and response encoding run.
-	results, err := s.sys.Results()
+	results, err := sys.Results()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -201,21 +358,34 @@ func (s *server) handleWorker(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing id"))
 		return
 	}
+	sys, _, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"worker":  id,
-		"quality": s.sys.WorkerQuality(id),
-		"domains": s.sys.DomainNames(),
+		"quality": sys.WorkerQuality(id),
+		"domains": sys.DomainNames(),
 	})
 }
 
 func (s *server) handleDomains(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"domains": s.sys.DomainNames()})
+	// The domain taxonomy is a property of the knowledge base, shared by
+	// every campaign, so the endpoint stays registry-wide.
+	names, err := docs.DomainNames()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"domains": names})
 }
 
-// statsJSON is the /stats payload: goroutine-safe counters describing the
-// serving state. answers_per_sec_recent covers the window since the
-// previous /stats call (equal to the lifetime rate on the first call).
+// statsJSON is the per-campaign /stats payload: goroutine-safe counters
+// describing the serving state. answers_per_sec_recent covers the window
+// since the previous /stats call for the same campaign (equal to the
+// lifetime rate on the first call).
 type statsJSON struct {
+	Campaign            string  `json:"campaign"`
 	Published           bool    `json:"published"`
 	Answers             int64   `json:"answers"`
 	SnapshotEpoch       uint64  `json:"snapshot_epoch"`
@@ -225,6 +395,7 @@ type statsJSON struct {
 	AnswersPerSec       float64 `json:"answers_per_sec"`
 	AnswersPerSecRecent float64 `json:"answers_per_sec_recent"`
 	Goroutines          int     `json:"goroutines"`
+	Campaigns           int     `json:"campaigns"`
 
 	// Durability counters, all zero when the server runs without -wal-dir.
 	WALEnabled           bool    `json:"wal_enabled"`
@@ -237,22 +408,33 @@ type statsJSON struct {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sys, name, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	liveCampaigns := s.reg.CampaignCount()
 	// The whole observation happens under rateMu so concurrent /stats
-	// calls see monotone (time, answers) pairs and the recent rate can
-	// never go negative.
+	// calls on one campaign see monotone (time, answers) pairs and the
+	// recent rate can never go negative.
 	s.rateMu.Lock()
-	st := s.sys.Stats()
+	st := sys.Stats()
 	now := time.Now()
 	uptime := now.Sub(s.start).Seconds()
-	rec := s.sys.Recovery()
+	rec := sys.Recovery()
 	out := statsJSON{
-		Published:            s.published.Load(),
+		Campaign: name,
+		// Published is read from the serving core — the same source of
+		// truth Publish, Request and WAL recovery use — so a half-applied
+		// publish (applied in memory, durability error on the log append)
+		// can never make /stats disagree with serving behavior.
+		Published:            sys.Published(),
 		Answers:              st.Answers,
 		SnapshotEpoch:        st.SnapshotEpoch,
 		RerunsCompleted:      st.RerunsCompleted,
 		RerunsFailed:         st.RerunsFailed,
 		UptimeSeconds:        uptime,
 		Goroutines:           runtime.NumGoroutine(),
+		Campaigns:            liveCampaigns,
 		WALEnabled:           st.WALEnabled,
 		WALLastSeq:           st.WALLastSeq,
 		CheckpointsCompleted: st.CheckpointsCompleted,
@@ -264,13 +446,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if uptime > 0 {
 		out.AnswersPerSec = float64(st.Answers) / uptime
 	}
-	if s.lastStatsAt.IsZero() {
+	prev, seen := s.rates[name]
+	if !seen {
 		out.AnswersPerSecRecent = out.AnswersPerSec
-	} else if dt := now.Sub(s.lastStatsAt).Seconds(); dt > 0 {
-		out.AnswersPerSecRecent = float64(st.Answers-s.lastAnswers) / dt
+	} else if dt := now.Sub(prev.at).Seconds(); dt > 0 {
+		out.AnswersPerSecRecent = float64(st.Answers-prev.answers) / dt
 	}
-	s.lastStatsAt = now
-	s.lastAnswers = st.Answers
+	s.rates[name] = rateObs{at: now, answers: st.Answers}
 	s.rateMu.Unlock()
 	writeJSON(w, http.StatusOK, out)
 }

@@ -18,6 +18,7 @@ func testServer(t *testing.T) (*httptest.Server, *server) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { srv.close() })
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return ts, srv
@@ -60,6 +61,9 @@ func publishBody() map[string]any {
 	}
 }
 
+// TestServerLifecycle drives the legacy single-campaign paths, which alias
+// the "default" campaign — the pre-registry API must keep working
+// unchanged.
 func TestServerLifecycle(t *testing.T) {
 	ts, _ := testServer(t)
 
@@ -175,6 +179,16 @@ func TestServerValidation(t *testing.T) {
 	if resp, _ := doJSON(t, "GET", ts.URL+"/worker", nil); resp.StatusCode != 400 {
 		t.Errorf("missing worker id = %d, want 400", resp.StatusCode)
 	}
+	// Campaign-level validation.
+	if resp, _ := doJSON(t, "GET", ts.URL+"/c/no-such/request?worker=w", nil); resp.StatusCode != 404 {
+		t.Errorf("unknown campaign request = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, "POST", ts.URL+"/campaigns", map[string]any{"name": "bad name"}); resp.StatusCode != 400 {
+		t.Errorf("illegal campaign name = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, "POST", ts.URL+"/c/%2e%2e/publish", publishBody()); resp.StatusCode != 400 {
+		t.Errorf("publish to traversal name = %d, want 400", resp.StatusCode)
+	}
 }
 
 func TestServerStats(t *testing.T) {
@@ -229,16 +243,183 @@ func TestServerStats(t *testing.T) {
 	if !published {
 		t.Error("stats reports unpublished after publish")
 	}
+	var name string
+	if err := json.Unmarshal(out["campaign"], &name); err != nil {
+		t.Fatal(err)
+	}
+	if name != defaultCampaign {
+		t.Errorf("legacy /stats reports campaign %q, want %q", name, defaultCampaign)
+	}
 }
 
-// TestServerConcurrentTraffic hammers the handlers from many goroutines;
-// with -race it verifies the lock-free server plus the concurrent core end
-// to end over real HTTP.
+// TestStatsSharesPublishSourceOfTruth is the regression test for the
+// cached-published-flag bug: the server used to mirror "published" into an
+// atomic bool, so a publish that took effect in the core without the
+// server's involvement (WAL recovery restore, or a publish whose HTTP
+// acknowledgment failed mid-way) left /stats reporting published=false
+// while /request served tasks. Now every reader asks the serving core, so
+// a publish applied behind the handlers' backs must be visible to /stats
+// and /request alike, immediately.
+func TestStatsSharesPublishSourceOfTruth(t *testing.T) {
+	ts, srv := testServer(t)
+
+	// Publish through the registry handle directly — the handlers never
+	// see it, exactly like a recovery restore or a half-acknowledged
+	// publish.
+	sys, err := srv.reg.Campaign(defaultCampaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tasks []docs.Task
+	raw := publishBody()["tasks"].([]map[string]any)
+	for _, m := range raw {
+		tasks = append(tasks, docs.Task{
+			ID: m["id"].(int), Text: m["text"].(string),
+			Choices: m["choices"].([]string), GoldenTruth: m["golden_truth"].(int),
+		})
+	}
+	if err := sys.Publish(tasks); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, out := doJSON(t, "GET", ts.URL+"/stats", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats = %d", resp.StatusCode)
+	}
+	var published bool
+	if err := json.Unmarshal(out["published"], &published); err != nil {
+		t.Fatal(err)
+	}
+	if !published {
+		t.Fatal("/stats reports published=false for a campaign the core has published")
+	}
+	if resp, _ := doJSON(t, "GET", ts.URL+"/request?worker=w1&k=1", nil); resp.StatusCode != 200 {
+		t.Fatalf("request = %d; /stats and /request disagree on published", resp.StatusCode)
+	}
+	// And a second publish over HTTP conflicts — same source of truth.
+	if resp, _ := doJSON(t, "POST", ts.URL+"/publish", publishBody()); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("publish over core-published campaign = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestServerMultiCampaign exercises the namespaced routes end to end: two
+// campaigns publish different task sets, serve different workers, report
+// separate stats, and archive independently — while the default campaign
+// and the legacy aliases stay untouched.
+func TestServerMultiCampaign(t *testing.T) {
+	ts, _ := testServer(t)
+
+	// Publishing to a fresh name creates the campaign.
+	resp, out := doJSON(t, "POST", ts.URL+"/c/photos/publish", publishBody())
+	if resp.StatusCode != 200 {
+		t.Fatalf("publish photos = %d: %s", resp.StatusCode, out["error"])
+	}
+	// Explicit create, then publish.
+	if resp, _ := doJSON(t, "POST", ts.URL+"/campaigns", map[string]any{"name": "ner"}); resp.StatusCode != 200 {
+		t.Fatalf("create ner = %d", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, "POST", ts.URL+"/campaigns", map[string]any{"name": "ner"}); resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate create = %d, want 409", resp.StatusCode)
+	}
+	if resp, out := doJSON(t, "POST", ts.URL+"/c/ner/publish", publishBody()); resp.StatusCode != 200 {
+		t.Fatalf("publish ner = %d: %s", resp.StatusCode, out["error"])
+	}
+
+	// The campaigns are isolated: answers land in their own campaign.
+	for i, name := range []string{"photos", "ner"} {
+		resp, out := doJSON(t, "GET", ts.URL+"/c/"+name+"/request?worker=w&k=2", nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %s = %d", name, resp.StatusCode)
+		}
+		var rout struct {
+			Tasks []struct {
+				ID int `json:"id"`
+			} `json:"tasks"`
+		}
+		raw, _ := json.Marshal(out)
+		if err := json.Unmarshal(raw, &rout); err != nil {
+			t.Fatal(err)
+		}
+		for j, tk := range rout.Tasks {
+			if j > i {
+				break // different per-campaign answer counts
+			}
+			if resp, out := doJSON(t, "POST", ts.URL+"/c/"+name+"/submit",
+				map[string]any{"worker": "w", "task": tk.ID, "choice": 0}); resp.StatusCode != 200 {
+				t.Fatalf("submit %s = %d: %s", name, resp.StatusCode, out["error"])
+			}
+		}
+	}
+	for i, name := range []string{"photos", "ner"} {
+		resp, out := doJSON(t, "GET", ts.URL+"/c/"+name+"/stats", nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("stats %s = %d", name, resp.StatusCode)
+		}
+		var answers int64
+		if err := json.Unmarshal(out["answers"], &answers); err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(i + 1); answers != want {
+			t.Errorf("campaign %s has %d answers, want %d", name, answers, want)
+		}
+	}
+
+	// The listing shows all three (default included), separately published.
+	resp, out = doJSON(t, "GET", ts.URL+"/campaigns", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("campaigns = %d", resp.StatusCode)
+	}
+	var list []campaignJSON
+	if err := json.Unmarshal(out["campaigns"], &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("campaigns = %+v, want default, ner, photos", list)
+	}
+	byName := map[string]campaignJSON{}
+	for _, c := range list {
+		byName[c.Name] = c
+	}
+	if byName[defaultCampaign].Published {
+		t.Error("default campaign reported published; nothing was published to it")
+	}
+	if !byName["photos"].Published || !byName["ner"].Published {
+		t.Error("named campaigns not reported published")
+	}
+
+	// Archive photos: gone for serving, still listed, ner unaffected.
+	if resp, _ := doJSON(t, "POST", ts.URL+"/c/photos/archive", nil); resp.StatusCode != 200 {
+		t.Fatalf("archive = %d", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, "GET", ts.URL+"/c/photos/request?worker=w2&k=1", nil); resp.StatusCode != http.StatusGone {
+		t.Errorf("request archived = %d, want 410", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, "POST", ts.URL+"/c/photos/archive", nil); resp.StatusCode != http.StatusGone {
+		t.Errorf("double archive = %d, want 410", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, "GET", ts.URL+"/c/ner/request?worker=w2&k=1", nil); resp.StatusCode != 200 {
+		t.Errorf("ner after photos archive = %d, want 200", resp.StatusCode)
+	}
+	resp, out = doJSON(t, "GET", ts.URL+"/campaigns", nil)
+	if err := json.Unmarshal(out["campaigns"], &list); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range list {
+		if c.Name == "photos" && !c.Archived {
+			t.Error("archived campaign not flagged in the listing")
+		}
+	}
+}
+
+// TestServerConcurrentTraffic hammers the handlers from many goroutines
+// across two campaigns; with -race it verifies the lock-free server plus
+// the concurrent cores end to end over real HTTP.
 func TestServerConcurrentTraffic(t *testing.T) {
 	srv, err := newServer(docs.Config{GoldenCount: -1, HITSize: 3, AnswersPerTask: 4, AsyncRerun: true, RerunEvery: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { srv.close() })
 	hts := httptest.NewServer(srv.handler())
 	t.Cleanup(hts.Close)
 
@@ -249,8 +430,12 @@ func TestServerConcurrentTraffic(t *testing.T) {
 			"choices": []string{"even", "odd"}, "golden_truth": -1,
 		}
 	}
+	campaigns := []string{"default", "other"}
 	if resp, out := doJSON(t, "POST", hts.URL+"/publish", map[string]any{"tasks": tasks}); resp.StatusCode != 200 {
 		t.Fatalf("publish = %d: %s", resp.StatusCode, out["error"])
+	}
+	if resp, out := doJSON(t, "POST", hts.URL+"/c/other/publish", map[string]any{"tasks": tasks}); resp.StatusCode != 200 {
+		t.Fatalf("publish other = %d: %s", resp.StatusCode, out["error"])
 	}
 
 	var wg sync.WaitGroup
@@ -261,9 +446,10 @@ func TestServerConcurrentTraffic(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			client := &http.Client{}
+			base := hts.URL + "/c/" + campaigns[g%2]
 			for i := 0; i < 6; i++ {
 				w := fmt.Sprintf("cw%d-%d", g, i)
-				resp, err := client.Get(hts.URL + "/request?worker=" + w + "&k=3")
+				resp, err := client.Get(base + "/request?worker=" + w + "&k=3")
 				if err != nil {
 					errs <- err
 					return
@@ -285,20 +471,20 @@ func TestServerConcurrentTraffic(t *testing.T) {
 						errs <- err
 						return
 					}
-					sresp, err := client.Post(hts.URL+"/submit", "application/json", &buf)
+					sresp, err := client.Post(base+"/submit", "application/json", &buf)
 					if err != nil {
 						errs <- err
 						return
 					}
 					sresp.Body.Close()
-					rresp, err := client.Get(fmt.Sprintf("%s/result?task=%d", hts.URL, tk.ID))
+					rresp, err := client.Get(fmt.Sprintf("%s/result?task=%d", base, tk.ID))
 					if err != nil {
 						errs <- err
 						return
 					}
 					rresp.Body.Close()
 				}
-				stresp, err := client.Get(hts.URL + "/stats")
+				stresp, err := client.Get(base + "/stats")
 				if err != nil {
 					errs <- err
 					return
@@ -313,15 +499,17 @@ func TestServerConcurrentTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, out := doJSON(t, "GET", hts.URL+"/results", nil)
-	if resp.StatusCode != 200 {
-		t.Fatalf("results = %d: %s", resp.StatusCode, out["error"])
-	}
-	var results []docs.Result
-	if err := json.Unmarshal(out["results"], &results); err != nil {
-		t.Fatal(err)
-	}
-	if len(results) != 40 {
-		t.Errorf("results = %d tasks, want 40", len(results))
+	for _, name := range campaigns {
+		resp, out := doJSON(t, "GET", hts.URL+"/c/"+name+"/results", nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("results %s = %d: %s", name, resp.StatusCode, out["error"])
+		}
+		var results []docs.Result
+		if err := json.Unmarshal(out["results"], &results); err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 40 {
+			t.Errorf("results %s = %d tasks, want 40", name, len(results))
+		}
 	}
 }

@@ -1,15 +1,23 @@
-// Command docs-simulate runs a complete simulated crowdsourcing campaign
+// Command docs-simulate runs complete simulated crowdsourcing campaigns
 // end to end: it generates one of the paper's datasets, publishes it to a
 // DOCS system, drives a simulated worker population through the golden-
 // profiling and OTA loop, and reports the final accuracy and worker
 // statistics.
 //
+// With -campaigns N > 1 it hosts N campaigns in one campaign registry over
+// a single shared worker store: the same worker population serves all of
+// them, so workers profiled on campaign 0's golden tasks skip the golden
+// gauntlet everywhere else — the paper's cross-requester story — and the
+// tool reports how many profiles carried over per campaign.
+//
 // Usage:
 //
 //	docs-simulate -dataset 4D -workers 50 -redundancy 10 -seed 7
+//	docs-simulate -dataset Item -campaigns 4 -workers 80
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -20,31 +28,30 @@ import (
 	"docs/internal/crowd"
 	"docs/internal/dataset"
 	"docs/internal/kb"
+	"docs/internal/registry"
 	"docs/internal/truth"
 	"docs/internal/wal"
 )
 
 func main() {
 	name := flag.String("dataset", "Item", "dataset: Item, 4D, QA or SFV")
-	workers := flag.Int("workers", 50, "simulated worker population size")
+	campaigns := flag.Int("campaigns", 1, "number of campaigns hosted in one registry (same dataset family, different seeds) served by one shared worker population")
+	workers := flag.Int("workers", 50, "simulated worker population size, shared across campaigns")
 	redundancy := flag.Int("redundancy", 10, "answers collected per task")
 	hit := flag.Int("hit", 20, "tasks per HIT")
-	golden := flag.Int("golden", 20, "golden task count")
+	golden := flag.Int("golden", 20, "golden task count per campaign")
 	seed := flag.Uint64("seed", 20160412, "deterministic seed")
-	walDir := flag.String("wal-dir", "", "write-ahead log directory: the campaign becomes durable, and an interrupted simulation resumes from the log (empty = memory-only, the pre-WAL behavior)")
-	walFsync := flag.Bool("wal-fsync", false, "fsync the WAL once per group-commit batch")
+	walDir := flag.String("wal-dir", "", "registry root directory: campaigns become durable under <dir>/campaigns/<name> and an interrupted simulation resumes from the logs (empty = memory-only)")
+	walFsync := flag.Bool("wal-fsync", false, "fsync the WALs once per group-commit batch")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "answers between WAL checkpoints (0 = default, negative = never)")
 	flag.Parse()
 
-	ds, err := dataset.ByName(*name, *seed)
-	if err != nil {
-		log.Fatalf("docs-simulate: %v", err)
-	}
 	walSync := wal.SyncNever
 	if *walFsync {
 		walSync = wal.SyncEveryBatch
 	}
-	sys, err := core.New(core.Config{
+	reg, err := registry.Open(registry.Config{
+		WALDir:          *walDir,
 		GoldenCount:     *golden,
 		HITSize:         *hit,
 		AnswersPerTask:  *redundancy,
@@ -54,16 +61,56 @@ func main() {
 	if err != nil {
 		log.Fatalf("docs-simulate: %v", err)
 	}
-	defer sys.Close()
-	if *walDir != "" {
-		info, err := sys.Recover(*walDir)
-		if err != nil {
-			log.Fatalf("docs-simulate: recover: %v", err)
+	defer reg.Close()
+
+	base, err := dataset.ByName(*name, *seed)
+	if err != nil {
+		log.Fatalf("docs-simulate: %v", err)
+	}
+	pop, err := crowd.NewPopulation(crowd.Config{
+		NumWorkers:      *workers,
+		M:               kb.MustDefault().Domains().Size(),
+		RelevantDomains: base.YahooIndex,
+		Seed:            *seed,
+	})
+	if err != nil {
+		log.Fatalf("docs-simulate: %v", err)
+	}
+
+	for ci := 0; ci < *campaigns; ci++ {
+		ds := base
+		if ci > 0 {
+			// Same dataset family, different generation seed: each
+			// requester brings their own task set over the same domains.
+			if ds, err = dataset.ByName(*name, *seed+uint64(ci)); err != nil {
+				log.Fatalf("docs-simulate: %v", err)
+			}
 		}
-		if info.Records > 0 {
-			fmt.Printf("recovered %d records from %s in %s (torn tail: %v)\n",
-				info.Records, *walDir, info.Duration.Round(time.Millisecond), info.TornTail)
+		cname := fmt.Sprintf("c%d", ci)
+		if *campaigns > 1 {
+			fmt.Printf("=== campaign %s ===\n", cname)
 		}
+		runCampaign(reg, cname, ds, pop, *name, *hit, *redundancy, *campaigns == 1)
+	}
+	if *campaigns > 1 {
+		fmt.Printf("shared store: %d workers profiled across %d campaigns\n",
+			reg.Store().Len(), *campaigns)
+	}
+}
+
+// runCampaign publishes (or resumes) one campaign and drives the shared
+// population through it until every task reaches its redundancy cap.
+func runCampaign(reg *registry.Registry, cname string, ds *dataset.Dataset, pop *crowd.Population, dsName string, hit, redundancy int, verbose bool) {
+	sys, err := reg.Get(cname)
+	if errors.Is(err, registry.ErrNotFound) {
+		sys, err = reg.Create(cname)
+	}
+	if err != nil {
+		log.Fatalf("docs-simulate: %v", err)
+	}
+	if info := sys.Recovery(); info.Records > 0 {
+		fmt.Printf("recovered %d records in %s (torn tail: %v)\n",
+			info.Records, info.Duration.Round(time.Millisecond), info.TornTail)
 	}
 	if sys.Published() {
 		fmt.Printf("resuming recovered campaign: %d answers already collected, %d golden tasks\n",
@@ -72,27 +119,24 @@ func main() {
 		if err := sys.Publish(ds.Tasks); err != nil {
 			log.Fatalf("docs-simulate: publish: %v", err)
 		}
-		fmt.Printf("published %d tasks (%s), %d golden\n", len(ds.Tasks), *name, len(sys.GoldenTasks()))
+		fmt.Printf("published %d tasks (%s), %d golden\n", len(ds.Tasks), dsName, len(sys.GoldenTasks()))
 	}
-
-	pop, err := crowd.NewPopulation(crowd.Config{
-		NumWorkers:      *workers,
-		M:               kb.MustDefault().Domains().Size(),
-		RelevantDomains: ds.YahooIndex,
-		Seed:            *seed,
-	})
-	if err != nil {
-		log.Fatalf("docs-simulate: %v", err)
+	golden := map[int]bool{}
+	for _, id := range sys.GoldenTasks() {
+		golden[id] = true
 	}
 
 	r := pop.Rand()
-	target := *redundancy * (len(ds.Tasks) - len(sys.GoldenTasks()))
+	target := redundancy * (len(ds.Tasks) - len(sys.GoldenTasks()))
 	collected := int(sys.AnswerCount()) // non-zero when resuming from a WAL
 	hits := 0
 	idle := 0
+	goldenAnswers := 0
+	carried, gauntlets := 0, 0
+	seen := map[string]bool{}
 	for collected < target && idle < 5000 {
 		w := pop.Arrival()
-		batch, err := sys.Request(w.ID, *hit)
+		batch, err := sys.Request(w.ID, hit)
 		if err != nil {
 			log.Fatalf("docs-simulate: request: %v", err)
 		}
@@ -102,23 +146,33 @@ func main() {
 		}
 		idle = 0
 		hits++
-		golden := map[int]bool{}
-		for _, id := range sys.GoldenTasks() {
-			golden[id] = true
+		if !seen[w.ID] {
+			seen[w.ID] = true
+			// A worker's first batch is homogeneous: golden while
+			// unprofiled, regular once their profile carried over.
+			if golden[batch[0].ID] {
+				gauntlets++
+			} else {
+				carried++
+			}
 		}
 		for _, tk := range batch {
 			if err := sys.Submit(w.ID, tk.ID, w.Answer(tk, r)); err != nil {
 				log.Fatalf("docs-simulate: submit: %v", err)
 			}
-			if !golden[tk.ID] {
+			if golden[tk.ID] {
+				goldenAnswers++
+			} else {
 				collected++
 			}
 		}
-		if hits%200 == 0 {
+		if verbose && hits%200 == 0 {
 			fmt.Printf("  %d HITs served, %d/%d answers collected\n", hits, collected, target)
 		}
 	}
-	fmt.Printf("campaign done: %d HITs, %d answers\n", hits, collected)
+	fmt.Printf("campaign done: %d HITs, %d answers (%d golden)\n", hits, collected, goldenAnswers)
+	fmt.Printf("workers: %d served; %d carried a profile from an earlier campaign, %d ran the golden gauntlet\n",
+		len(seen), carried, gauntlets)
 
 	res, err := sys.Results()
 	if err != nil {
@@ -129,7 +183,15 @@ func main() {
 	fmt.Printf("final accuracy: %.2f%% over %d tasks (TI converged in %d iterations)\n",
 		100*acc, n, res.Iterations)
 
-	// Worker quality calibration summary over the dataset's domains.
+	if verbose {
+		printWorkerCalibration(sys, pop, ds, res)
+	}
+}
+
+// printWorkerCalibration summarizes worker quality calibration over the
+// dataset's domains (single-campaign mode only, matching the original
+// report).
+func printWorkerCalibration(sys *core.System, pop *crowd.Population, ds *dataset.Dataset, res *truth.Result) {
 	type row struct {
 		id       string
 		answered int

@@ -72,6 +72,26 @@
 // work stays linear in campaign size, because the canonical state is
 // defined by replay, not by a float snapshot. See docs/persistence.md for
 // the full contract.
+//
+// # Multiple campaigns
+//
+// OpenRegistry hosts many named campaigns in one process, each a full
+// System, all sharing one long-run worker store — the paper's central
+// observation is that per-domain worker quality persists across
+// requesters, so a worker profiled on campaign A's golden tasks starts
+// campaign B with their quality vector carried over instead of re-running
+// the golden gauntlet:
+//
+//	reg, _ := docs.OpenRegistry(docs.Config{WALDir: "data"})
+//	a, _ := reg.Create("product-labels")
+//	a.Publish(tasks)
+//	b, _ := reg.Campaign("product-labels") // same campaign, by name
+//
+// With Config.WALDir set, each campaign logs under its own namespace
+// (<dir>/campaigns/<name>) and the shared store persists at
+// <dir>/store.json; OpenRegistry recovers every campaign a previous
+// process left behind. Archive ends a campaign for good; Close shuts the
+// whole registry down gracefully. See docs/multi-campaign.md.
 package docs
 
 import (
@@ -280,6 +300,17 @@ func (s *System) Published() bool { return s.sys.Published() }
 // DomainNames returns the system's domain set (the 26 Yahoo! Answers
 // domains for the default knowledge base).
 func (s *System) DomainNames() []string { return s.sys.Domains().Names() }
+
+// DomainNames returns the built-in knowledge base's domain set without
+// constructing a System — the domain taxonomy is a property of the KB,
+// shared by every campaign.
+func DomainNames() ([]string, error) {
+	k, err := kb.Default()
+	if err != nil {
+		return nil, err
+	}
+	return k.Domains().Names(), nil
+}
 
 // CurrentResult returns the present (incrementally maintained) inferred
 // truth for a task; Choice is -1 for golden or unknown tasks.

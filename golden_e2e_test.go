@@ -1,0 +1,213 @@
+package docs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"docs/internal/mathx"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate the expected section of testdata/campaign_golden.json")
+
+// goldenCampaign is the checked-in synthetic campaign: inputs plus the
+// expected outputs of running it through the full public pipeline.
+type goldenCampaign struct {
+	Description string             `json:"description"`
+	Seed        uint64             `json:"seed"`
+	Config      goldenConfig       `json:"config"`
+	Workers     []goldenWorker     `json:"workers"`
+	Tasks       []goldenTask       `json:"tasks"`
+	Expected    goldenExpectations `json:"expected"`
+}
+
+type goldenConfig struct {
+	GoldenCount    int `json:"golden_count"`
+	HITSize        int `json:"hit_size"`
+	AnswersPerTask int `json:"answers_per_task"`
+	RerunEvery     int `json:"rerun_every"`
+}
+
+type goldenWorker struct {
+	ID       string  `json:"id"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+type goldenTask struct {
+	ID      int      `json:"id"`
+	Text    string   `json:"text"`
+	Choices []string `json:"choices"`
+	// PlantedTruth is the simulation's hidden ground truth, used to
+	// generate answers and evaluate accuracy; it is revealed to the system
+	// (as GoldenTruth) only for tasks marked Golden.
+	PlantedTruth int  `json:"planted_truth"`
+	Golden       bool `json:"golden"`
+}
+
+type goldenExpectations struct {
+	// Answers and GoldenAnswers are the exact collection counts.
+	Answers       int `json:"answers"`
+	GoldenAnswers int `json:"golden_answers"`
+	// Evaluated is the number of non-golden tasks scored, Accuracy the
+	// fraction inferred correctly (vs the planted truths).
+	Evaluated int     `json:"evaluated"`
+	Accuracy  float64 `json:"accuracy"`
+	// TruthDigest is FNV-1a 64 over the inferred truth indices in task
+	// order; ConfidenceDigest additionally folds in every confidence
+	// float64 bit-for-bit. Any ulp of drift anywhere in DVE, OTA or TI
+	// changes it.
+	TruthDigest      string `json:"truth_digest"`
+	ConfidenceDigest string `json:"confidence_digest"`
+}
+
+// TestGoldenCampaignRegression replays the checked-in campaign through
+// Publish→Request→Submit→Results and compares the outcome — answer counts,
+// accuracy, and float64-exact digests of the inferred truths — against the
+// committed expectations. It pins the full serial pipeline: entity
+// linking, DVE, golden selection and profiling, OTA, incremental TI with
+// periodic batch reruns, and the final inference. Run with -update after
+// an intentional algorithm change to regenerate the expected section.
+func TestGoldenCampaignRegression(t *testing.T) {
+	path := filepath.Join("testdata", "campaign_golden.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gc goldenCampaign
+	if err := json.Unmarshal(data, &gc); err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := New(Config{
+		GoldenCount:    gc.Config.GoldenCount,
+		HITSize:        gc.Config.HITSize,
+		AnswersPerTask: gc.Config.AnswersPerTask,
+		RerunEvery:     gc.Config.RerunEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	tasks := make([]Task, len(gc.Tasks))
+	planted := make(map[int]int, len(gc.Tasks))
+	for i, tk := range gc.Tasks {
+		truth := NoTruth
+		if tk.Golden {
+			truth = tk.PlantedTruth
+		}
+		tasks[i] = Task{ID: tk.ID, Text: tk.Text, Choices: tk.Choices, GoldenTruth: truth}
+		planted[tk.ID] = tk.PlantedTruth
+	}
+	if err := sys.Publish(tasks); err != nil {
+		t.Fatal(err)
+	}
+	goldenSet := map[int]bool{}
+	for _, id := range sys.GoldenTaskIDs() {
+		goldenSet[id] = true
+	}
+
+	// The drive is strictly deterministic: workers take turns in file
+	// order, each submitting their whole batch, answers drawn from one
+	// seeded generator. The loop ends when a full round serves nothing.
+	r := mathx.NewRand(gc.Seed)
+	answers, goldenAnswers := 0, 0
+	for {
+		served := 0
+		for _, w := range gc.Workers {
+			batch, err := sys.Request(w.ID, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tk := range batch {
+				served++
+				choice := planted[tk.ID]
+				if r.Float64() >= w.Accuracy {
+					wrong := r.Intn(len(tk.Choices) - 1)
+					if wrong >= choice {
+						wrong++
+					}
+					choice = wrong
+				}
+				if err := sys.Submit(w.ID, tk.ID, choice); err != nil {
+					t.Fatal(err)
+				}
+				if goldenSet[tk.ID] {
+					goldenAnswers++
+				} else {
+					answers++
+				}
+			}
+		}
+		if served == 0 {
+			break
+		}
+	}
+
+	results, err := sys.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, evaluated := 0, 0
+	truthHash := fnv.New64a()
+	confHash := fnv.New64a()
+	var buf [8]byte
+	for _, res := range results {
+		evaluated++
+		if res.Choice == planted[res.TaskID] {
+			correct++
+		}
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(res.Choice)))
+		truthHash.Write(buf[:])
+		confHash.Write(buf[:])
+		for _, c := range res.Confidence {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(c))
+			confHash.Write(buf[:])
+		}
+	}
+	got := goldenExpectations{
+		Answers:          answers,
+		GoldenAnswers:    goldenAnswers,
+		Evaluated:        evaluated,
+		Accuracy:         float64(correct) / float64(evaluated),
+		TruthDigest:      fmt.Sprintf("%016x", truthHash.Sum64()),
+		ConfidenceDigest: fmt.Sprintf("%016x", confHash.Sum64()),
+	}
+
+	if *updateGolden {
+		gc.Expected = got
+		out, err := json.MarshalIndent(&gc, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s: %+v", path, got)
+		return
+	}
+
+	want := gc.Expected
+	if got.Answers != want.Answers || got.GoldenAnswers != want.GoldenAnswers {
+		t.Errorf("collected %d answers (%d golden), want %d (%d)",
+			got.Answers, got.GoldenAnswers, want.Answers, want.GoldenAnswers)
+	}
+	if got.Evaluated != want.Evaluated {
+		t.Errorf("evaluated %d tasks, want %d", got.Evaluated, want.Evaluated)
+	}
+	if math.Abs(got.Accuracy-want.Accuracy) > 1e-9 {
+		t.Errorf("accuracy %.6f, want %.6f", got.Accuracy, want.Accuracy)
+	}
+	if got.TruthDigest != want.TruthDigest {
+		t.Errorf("truth digest %s, want %s — inferred truths changed", got.TruthDigest, want.TruthDigest)
+	}
+	if got.ConfidenceDigest != want.ConfidenceDigest {
+		t.Errorf("confidence digest %s, want %s — confidences drifted (run with -update if intentional)",
+			got.ConfidenceDigest, want.ConfidenceDigest)
+	}
+}

@@ -26,108 +26,10 @@ import (
 // the durability contract: recovery IS the serial replay the concurrency
 // work proved equivalent to live serving.
 
-// fingerprint captures every piece of campaign state the durability
-// contract covers, with float64s rendered as raw bits so "close" never
-// passes for "equal": published tasks and golden selection, per-task truth
-// state (truth, answer count, S and M), the chronological answer log, the
-// golden answers and profiling flags per worker, per-worker incremental
-// stats, and the long-run store.
-func fingerprint(s *System) string {
-	var b strings.Builder
-	bits := func(f float64) { fmt.Fprintf(&b, "%016x,", math.Float64bits(f)) }
-
-	s.mu.RLock()
-	fmt.Fprintf(&b, "tasks:%d;", len(s.tasks))
-	for _, t := range s.tasks {
-		fmt.Fprintf(&b, "t%d:g%v:", t.ID, s.golden[t.ID])
-		for _, r := range t.Domain {
-			bits(r)
-		}
-	}
-	tasks := s.tasks
-	s.mu.RUnlock()
-
-	fmt.Fprintf(&b, ";answers:%d;", s.submissions.Load())
-	s.logMu.Lock()
-	for _, a := range s.log {
-		fmt.Fprintf(&b, "%s/%d/%d,", a.Worker, a.Task, a.Choice)
-	}
-	s.logMu.Unlock()
-
-	b.WriteString(";views:")
-	for _, t := range tasks {
-		v := s.inc.View(t.ID)
-		if v == nil {
-			fmt.Fprintf(&b, "t%d:nil;", t.ID)
-			continue
-		}
-		fmt.Fprintf(&b, "t%d:c%d:n%d:S", t.ID, v.Truth, v.NumAnswers)
-		for _, x := range v.S {
-			bits(x)
-		}
-		b.WriteString("M")
-		for _, row := range v.M {
-			for _, x := range row {
-				bits(x)
-			}
-		}
-		b.WriteString(";")
-	}
-
-	b.WriteString(";golden:")
-	golden := s.goldenAnswersByWorker()
-	workers := make([]string, 0, len(golden))
-	for w := range golden {
-		workers = append(workers, w)
-	}
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		for w, ws := range sh.workers {
-			if ws.profiled {
-				workers = append(workers, w+"+profiled")
-			}
-		}
-		sh.mu.Unlock()
-	}
-	sort.Strings(workers)
-	for _, w := range workers {
-		fmt.Fprintf(&b, "%s(", w)
-		for _, a := range golden[strings.TrimSuffix(w, "+profiled")] {
-			fmt.Fprintf(&b, "%d/%d,", a.Task, a.Choice)
-		}
-		b.WriteString(")")
-	}
-
-	b.WriteString(";workerstats:")
-	for _, w := range s.inc.Workers() {
-		st := s.inc.Worker(w)
-		fmt.Fprintf(&b, "%s:q", w)
-		for _, q := range st.Q {
-			bits(q)
-		}
-		b.WriteString("u")
-		for _, u := range st.U {
-			bits(u)
-		}
-		b.WriteString(";")
-	}
-
-	b.WriteString(";store:")
-	for _, w := range s.store.Workers() {
-		st, _ := s.store.Worker(w)
-		fmt.Fprintf(&b, "%s:q", w)
-		for _, q := range st.Q {
-			bits(q)
-		}
-		b.WriteString("u")
-		for _, u := range st.U {
-			bits(u)
-		}
-		b.WriteString(";")
-	}
-	return b.String()
-}
+// fingerprint is the state comparator the kill-point sweeps are built on;
+// the implementation moved to the exported (*System).Fingerprint so the
+// campaign-registry crash suite can make the same bit-exact comparison.
+func fingerprint(s *System) string { return s.Fingerprint() }
 
 // runLoggedCampaign drives a deterministic serial campaign with the WAL
 // armed at dir and returns the record stream it wrote (publish + answers,

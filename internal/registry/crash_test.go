@@ -1,0 +1,561 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"docs/internal/core"
+	"docs/internal/mathx"
+	"docs/internal/model"
+	"docs/internal/store"
+	"docs/internal/wal"
+)
+
+// The multi-campaign crash harness. A registry hosting several campaigns
+// runs an interleaved workload with an overlapping worker population (so
+// the shared store actually carries profiles across campaigns), then the
+// on-disk state is "killed" at randomized per-campaign points — each
+// campaign's WAL cut independently, some mid-record, exactly what a kill -9
+// leaves when the namespaces flush independently. Booting a registry over
+// each crash image must recover every campaign to the state of a serial
+// replay of its own surviving records (the per-campaign serial reference),
+// and must leave the shared store untouched: replay reads profiles, it
+// never re-merges them.
+
+// campaignKnobs are the per-campaign tuning knobs shared by the registry
+// under test and the serial reference systems.
+var crashKnobs = struct {
+	golden, hit, perTask, rerun int
+	segBytes                    int64
+}{golden: 4, hit: 4, perTask: 3, rerun: 20, segBytes: 1 << 10}
+
+func crashConfig(root string) Config {
+	return Config{
+		WALDir:          root,
+		GoldenCount:     crashKnobs.golden,
+		HITSize:         crashKnobs.hit,
+		AnswersPerTask:  crashKnobs.perTask,
+		RerunEvery:      crashKnobs.rerun,
+		CheckpointEvery: -1,
+		WALSegmentBytes: crashKnobs.segBytes,
+	}
+}
+
+// driveInterleaved round-robins randomized workers across every campaign
+// until all saturate. Workers are shared across campaigns, so profiling in
+// one campaign feeds store-seeded serving in the others.
+func driveInterleaved(t *testing.T, reg *Registry, names []string, nWorkers int, seed uint64) {
+	t.Helper()
+	r := mathx.NewRand(seed)
+	goldenSets := make(map[string]map[int]bool, len(names))
+	for _, name := range names {
+		sys, err := reg.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := map[int]bool{}
+		for _, id := range sys.GoldenTasks() {
+			set[id] = true
+		}
+		goldenSets[name] = set
+	}
+	idle := map[string]int{}
+	for {
+		active := false
+		for _, name := range names {
+			if idle[name] > 40 {
+				continue
+			}
+			active = true
+			sys, err := reg.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := fmt.Sprintf("w%d", int(r.Float64()*float64(nWorkers)))
+			got, err := sys.Request(w, crashKnobs.hit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) == 0 {
+				idle[name]++
+				continue
+			}
+			idle[name] = 0
+			for _, tk := range got {
+				c := tk.Truth
+				if c == model.NoTruth {
+					c = 0
+				} else if !goldenSets[name][tk.ID] && r.Float64() >= 0.85 {
+					c = 1 - c
+				}
+				if err := sys.Submit(w, tk.ID, c); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if !active {
+			return
+		}
+	}
+}
+
+// readStream reads back a campaign's durable record stream: checkpoint
+// prefix (if any) plus every intact segment record after it.
+func readStream(t *testing.T, dir string) []wal.Record {
+	t.Helper()
+	var recs []wal.Record
+	var cpSeq uint64
+	cp, err := wal.ReadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != nil {
+		recs = append(recs, cp.Records...)
+		cpSeq = cp.LastSeq
+	}
+	st, err := wal.Replay(dir, func(rec wal.Record) error {
+		if rec.Seq > cpSeq {
+			recs = append(recs, rec)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TornTail {
+		t.Fatal("graceful close left a torn tail")
+	}
+	return recs
+}
+
+// frameSpan locates a record's frame inside a segment file.
+type frameSpan struct {
+	file       string
+	start, end int64
+}
+
+func segmentSpans(t *testing.T, dir string) map[uint64]frameSpan {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := make(map[uint64]frameSpan)
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".wal") {
+			continue
+		}
+		err := wal.ScanSegment(filepath.Join(dir, e.Name()), func(rec wal.Record, start, end int64) error {
+			spans[rec.Seq] = frameSpan{file: e.Name(), start: start, end: end}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return spans
+}
+
+// buildCrashCampaign writes the crash image of one campaign's WAL
+// namespace into dst: segments up to the cut survive (the one holding the
+// cut truncated, optionally tornBytes into the next frame), later segments
+// never existed.
+func buildCrashCampaign(t *testing.T, srcDir, dst string, recs []wal.Record, spans map[uint64]frameSpan, surviving int, tornBytes int64) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cutFile, cutOff := "", int64(0)
+	if surviving > 0 {
+		sp, ok := spans[recs[surviving-1].Seq]
+		if !ok {
+			t.Fatalf("record %d not found in segments", recs[surviving-1].Seq)
+		}
+		cutFile, cutOff = sp.file, sp.end
+	}
+	if tornBytes > 0 && surviving < len(recs) {
+		if next, ok := spans[recs[surviving].Seq]; ok {
+			if next.file != cutFile {
+				cutFile, cutOff = next.file, next.start
+			}
+			if frameLen := next.end - next.start; tornBytes >= frameLen {
+				tornBytes = frameLen - 1
+			}
+			cutOff += tornBytes
+		}
+	}
+	if cutFile == "" {
+		return // crash preceded every durable byte: an empty namespace
+	}
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".wal") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // zero-padded hex: lexicographic == sequence order
+	for _, name := range names {
+		if name > cutFile {
+			break
+		}
+		data, err := os.ReadFile(filepath.Join(srcDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == cutFile {
+			data = data[:cutOff]
+		}
+		if err := os.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// copyFileIfExists copies src to dst, tolerating a missing src.
+func copyFileIfExists(t *testing.T, src, dst string) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if errors.Is(err, fs.ErrNotExist) {
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// storePrint fingerprints a store's full contents with float64 bits.
+func storePrint(st *store.Store) string {
+	var b strings.Builder
+	for _, w := range st.Workers() {
+		s, _ := st.Worker(w)
+		fmt.Fprintf(&b, "%s:q", w)
+		for _, q := range s.Q {
+			fmt.Fprintf(&b, "%016x,", math.Float64bits(q))
+		}
+		b.WriteString("u")
+		for _, u := range s.U {
+			fmt.Fprintf(&b, "%016x,", math.Float64bits(u))
+		}
+		b.WriteString(";")
+	}
+	return b.String()
+}
+
+// referenceSystem builds the serial reference for one campaign at one kill
+// point: a fresh core.System over its own copy of the crashed store file,
+// recovering a fabricated checkpoint that holds exactly the surviving
+// records. Recovery of a checkpoint replays the records through the
+// ordinary serial Publish/Submit path — the exact definition of the
+// campaign's canonical state.
+func referenceSystem(t *testing.T, recs []wal.Record, storeSrc string, m int) (*core.System, *store.Store) {
+	t.Helper()
+	refRoot := t.TempDir()
+	storePath := filepath.Join(refRoot, "store.json")
+	copyFileIfExists(t, storeSrc, storePath)
+	copyFileIfExists(t, storeSrc+".delta", storePath+".delta")
+	st, err := store.Open(storePath, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(core.Config{
+		Store:           st,
+		GoldenCount:     crashKnobs.golden,
+		HITSize:         crashKnobs.hit,
+		AnswersPerTask:  crashKnobs.perTask,
+		RerunEvery:      crashKnobs.rerun,
+		CheckpointEvery: -1,
+		WALSegmentBytes: crashKnobs.segBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(refRoot, "wal")
+	if len(recs) > 0 {
+		if err := wal.WriteCheckpoint(walDir, recs[len(recs)-1].Seq, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.Recover(walDir); err != nil {
+		t.Fatal(err)
+	}
+	return sys, st
+}
+
+// TestMultiCampaignCrashRecoveryExact is the acceptance test: a registry
+// hosting three active campaigns with overlapping workers is killed at
+// randomized per-campaign points (a third of the cuts tear a record
+// mid-frame); each reboot must recover every campaign bit-identical to its
+// serial reference and must not move the shared worker store by a byte.
+func TestMultiCampaignCrashRecoveryExact(t *testing.T) {
+	root := t.TempDir()
+	cfg := crashConfig(root)
+	reg, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"alpha", "beta", "gamma"}
+	var m int
+	for i, name := range names {
+		sys, err := reg.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m = sys.Domains().Size()
+		if err := sys.Publish(synthTasks(m, 30+6*i, 5*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	driveInterleaved(t, reg, names, 9, 42)
+	// Sanity: the workload actually exercised cross-campaign carryover.
+	if reg.Store().Len() == 0 {
+		t.Fatal("workload profiled no workers into the shared store")
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := make(map[string][]wal.Record, len(names))
+	spans := make(map[string]map[uint64]frameSpan, len(names))
+	for _, name := range names {
+		dir := filepath.Join(root, campaignsDir, name)
+		recs[name] = readStream(t, dir)
+		if len(recs[name]) < 20 {
+			t.Fatalf("campaign %s produced only %d records", name, len(recs[name]))
+		}
+		spans[name] = segmentSpans(t, dir)
+	}
+	storeSrc := filepath.Join(root, storeFile)
+
+	r := mathx.NewRand(7)
+	type cut struct {
+		surviving int
+		torn      int64
+	}
+	randCut := func(n int) cut {
+		c := cut{surviving: int(r.Float64() * float64(n+1))}
+		if c.surviving > n {
+			c.surviving = n
+		}
+		if c.surviving < n && r.Float64() < 0.35 {
+			c.torn = 1 + int64(r.Float64()*16)
+		}
+		return c
+	}
+	const killPoints = 12
+	for kill := 0; kill < killPoints; kill++ {
+		cuts := make(map[string]cut, len(names))
+		for _, name := range names {
+			if kill == killPoints-1 {
+				// The last kill is the graceful image: everything survives.
+				cuts[name] = cut{surviving: len(recs[name])}
+			} else {
+				cuts[name] = randCut(len(recs[name]))
+			}
+		}
+		crashRoot := t.TempDir()
+		copyFileIfExists(t, storeSrc, filepath.Join(crashRoot, storeFile))
+		copyFileIfExists(t, storeSrc+".delta", filepath.Join(crashRoot, storeFile+".delta"))
+		for _, name := range names {
+			buildCrashCampaign(t, filepath.Join(root, campaignsDir, name),
+				filepath.Join(crashRoot, campaignsDir, name),
+				recs[name], spans[name], cuts[name].surviving, cuts[name].torn)
+		}
+
+		booted, err := Open(crashConfig(crashRoot))
+		if err != nil {
+			t.Fatalf("kill %d: boot over crash image: %v", kill, err)
+		}
+		for _, name := range names {
+			c := cuts[name]
+			sys, err := booted.Get(name)
+			if err != nil {
+				t.Fatalf("kill %d: campaign %s: %v", kill, name, err)
+			}
+			info := sys.Recovery()
+			if info.Records != c.surviving {
+				t.Fatalf("kill %d: campaign %s recovered %d records, want %d (torn=%d)",
+					kill, name, info.Records, c.surviving, c.torn)
+			}
+			if c.torn > 0 && !info.TornTail {
+				t.Errorf("kill %d: campaign %s: torn cut not reported as torn tail", kill, name)
+			}
+			ref, refStore := referenceSystem(t, recs[name][:c.surviving], storeSrc, m)
+			if got, want := sys.Fingerprint(), ref.Fingerprint(); got != want {
+				t.Fatalf("kill %d: campaign %s (surviving=%d torn=%d): recovered state differs from serial reference\nrecovered: %.300s\nreference: %.300s",
+					kill, name, c.surviving, c.torn, got, want)
+			}
+			if err := ref.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := refStore.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Replay must treat the shared store as read-only: the booted
+		// registry's store equals a plain load of the crashed store files.
+		check, err := store.Open(storeSrc, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := storePrint(booted.Store()), storePrint(check); got != want {
+			t.Fatalf("kill %d: boot replay mutated the shared worker store", kill)
+		}
+		if err := check.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := booted.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashLosesUnmergedProfilingBounded pins the documented crash window:
+// a worker's golden answers are durable before their profiling merge
+// reaches the store, so a crash in between loses exactly that one merge.
+// Recovery must still profile the worker in memory (no golden re-serving
+// in the recovered campaign), the store simply does not know them — and a
+// LATER campaign therefore runs their gauntlet again, which is the
+// bounded, self-correcting loss the durability contract promises.
+func TestCrashLosesUnmergedProfilingBounded(t *testing.T) {
+	root := t.TempDir()
+	cfg := crashConfig(root)
+	reg, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := reg.Create("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sys.Domains().Size()
+	tasks := synthTasks(m, 16, 0)
+	if err := sys.Publish(tasks); err != nil {
+		t.Fatal(err)
+	}
+	profile(t, sys, "w")
+	// A couple of regular answers after profiling, so the WAL tail is past
+	// the gauntlet.
+	batch, err := sys.Request("w", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range batch {
+		if err := sys.Submit("w", tk.ID, tk.Truth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	answers := sys.AnswerCount()
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash image: the full campaign WAL, but the store's delta log loses
+	// its final record — the worker's profiling merge.
+	crashRoot := t.TempDir()
+	srcDir := filepath.Join(root, campaignsDir, "solo")
+	dstDir := filepath.Join(crashRoot, campaignsDir, "solo")
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		copyFileIfExists(t, filepath.Join(srcDir, e.Name()), filepath.Join(dstDir, e.Name()))
+	}
+	deltaData, err := os.ReadFile(filepath.Join(root, storeFile+".delta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payloads [][]byte
+	if _, err := wal.DecodeFrames(deltaData, func(p []byte) error {
+		payloads = append(payloads, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) == 0 {
+		t.Fatal("no store deltas logged — profiling never merged?")
+	}
+	var truncated []byte
+	for _, p := range payloads[:len(payloads)-1] {
+		truncated = wal.EncodeFrame(truncated, p)
+	}
+	if err := os.WriteFile(filepath.Join(crashRoot, storeFile+".delta"), truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	booted, err := Open(crashConfig(crashRoot))
+	if err != nil {
+		t.Fatalf("boot over lost-merge image: %v", err)
+	}
+	defer booted.Close()
+	rec, err := booted.Get("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.AnswerCount(); got != answers {
+		t.Fatalf("recovered %d answers, want %d", got, answers)
+	}
+	if _, ok := booted.Store().Worker("w"); ok {
+		t.Fatal("store knows the worker despite the dropped merge delta")
+	}
+	// In the recovered campaign the worker IS profiled (replay reran the
+	// golden estimate in memory): real tasks, no gauntlet.
+	goldenSet := map[int]bool{}
+	for _, id := range rec.GoldenTasks() {
+		goldenSet[id] = true
+	}
+	got, err := rec.Request("w", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("recovered campaign served the profiled worker nothing")
+	}
+	for _, tk := range got {
+		if goldenSet[tk.ID] {
+			t.Fatalf("recovered campaign re-served golden task %d to a replay-profiled worker", tk.ID)
+		}
+	}
+	// A brand-new campaign starts the worker from scratch — the lost merge
+	// costs one re-profiling, nothing compounds.
+	next, err := booted.Create("next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := next.Publish(synthTasks(m, 16, 3)); err != nil {
+		t.Fatal(err)
+	}
+	nextGolden := map[int]bool{}
+	for _, id := range next.GoldenTasks() {
+		nextGolden[id] = true
+	}
+	fresh, err := next.Request("w", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) == 0 {
+		t.Fatal("new campaign served nothing")
+	}
+	for _, tk := range fresh {
+		if !nextGolden[tk.ID] {
+			t.Fatalf("new campaign served regular task %d to a worker the store forgot", tk.ID)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package registry
+
+import (
+	"net/url"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzValidateName pins the safety contract of campaign names: whatever
+// bytes arrive from the network, ValidateName must never panic, and any
+// name it accepts must be safe to use verbatim as a directory name under
+// the WAL root and as a URL path segment — no separators, no traversal,
+// no escaping needed, bounded length.
+func FuzzValidateName(f *testing.F) {
+	for _, seed := range []string{
+		"", "default", "alpha", "a-b_c", "0", "..", ".", "a/b", "a\\b",
+		"-lead", "_lead", "café", "a b", "a\x00b", "campaigns", "archived",
+		strings.Repeat("x", MaxNameLen), strings.Repeat("x", MaxNameLen+1),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		err := ValidateName(name)
+		if err != nil {
+			return
+		}
+		if len(name) == 0 || len(name) > MaxNameLen {
+			t.Fatalf("accepted name %q with length %d", name, len(name))
+		}
+		if filepath.Base(name) != name || name == "." || name == ".." {
+			t.Fatalf("accepted name %q is not a clean path component", name)
+		}
+		if strings.ContainsAny(name, "/\\\x00") {
+			t.Fatalf("accepted name %q contains a separator or NUL", name)
+		}
+		if url.PathEscape(name) != name {
+			t.Fatalf("accepted name %q needs URL escaping", name)
+		}
+		if name[0] == '-' || name[0] == '_' {
+			t.Fatalf("accepted name %q with a leading %c", name, name[0])
+		}
+	})
+}

@@ -1,0 +1,480 @@
+// Package registry hosts many named DOCS campaigns in one process, the
+// multi-tenant deployment shape the paper implies: requesters come and go,
+// each bringing their own task set (a campaign), while the worker crowd is
+// shared. Each campaign is a full core.System — its own task set, golden
+// selection, truth-inference state and WAL — but every campaign sees one
+// shared long-run worker store, so a worker profiled on requester A's
+// golden tasks starts requester B's campaign with their per-domain quality
+// vector already in place (the paper's returning-worker semantics,
+// Theorem 1) instead of re-running the golden gauntlet.
+//
+// # On-disk layout
+//
+// A registry opened with a WAL root owns that directory:
+//
+//	<root>/store.json         shared worker store (checkpoint + .delta log)
+//	<root>/campaigns/<name>/  one WAL namespace per campaign
+//	<root>/campaigns/<name>/archived   marker: campaign closed for good
+//
+// Open enumerates <root>/campaigns and recovers every non-archived
+// campaign through core.Recover before serving. Replay order across
+// campaigns is irrelevant by construction: with a persistent shared store,
+// recovery never mutates the store (profiling merges are already durable
+// and are skipped on replay), so each campaign's recovered state is a pure
+// function of its own log plus the store file — the multi-campaign crash
+// suite asserts exactly that, campaign by campaign, against serial
+// references.
+//
+// # Lifecycle
+//
+// Create registers a campaign and arms its WAL; the returned core.System
+// serves Publish/Request/Submit/Results as usual. Archive ends a campaign:
+// its system is drained and closed, an `archived` marker is written, and
+// later boots list it without replaying. Close shuts the whole registry
+// down gracefully (every campaign's WAL flushed and fsynced, then the
+// shared store released).
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"docs/internal/core"
+	"docs/internal/kb"
+	"docs/internal/store"
+	"docs/internal/wal"
+)
+
+// Errors the lifecycle methods return; test with errors.Is.
+var (
+	ErrNotFound = errors.New("registry: no such campaign")
+	ErrArchived = errors.New("registry: campaign is archived")
+	ErrExists   = errors.New("registry: campaign already exists")
+	ErrClosed   = errors.New("registry: closed")
+)
+
+// MaxNameLen bounds campaign names; names become directory names, so the
+// bound keeps paths portable.
+const MaxNameLen = 64
+
+// campaignsDir is the subdirectory of the WAL root holding one namespace
+// per campaign.
+const campaignsDir = "campaigns"
+
+// archivedMarker is the file whose presence in a campaign's WAL namespace
+// marks it archived; boots list but do not replay it.
+const archivedMarker = "archived"
+
+// storeFile is the shared worker store's default location under the WAL
+// root.
+const storeFile = "store.json"
+
+// Config configures a Registry. Campaign-tuning fields are applied to every
+// campaign the registry creates or recovers.
+type Config struct {
+	// WALDir is the registry's root directory: the shared store and every
+	// campaign's WAL namespace live under it, and Open replays whatever a
+	// previous process left there. Empty keeps the whole registry
+	// memory-only (campaigns are not durable and vanish with the process).
+	WALDir string
+	// Store is the shared worker store. Nil lets the registry open one:
+	// at StorePath if set, else at <WALDir>/store.json when WALDir is set
+	// (recovery correctness wants the store persistent — see the package
+	// comment), else memory-only. A caller-provided store is never closed
+	// by the registry.
+	Store *store.Store
+	// StorePath overrides the shared store location when Store is nil.
+	StorePath string
+	// KB is the knowledge base shared by every campaign; nil selects the
+	// curated default.
+	KB *kb.KB
+
+	// Per-campaign tuning, passed through to core.Config.
+	GoldenCount     int
+	HITSize         int
+	AnswersPerTask  int
+	RerunEvery      int
+	AsyncRerun      bool
+	CheckpointEvery int
+	WALSegmentBytes int64
+	WALSync         wal.SyncPolicy
+}
+
+// Info describes one campaign in List output.
+type Info struct {
+	Name string
+	// Archived campaigns are closed for good: listed, never served or
+	// replayed.
+	Archived bool
+	// Published and Answers are the campaign's serving state — for an
+	// archived campaign, its state when it was archived this process, or
+	// zero when the archive predates this boot (archived logs are not
+	// replayed, so their counters are unknown).
+	Published bool
+	Answers   int64
+	// Recovered is how many WAL records boot replayed for this campaign.
+	Recovered int
+}
+
+// campaign is one registry entry.
+type campaign struct {
+	sys      *core.System // nil once archived
+	archived bool
+	// Serving state snapshotted at archive time (zero for campaigns whose
+	// archive marker predates this boot).
+	published bool
+	answers   int64
+	recovered int
+}
+
+// Registry manages many named campaigns over one shared worker store.
+// All methods are safe for concurrent use; the *core.System handles it
+// returns are themselves concurrent-safe serving cores.
+type Registry struct {
+	cfg       Config
+	kb        *kb.KB
+	store     *store.Store
+	ownsStore bool
+
+	mu        sync.RWMutex
+	campaigns map[string]*campaign
+	closed    bool
+}
+
+// ValidateName reports whether name is a legal campaign name: 1 to
+// MaxNameLen characters from [A-Za-z0-9_-], starting with a letter or
+// digit. Legal names are safe as path components (no separators, no "."
+// or "..") and as URL path segments without escaping.
+func ValidateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("registry: empty campaign name")
+	}
+	if len(name) > MaxNameLen {
+		return fmt.Errorf("registry: campaign name longer than %d bytes", MaxNameLen)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case (c == '-' || c == '_') && i > 0:
+		default:
+			return fmt.Errorf("registry: campaign name %q: byte %d must be [A-Za-z0-9_-] (no leading - or _)", name, i)
+		}
+	}
+	return nil
+}
+
+// Open creates a registry and, when cfg.WALDir is set, recovers every
+// non-archived campaign a previous process left under it.
+func Open(cfg Config) (*Registry, error) {
+	k := cfg.KB
+	if k == nil {
+		var err error
+		k, err = kb.Default()
+		if err != nil {
+			return nil, err
+		}
+	}
+	st := cfg.Store
+	ownsStore := false
+	if st == nil {
+		path := cfg.StorePath
+		if path == "" && cfg.WALDir != "" {
+			// Default the shared store next to the campaign logs: recovery
+			// exactness depends on the store being persistent (replay then
+			// never mutates it), so a durable registry gets a durable store
+			// unless the caller explicitly provides their own.
+			path = filepath.Join(cfg.WALDir, storeFile)
+		}
+		if path != "" {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				return nil, fmt.Errorf("registry: %w", err)
+			}
+		}
+		var err error
+		st, err = store.Open(path, k.Domains().Size())
+		if err != nil {
+			return nil, err
+		}
+		ownsStore = true
+	}
+	r := &Registry{cfg: cfg, kb: k, store: st, ownsStore: ownsStore, campaigns: make(map[string]*campaign)}
+	if cfg.WALDir != "" {
+		if err := r.recoverAll(); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// recoverAll enumerates <WALDir>/campaigns and boots every namespace found:
+// archived ones are listed, the rest replayed. Names are processed in
+// sorted order for deterministic boot logs, though order cannot affect the
+// outcome (replay never writes the shared store).
+func (r *Registry) recoverAll() error {
+	root := filepath.Join(r.cfg.WALDir, campaignsDir)
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			return fmt.Errorf("registry: stray file %q in %s", e.Name(), root)
+		}
+		if err := ValidateName(e.Name()); err != nil {
+			return fmt.Errorf("registry: %s holds a directory that is not a campaign: %w", root, err)
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dir := filepath.Join(root, name)
+		if _, err := os.Stat(filepath.Join(dir, archivedMarker)); err == nil {
+			r.campaigns[name] = &campaign{archived: true}
+			continue
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("registry: campaign %q: %w", name, err)
+		}
+		c, err := r.openCampaign(dir)
+		if err != nil {
+			return fmt.Errorf("registry: recover campaign %q: %w", name, err)
+		}
+		r.campaigns[name] = c
+	}
+	return nil
+}
+
+// openCampaign builds one campaign's core.System over the shared store and,
+// when the registry is durable, arms (and replays) its WAL namespace.
+func (r *Registry) openCampaign(dir string) (*campaign, error) {
+	sys, err := core.New(core.Config{
+		KB:              r.kb,
+		Store:           r.store,
+		GoldenCount:     r.cfg.GoldenCount,
+		HITSize:         r.cfg.HITSize,
+		AnswersPerTask:  r.cfg.AnswersPerTask,
+		RerunEvery:      r.cfg.RerunEvery,
+		AsyncRerun:      r.cfg.AsyncRerun,
+		CheckpointEvery: r.cfg.CheckpointEvery,
+		WALSegmentBytes: r.cfg.WALSegmentBytes,
+		WALSync:         r.cfg.WALSync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &campaign{sys: sys}
+	if dir != "" {
+		info, err := sys.Recover(dir)
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		c.recovered = info.Records
+	}
+	return c, nil
+}
+
+// dir returns the campaign's WAL namespace ("" for memory-only registries).
+func (r *Registry) dir(name string) string {
+	if r.cfg.WALDir == "" {
+		return ""
+	}
+	return filepath.Join(r.cfg.WALDir, campaignsDir, name)
+}
+
+// Create registers a new campaign and returns its serving core. The name
+// must validate, and must not collide with any live or archived campaign.
+func (r *Registry) Create(name string) (*core.System, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	// Uniqueness is enforced case-insensitively: names become directory
+	// names, and on a case-insensitive filesystem "Foo" and "foo" would
+	// silently share one WAL namespace — two campaigns interleaving one
+	// log. Rejecting the collision here keeps the layout portable.
+	for existing := range r.campaigns {
+		if strings.EqualFold(existing, name) {
+			return nil, fmt.Errorf("%w: %q (collides with %q)", ErrExists, name, existing)
+		}
+	}
+	dir := r.dir(name)
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("registry: %w", err)
+		}
+	}
+	c, err := r.openCampaign(dir)
+	if err != nil {
+		return nil, err
+	}
+	r.campaigns[name] = c
+	return c.sys, nil
+}
+
+// Get returns the named campaign's serving core.
+func (r *Registry) Get(name string) (*core.System, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	c, ok := r.campaigns[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if c.archived {
+		return nil, fmt.Errorf("%w: %q", ErrArchived, name)
+	}
+	return c.sys, nil
+}
+
+// Names returns every campaign name (live and archived), sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.campaigns))
+	for name := range r.campaigns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// List describes every campaign, sorted by name.
+func (r *Registry) List() []Info {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.campaigns))
+	for name := range r.campaigns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Info, 0, len(names))
+	for _, name := range names {
+		c := r.campaigns[name]
+		info := Info{Name: name, Archived: c.archived, Published: c.published,
+			Answers: c.answers, Recovered: c.recovered}
+		if c.sys != nil {
+			info.Published = c.sys.Published()
+			info.Answers = c.sys.AnswerCount()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Archive ends a campaign for good: the serving core is drained and closed
+// (its WAL flushed and fsynced), and — for durable registries — an archive
+// marker is written so later boots list the campaign without replaying it.
+// Requests holding the campaign's *core.System fail once it closes.
+func (r *Registry) Archive(name string) error {
+	// Mark archived under the lock, but drain and close outside it: the
+	// close waits for a pending batch rerun and fsyncs the WAL, and
+	// holding the registry lock across that would stall every request to
+	// every other campaign.
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	c, ok := r.campaigns[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if c.archived {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrArchived, name)
+	}
+	// Snapshot the serving counters for List, then flip the entry so no
+	// new handle can be fetched while the drain runs.
+	sys := c.sys
+	c.published = sys.Published()
+	c.answers = sys.AnswerCount()
+	c.sys = nil
+	c.archived = true
+	r.mu.Unlock()
+
+	if err := sys.Close(); err != nil {
+		// The campaign stays archived in memory but no marker is written:
+		// the next boot revives it live, which is the safe direction
+		// (nothing lost, the requester re-archives).
+		return fmt.Errorf("registry: archive %q: %w", name, err)
+	}
+	if dir := r.dir(name); dir != "" {
+		if err := os.WriteFile(filepath.Join(dir, archivedMarker), []byte("archived\n"), 0o644); err != nil {
+			return fmt.Errorf("registry: archive %q: %w", name, err)
+		}
+		if d, err := os.Open(dir); err == nil {
+			_ = d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}
+
+// Live returns the number of live (non-archived) campaigns — a cheap
+// counter for serving stats, unlike List which queries every campaign.
+func (r *Registry) Live() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, c := range r.campaigns {
+		if !c.archived {
+			n++
+		}
+	}
+	return n
+}
+
+// Store exposes the shared worker store (for diagnostics and tests).
+func (r *Registry) Store() *store.Store { return r.store }
+
+// Close shuts every live campaign down gracefully (background workers
+// drained, WALs flushed and fsynced) and releases the shared store when the
+// registry owns it. Campaign handles must not be used after Close.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	var err error
+	names := make([]string, 0, len(r.campaigns))
+	for name := range r.campaigns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := r.campaigns[name]
+		if c.sys == nil {
+			continue
+		}
+		if cerr := c.sys.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("registry: close %q: %w", name, cerr)
+		}
+		c.sys = nil
+	}
+	if r.ownsStore {
+		if cerr := r.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

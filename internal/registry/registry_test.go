@@ -1,0 +1,516 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"docs/internal/core"
+	"docs/internal/model"
+	"docs/internal/truth"
+)
+
+// synthTasks builds n two-choice tasks with precomputed one-hot domain
+// vectors (skipping DVE) and ground truth i%2. IDs and domain assignment
+// are offset so different campaigns get genuinely different task sets.
+func synthTasks(m, n, offset int) []*model.Task {
+	tasks := make([]*model.Task, n)
+	for i := range tasks {
+		dom := make(model.DomainVector, m)
+		dom[(i+offset)%m] = 1
+		tasks[i] = &model.Task{
+			ID: i, Text: fmt.Sprintf("c%d task %d", offset, i), Choices: []string{"a", "b"},
+			Domain: dom, Truth: (i + offset) % 2, TrueDomain: model.NoTruth,
+		}
+	}
+	return tasks
+}
+
+// profile pushes worker w through sys's golden gauntlet with perfect
+// answers and returns the golden answers in the order they were submitted.
+func profile(t *testing.T, sys *core.System, w string) []model.Answer {
+	t.Helper()
+	goldenSet := map[int]bool{}
+	for _, id := range sys.GoldenTasks() {
+		goldenSet[id] = true
+	}
+	var answered []model.Answer
+	for len(answered) < len(goldenSet) {
+		got, err := sys.Request(w, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("worker %s: empty batch mid-gauntlet (%d/%d)", w, len(answered), len(goldenSet))
+		}
+		for _, tk := range got {
+			if !goldenSet[tk.ID] {
+				t.Fatalf("worker %s: served regular task %d before profiling", w, tk.ID)
+			}
+			if err := sys.Submit(w, tk.ID, tk.Truth); err != nil {
+				t.Fatal(err)
+			}
+			answered = append(answered, model.Answer{Worker: w, Task: tk.ID, Choice: tk.Truth})
+		}
+	}
+	return answered
+}
+
+// goldenTasksOf returns the campaign's golden tasks in publication order.
+func goldenTasksOf(sys *core.System, tasks []*model.Task) []*model.Task {
+	goldenSet := map[int]bool{}
+	for _, id := range sys.GoldenTasks() {
+		goldenSet[id] = true
+	}
+	var out []*model.Task
+	for _, tk := range tasks {
+		if goldenSet[tk.ID] {
+			out = append(out, tk)
+		}
+	}
+	return out
+}
+
+func sameStats(a, b *truth.Stats) bool {
+	if len(a.Q) != len(b.Q) || len(a.U) != len(b.U) {
+		return false
+	}
+	for k := range a.Q {
+		if math.Float64bits(a.Q[k]) != math.Float64bits(b.Q[k]) ||
+			math.Float64bits(a.U[k]) != math.Float64bits(b.U[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestValidateName(t *testing.T) {
+	for _, ok := range []string{"a", "default", "A-1", "x_y", "0", "camp-2026_B"} {
+		if err := ValidateName(ok); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", ok, err)
+		}
+	}
+	long := make([]byte, MaxNameLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", ".", "..", "a/b", "a\\b", "-x", "_x", "a b", "é", "a.b", string(long), "a\x00b"} {
+		if err := ValidateName(bad); err == nil {
+			t.Errorf("ValidateName(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	root := t.TempDir()
+	cfg := Config{WALDir: root, GoldenCount: -1, HITSize: 4, AnswersPerTask: 2, RerunEvery: -1, CheckpointEvery: -1}
+	reg, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := reg.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(unknown) = %v, want ErrNotFound", err)
+	}
+	if _, err := reg.Create("bad/name"); err == nil {
+		t.Error("Create with illegal name succeeded")
+	}
+
+	a, err := reg.Create("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("alpha"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate Create = %v, want ErrExists", err)
+	}
+	// Names that differ only by case would share a directory on
+	// case-insensitive filesystems, so they collide everywhere.
+	if _, err := reg.Create("Alpha"); !errors.Is(err, ErrExists) {
+		t.Errorf("case-colliding Create = %v, want ErrExists", err)
+	}
+	m := a.Domains().Size()
+	if err := a.Publish(synthTasks(m, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("beta"); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := reg.Get("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Submit("w0", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	infos := reg.List()
+	if len(infos) != 2 || infos[0].Name != "alpha" || infos[1].Name != "beta" {
+		t.Fatalf("List = %+v, want alpha,beta", infos)
+	}
+	if !infos[0].Published || infos[0].Answers != 1 {
+		t.Errorf("alpha info = %+v, want published with 1 answer", infos[0])
+	}
+	if infos[1].Published {
+		t.Errorf("beta info = %+v, want unpublished", infos[1])
+	}
+
+	// Archive alpha: no longer servable, marker on disk.
+	if err := reg.Archive("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("alpha"); !errors.Is(err, ErrArchived) {
+		t.Errorf("Get(archived) = %v, want ErrArchived", err)
+	}
+	if err := reg.Archive("alpha"); !errors.Is(err, ErrArchived) {
+		t.Errorf("double Archive = %v, want ErrArchived", err)
+	}
+	if _, err := reg.Create("alpha"); !errors.Is(err, ErrExists) {
+		t.Errorf("Create over archived = %v, want ErrExists", err)
+	}
+	if infos := reg.List(); !infos[0].Archived || !infos[0].Published || infos[0].Answers != 1 {
+		t.Errorf("archived info = %+v, want archived snapshot of serving state", infos[0])
+	}
+	if _, err := os.Stat(filepath.Join(root, campaignsDir, "alpha", archivedMarker)); err != nil {
+		t.Errorf("archive marker missing: %v", err)
+	}
+
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("beta"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get after Close = %v, want ErrClosed", err)
+	}
+
+	// Reboot: beta comes back live (nothing published, nothing to replay),
+	// alpha stays archived and is not replayed.
+	reg2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg2.Close()
+	infos = reg2.List()
+	if len(infos) != 2 {
+		t.Fatalf("rebooted List = %+v, want 2 campaigns", infos)
+	}
+	if !infos[0].Archived || infos[0].Recovered != 0 {
+		t.Errorf("alpha after reboot = %+v, want archived, 0 replayed", infos[0])
+	}
+	if infos[1].Archived {
+		t.Errorf("beta after reboot = %+v, want live", infos[1])
+	}
+	if _, err := reg2.Get("alpha"); !errors.Is(err, ErrArchived) {
+		t.Errorf("Get(archived) after reboot = %v, want ErrArchived", err)
+	}
+}
+
+// TestRegistryRebootRecoversAllCampaigns publishes and serves several
+// campaigns, closes the registry gracefully, and boots a second one over
+// the same root: every campaign must come back published with its answers.
+func TestRegistryRebootRecoversAllCampaigns(t *testing.T) {
+	root := t.TempDir()
+	cfg := Config{WALDir: root, GoldenCount: -1, HITSize: 4, AnswersPerTask: 3, RerunEvery: -1, CheckpointEvery: -1}
+	reg, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a1", "a2", "a3"}
+	answers := map[string]int64{}
+	for i, name := range names {
+		sys, err := reg.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Publish(synthTasks(sys.Domains().Size(), 6+i, i)); err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < 2+i; w++ {
+			if err := sys.Submit(fmt.Sprintf("w%d", w), w%3, 0); err != nil {
+				t.Fatal(err)
+			}
+			answers[name]++
+		}
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg2.Close()
+	for _, info := range reg2.List() {
+		if !info.Published {
+			t.Errorf("campaign %s not published after reboot", info.Name)
+		}
+		if info.Answers != answers[info.Name] {
+			t.Errorf("campaign %s recovered %d answers, want %d", info.Name, info.Answers, answers[info.Name])
+		}
+		if info.Recovered == 0 {
+			t.Errorf("campaign %s replayed no records", info.Name)
+		}
+	}
+}
+
+// TestCrossCampaignWorkerCarryover is the paper's returning-worker story:
+// a worker profiled on campaign A's golden tasks must be served real
+// (non-golden) tasks on their FIRST request in campaign B, with their
+// domain-quality vector carried over through the shared store — and the
+// store must hold exactly one profiling merge for them.
+func TestCrossCampaignWorkerCarryover(t *testing.T) {
+	reg, err := Open(Config{GoldenCount: 4, HITSize: 4, AnswersPerTask: 4, RerunEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	a, err := reg.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := a.Domains().Size()
+	tasksA := synthTasks(m, 20, 0)
+	if err := a.Publish(tasksA); err != nil {
+		t.Fatal(err)
+	}
+	goldenAnswers := profile(t, a, "w")
+
+	// The store now holds exactly the one profiling merge, bit for bit.
+	want := truth.EstimateFromGolden(goldenTasksOf(a, tasksA), goldenAnswers, m)
+	got, ok := reg.Store().Worker("w")
+	if !ok {
+		t.Fatal("profiling did not reach the shared store")
+	}
+	if !sameStats(got, want) {
+		t.Fatal("store stats differ from the single profiling estimate")
+	}
+
+	b, err := reg.Create("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasksB := synthTasks(m, 20, 7)
+	if err := b.Publish(tasksB); err != nil {
+		t.Fatal(err)
+	}
+	goldenB := map[int]bool{}
+	for _, id := range b.GoldenTasks() {
+		goldenB[id] = true
+	}
+	if len(goldenB) == 0 {
+		t.Fatal("campaign b selected no golden tasks")
+	}
+
+	// First request in b: real tasks immediately, no golden gauntlet.
+	batch, err := b.Request("w", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) == 0 {
+		t.Fatal("profiled worker got an empty first batch in campaign b")
+	}
+	for _, tk := range batch {
+		if goldenB[tk.ID] {
+			t.Fatalf("worker profiled in campaign a was served golden task %d in campaign b", tk.ID)
+		}
+	}
+	// And the carried-over quality is the store's, not the default prior.
+	q := b.WorkerQuality("w")
+	for k := range q {
+		if math.Float64bits(q[k]) != math.Float64bits(want.Q[k]) {
+			t.Fatalf("campaign b sees quality[%d]=%v, store has %v", k, q[k], want.Q[k])
+		}
+	}
+
+	// A fresh worker in b still runs the gauntlet — carryover is per
+	// worker, not per campaign.
+	fresh, err := b.Request("x", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range fresh {
+		if !goldenB[tk.ID] {
+			t.Fatalf("fresh worker served regular task %d before profiling", tk.ID)
+		}
+	}
+
+	// Serving w real tasks in b must not touch their store entry: merges
+	// happen at profiling (and Results), never on the serving path.
+	for _, tk := range batch {
+		if err := b.Submit("w", tk.ID, tk.Truth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := reg.Store().Worker("w")
+	if !sameStats(after, want) {
+		t.Fatal("serving regular tasks in campaign b changed the worker's store stats")
+	}
+}
+
+// TestConcurrentCampaignsMergeStoreOnce runs several campaigns and worker
+// goroutines at once (run with -race): each worker is profiled in one home
+// campaign, then serves everywhere. Every worker's shared-store entry must
+// equal exactly their single profiling merge — no double counting, no lost
+// updates, under full concurrency.
+func TestConcurrentCampaignsMergeStoreOnce(t *testing.T) {
+	reg, err := Open(Config{GoldenCount: 4, HITSize: 4, AnswersPerTask: 8, RerunEvery: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	const nCampaigns, nWorkers = 4, 12
+	names := make([]string, nCampaigns)
+	allTasks := make(map[string][]*model.Task, nCampaigns)
+	var m int
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+		sys, err := reg.Create(names[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		m = sys.Domains().Size()
+		allTasks[names[i]] = synthTasks(m, 30, 3*i)
+		if err := sys.Publish(allTasks[names[i]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type profiled struct {
+		home    string
+		answers []model.Answer
+	}
+	results := make([]profiled, nWorkers)
+	var wg sync.WaitGroup
+	errs := make(chan error, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := fmt.Sprintf("w%d", i)
+			home := names[i%nCampaigns]
+			sys, err := reg.Get(home)
+			if err != nil {
+				errs <- err
+				return
+			}
+			// Golden gauntlet in the home campaign (perfect answers).
+			goldenSet := map[int]bool{}
+			for _, id := range sys.GoldenTasks() {
+				goldenSet[id] = true
+			}
+			var answers []model.Answer
+			for len(answers) < len(goldenSet) {
+				got, err := sys.Request(w, 4)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, tk := range got {
+					if !goldenSet[tk.ID] {
+						errs <- fmt.Errorf("worker %s: regular task %d before profiling", w, tk.ID)
+						return
+					}
+					if err := sys.Submit(w, tk.ID, tk.Truth); err != nil {
+						errs <- err
+						return
+					}
+					answers = append(answers, model.Answer{Worker: w, Task: tk.ID, Choice: tk.Truth})
+				}
+			}
+			results[i] = profiled{home: home, answers: answers}
+			// Then serve one batch in EVERY campaign, concurrently with the
+			// other workers' gauntlets and serving.
+			for _, name := range names {
+				other, err := reg.Get(name)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := other.Request(w, 3)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for _, tk := range got {
+					if err := other.Submit(w, tk.ID, tk.Truth); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < nWorkers; i++ {
+		w := fmt.Sprintf("w%d", i)
+		sys, err := reg.Get(results[i].home)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := truth.EstimateFromGolden(goldenTasksOf(sys, allTasks[results[i].home]), results[i].answers, m)
+		got, ok := reg.Store().Worker(w)
+		if !ok {
+			t.Fatalf("worker %s missing from the shared store", w)
+		}
+		if !sameStats(got, want) {
+			t.Fatalf("worker %s: store stats differ from their single profiling merge (double-merge or lost update)", w)
+		}
+	}
+}
+
+// TestMemoryOnlyRegistry keeps everything in RAM: campaigns serve, the
+// shared store still carries workers across campaigns, nothing touches
+// disk.
+func TestMemoryOnlyRegistry(t *testing.T) {
+	reg, err := Open(Config{GoldenCount: 4, HITSize: 4, AnswersPerTask: 4, RerunEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := reg.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := a.Domains().Size()
+	if err := a.Publish(synthTasks(m, 16, 0)); err != nil {
+		t.Fatal(err)
+	}
+	profile(t, a, "w")
+	b, err := reg.Create("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(synthTasks(m, 16, 5)); err != nil {
+		t.Fatal(err)
+	}
+	goldenB := map[int]bool{}
+	for _, id := range b.GoldenTasks() {
+		goldenB[id] = true
+	}
+	batch, err := b.Request("w", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range batch {
+		if goldenB[tk.ID] {
+			t.Fatal("memory-only registry lost the cross-campaign profile")
+		}
+	}
+	if err := reg.Archive("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

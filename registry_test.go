@@ -1,0 +1,168 @@
+package docs
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRegistryPublicAPI drives the multi-campaign lifecycle through the
+// public surface: create, publish, serve, cross-campaign profile
+// carryover, archive, reboot.
+func TestRegistryPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{WALDir: dir, GoldenCount: 2, HITSize: 3, AnswersPerTask: 3, RerunEvery: -1}
+
+	reg, err := OpenRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := reg.Create("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("alpha"); !errors.Is(err, ErrCampaignExists) {
+		t.Errorf("duplicate Create = %v, want ErrCampaignExists", err)
+	}
+	if _, err := reg.Campaign("missing"); !errors.Is(err, ErrCampaignNotFound) {
+		t.Errorf("Campaign(missing) = %v, want ErrCampaignNotFound", err)
+	}
+
+	tasks := []Task{
+		{ID: 0, Text: "Does Michael Jordan win more NBA championships than Kobe Bryant?",
+			Choices: []string{"yes", "no"}, GoldenTruth: 0},
+		{ID: 1, Text: "Which food contains more calories, Chocolate or Honey?",
+			Choices: []string{"Chocolate", "Honey"}, GoldenTruth: 0},
+		{ID: 2, Text: "Compare the height of Mount Everest and K2.",
+			Choices: []string{"Everest", "K2"}, GoldenTruth: NoTruth},
+		{ID: 3, Text: "Which city hosts more people, Tokyo or Beijing?",
+			Choices: []string{"Tokyo", "Beijing"}, GoldenTruth: NoTruth},
+	}
+	if err := a.Publish(tasks); err != nil {
+		t.Fatal(err)
+	}
+	goldenA := map[int]bool{}
+	for _, id := range a.GoldenTaskIDs() {
+		goldenA[id] = true
+	}
+	if len(goldenA) != 2 {
+		t.Fatalf("campaign alpha selected %d golden tasks, want 2", len(goldenA))
+	}
+
+	// Profile a worker in alpha through the golden gauntlet.
+	for answered := 0; answered < len(goldenA); {
+		batch, err := a.Request("w", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tk := range batch {
+			if !goldenA[tk.ID] {
+				t.Fatalf("unprofiled worker served regular task %d", tk.ID)
+			}
+			if err := a.Submit("w", tk.ID, 0); err != nil {
+				t.Fatal(err)
+			}
+			answered++
+		}
+	}
+
+	// A second campaign: the profiled worker skips its gauntlet entirely.
+	b, err := reg.Create("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(tasks); err != nil {
+		t.Fatal(err)
+	}
+	goldenB := map[int]bool{}
+	for _, id := range b.GoldenTaskIDs() {
+		goldenB[id] = true
+	}
+	batch, err := b.Request("w", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) == 0 {
+		t.Fatal("carried-over worker got no tasks in campaign beta")
+	}
+	for _, tk := range batch {
+		if goldenB[tk.ID] {
+			t.Fatalf("worker profiled in alpha re-served golden task %d in beta", tk.ID)
+		}
+		if err := b.Submit("w", tk.ID, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	infos := reg.Campaigns()
+	if len(infos) != 2 || infos[0].Name != "alpha" || infos[1].Name != "beta" {
+		t.Fatalf("Campaigns = %+v", infos)
+	}
+	if !infos[0].Published || !infos[1].Published {
+		t.Errorf("Campaigns = %+v, want both published", infos)
+	}
+
+	if err := reg.Archive("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Campaign("alpha"); !errors.Is(err, ErrCampaignArchived) {
+		t.Errorf("Campaign(archived) = %v, want ErrCampaignArchived", err)
+	}
+	betaAnswers := mustCampaign(t, reg, "beta").Stats().Answers
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot: beta is replayed, alpha stays archived.
+	reg2, err := OpenRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg2.Close()
+	b2, err := reg2.Campaign("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b2.Published() {
+		t.Error("beta not published after reboot")
+	}
+	if got := b2.Stats().Answers; got != betaAnswers {
+		t.Errorf("beta recovered %d answers, want %d", got, betaAnswers)
+	}
+	if _, err := reg2.Campaign("alpha"); !errors.Is(err, ErrCampaignArchived) {
+		t.Errorf("alpha after reboot = %v, want ErrCampaignArchived", err)
+	}
+	// And the cross-campaign profile survived in the shared store: a third
+	// campaign serves the worker real tasks immediately.
+	c, err := reg2.Create("gamma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish(tasks); err != nil {
+		t.Fatal(err)
+	}
+	goldenC := map[int]bool{}
+	for _, id := range c.GoldenTaskIDs() {
+		goldenC[id] = true
+	}
+	batch, err = c.Request("w", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) == 0 {
+		t.Fatal("rebooted registry lost the worker's profile")
+	}
+	for _, tk := range batch {
+		if goldenC[tk.ID] {
+			t.Fatalf("rebooted registry re-served golden task %d to a stored worker", tk.ID)
+		}
+	}
+}
+
+func mustCampaign(t *testing.T, reg *Registry, name string) *System {
+	t.Helper()
+	sys, err := reg.Campaign(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}

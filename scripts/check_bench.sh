@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Guard against serving-core throughput regressions: run the fixed-
+# iteration BenchmarkParallelServe and fail if ns/op exceeds the committed
+# baseline (bench/baseline.txt) by more than the threshold (default 25%).
+#
+# The benchmark runs a fixed -benchtime=1490x so every measurement does
+# identical work; the script takes the best of two runs to damp scheduler
+# noise on shared CI machines. Override the headroom with
+# BENCH_GUARD_THRESHOLD (a multiplier, e.g. 1.50) when a runner class is
+# known to be slower than the reference machine in the baseline file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline_file=bench/baseline.txt
+threshold=${BENCH_GUARD_THRESHOLD:-1.25}
+iters=1490
+
+base=$(awk '$1 == "BenchmarkParallelServe" {print $2}' "$baseline_file")
+if [ -z "$base" ]; then
+    echo "check_bench: no BenchmarkParallelServe entry in $baseline_file" >&2
+    exit 2
+fi
+
+best=""
+for run in 1 2; do
+    out=$(go test -run '^$' -bench '^BenchmarkParallelServe$' -benchtime="${iters}x" -count=1 .)
+    echo "$out"
+    ns=$(echo "$out" | awk '/^BenchmarkParallelServe(-[0-9]+)?[[:space:]]/ {print $3; exit}')
+    if [ -z "$ns" ]; then
+        echo "check_bench: could not parse ns/op from benchmark output" >&2
+        exit 2
+    fi
+    if [ -z "$best" ] || [ "$ns" -lt "$best" ]; then
+        best=$ns
+    fi
+done
+
+awk -v ns="$best" -v base="$base" -v thr="$threshold" 'BEGIN {
+    limit = base * thr
+    printf "check_bench: best %d ns/op, baseline %d ns/op, limit %.0f ns/op (x%.2f)\n", ns, base, limit, thr
+    if (ns > limit) {
+        printf "check_bench: FAIL — BenchmarkParallelServe regressed %.1f%% past the baseline\n", (ns / base - 1) * 100
+        exit 1
+    }
+    printf "check_bench: OK (%+.1f%% vs baseline)\n", (ns / base - 1) * 100
+}'
