@@ -9,7 +9,7 @@
 //	docs-bench -seed 42         # change the deterministic seed
 //
 // Experiments: table3, fig3, fig4a, fig4b, fig4c, fig4d, fig4e, fig5,
-// fig6, fig7a, fig7b, fig8, fig8c, wal, multicampaign, all.
+// fig6, fig7a, fig7b, fig8, fig8c, wal, multicampaign, assign, all.
 //
 // The wal experiment measures the durable ingest path added on top of the
 // paper (answer WAL with group commit); -wal-dir points it at a real
@@ -69,7 +69,8 @@ func main() {
 
 	runners := append(runners,
 		runner{"wal", walThroughput(*walDir), "answer WAL group-commit throughput"},
-		runner{"multicampaign", multiCampaign, "registry serving N campaigns, shared vs isolated worker store"})
+		runner{"multicampaign", multiCampaign, "registry serving N campaigns, shared vs isolated worker store"},
+		runner{"assign", assignLatency, "per-request assignment latency: indexed candidate set vs full scan"})
 	ran := 0
 	for _, r := range runners {
 		if *exp != "all" && *exp != r.id {

@@ -32,6 +32,7 @@ func main() {
 	hitSize := flag.Int("hit", 0, "tasks per assignment (0 = default 20)")
 	perTask := flag.Int("redundancy", 0, "max answers per task (0 = unlimited)")
 	syncRerun := flag.Bool("sync-rerun", false, "run the periodic batch re-inference on the submitting request instead of the background worker")
+	leaseTTL := flag.Duration("lease-ttl", 0, "assignment lease TTL: tasks served to a worker are excluded from their re-requests and count against redundancy until answered or expired (0 = leases disabled)")
 	flag.Parse()
 
 	srv, err := newServer(docs.Config{
@@ -43,6 +44,7 @@ func main() {
 		HITSize:           *hitSize,
 		AnswersPerTask:    *perTask,
 		AsyncRerun:        !*syncRerun,
+		LeaseTTL:          *leaseTTL,
 	})
 	if err != nil {
 		log.Fatalf("docs-server: %v", err)

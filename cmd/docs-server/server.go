@@ -388,6 +388,9 @@ type statsJSON struct {
 	Campaign            string  `json:"campaign"`
 	Published           bool    `json:"published"`
 	Answers             int64   `json:"answers"`
+	OpenTasks           int     `json:"open_tasks"`
+	IndexEpoch          uint64  `json:"index_epoch"`
+	LeasesActive        int64   `json:"leases_active"`
 	SnapshotEpoch       uint64  `json:"snapshot_epoch"`
 	RerunsCompleted     int64   `json:"reruns_completed"`
 	RerunsFailed        int64   `json:"reruns_failed"`
@@ -429,6 +432,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// can never make /stats disagree with serving behavior.
 		Published:            sys.Published(),
 		Answers:              st.Answers,
+		OpenTasks:            st.OpenTasks,
+		IndexEpoch:           st.IndexEpoch,
+		LeasesActive:         st.LeasesActive,
 		SnapshotEpoch:        st.SnapshotEpoch,
 		RerunsCompleted:      st.RerunsCompleted,
 		RerunsFailed:         st.RerunsFailed,

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"docs"
 )
@@ -511,5 +512,81 @@ func TestServerConcurrentTraffic(t *testing.T) {
 		if len(results) != 40 {
 			t.Errorf("results %s = %d tasks, want 40", name, len(results))
 		}
+	}
+}
+
+// TestLeasedRequestsOverHTTP drives the -lease-ttl serving mode end to
+// end: a worker re-requesting before submitting gets disjoint tasks, the
+// pool drains to empty, and /stats exposes the candidate-index and lease
+// gauges (open_tasks, index_epoch, leases_active).
+func TestLeasedRequestsOverHTTP(t *testing.T) {
+	srv, err := newServer(docs.Config{GoldenCount: -1, HITSize: 2, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.close() })
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	if resp, out := doJSON(t, "POST", ts.URL+"/publish", publishBody()); resp.StatusCode != 200 {
+		t.Fatalf("publish = %d: %s", resp.StatusCode, out["error"])
+	}
+
+	requestIDs := func() map[int]bool {
+		t.Helper()
+		resp, out := doJSON(t, "GET", ts.URL+"/request?worker=w&k=2", nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("request = %d: %s", resp.StatusCode, out["error"])
+		}
+		var tasks []struct {
+			ID int `json:"id"`
+		}
+		if err := json.Unmarshal(out["tasks"], &tasks); err != nil {
+			t.Fatal(err)
+		}
+		ids := make(map[int]bool, len(tasks))
+		for _, tk := range tasks {
+			ids[tk.ID] = true
+		}
+		return ids
+	}
+
+	first := requestIDs()
+	if len(first) != 2 {
+		t.Fatalf("first request returned %d tasks, want 2", len(first))
+	}
+	second := requestIDs()
+	if len(second) != 1 {
+		t.Fatalf("second request returned %d tasks, want the 1 unleased task", len(second))
+	}
+	for id := range second {
+		if first[id] {
+			t.Fatalf("second request re-assigned leased task %d", id)
+		}
+	}
+	if third := requestIDs(); len(third) != 0 {
+		t.Fatalf("third request returned %d tasks from a fully leased pool", len(third))
+	}
+
+	resp, out := doJSON(t, "GET", ts.URL+"/stats", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats = %d", resp.StatusCode)
+	}
+	intField := func(key string) int64 {
+		t.Helper()
+		var v int64
+		if err := json.Unmarshal(out[key], &v); err != nil {
+			t.Fatalf("stats %s: %v", key, err)
+		}
+		return v
+	}
+	if got := intField("open_tasks"); got != 3 {
+		t.Fatalf("open_tasks = %d, want 3 (leases do not close tasks)", got)
+	}
+	if got := intField("leases_active"); got != 3 {
+		t.Fatalf("leases_active = %d, want 3", got)
+	}
+	if got := intField("index_epoch"); got < 1 {
+		t.Fatalf("index_epoch = %d, want >= 1", got)
 	}
 }

@@ -47,6 +47,20 @@
 // answer by the snapshot in flight; Results always infers over all answers
 // accepted before it was called.
 //
+// # Assignment index and leases
+//
+// Request does not scan the campaign: candidates come from a live index of
+// the open-task set (tasks still under their redundancy cap), maintained
+// incrementally as answers arrive and shared by all requests as one
+// immutable array — per-request cost is proportional to open tasks, not
+// campaign size, with no per-request candidate allocation. Config.LeaseTTL
+// additionally leases each served task to its worker until answered or
+// expired, so re-requesting workers get disjoint batches and tasks are not
+// over-assigned past their redundancy under concurrent traffic. Leases are
+// serving-only state and are not persisted. See docs/assignment.md for the
+// benefit math, the index design and the lease/recovery contract, and
+// docs/architecture.md for the package-by-layer map.
+//
 // # Persistence
 //
 // Two artifacts survive a restart. Config.StorePath keeps the long-run
@@ -96,6 +110,7 @@ package docs
 
 import (
 	"fmt"
+	"time"
 
 	"docs/internal/core"
 	"docs/internal/kb"
@@ -178,6 +193,16 @@ type Config struct {
 	// batch; the default flushes batches to the OS only (survives process
 	// crashes).
 	WALSyncEveryBatch bool
+	// LeaseTTL arms assignment leases: every task served on the OTA path
+	// is leased to the worker until they answer it or the TTL elapses, so
+	// a worker re-requesting before submitting gets disjoint tasks and,
+	// with AnswersPerTask set, concurrent traffic cannot over-assign a
+	// task far past its redundancy. Zero disables leases. Leases are
+	// serving-only state (never logged to the WAL): after a crash,
+	// recovery restores answers but not outstanding leases, so
+	// re-assignment is briefly possible — bounded and safe, see
+	// docs/assignment.md.
+	LeaseTTL time.Duration
 }
 
 // System is a running DOCS campaign.
@@ -213,6 +238,7 @@ func New(cfg Config) (*System, error) {
 		AsyncRerun:      cfg.AsyncRerun,
 		CheckpointEvery: cfg.CheckpointEvery,
 		WALSync:         walSync,
+		LeaseTTL:        cfg.LeaseTTL,
 	})
 	if err != nil {
 		return nil, err
@@ -336,6 +362,15 @@ type Stats struct {
 	// runs.
 	RerunsCompleted int64
 	RerunsFailed    int64
+	// OpenTasks is the size of the live candidate index: non-golden tasks
+	// still under their redundancy cap, maintained incrementally as
+	// answers arrive. IndexEpoch is the index's generation counter — it
+	// advances whenever a new immutable candidate array is published.
+	OpenTasks  int
+	IndexEpoch uint64
+	// LeasesActive is the number of live assignment leases (always zero
+	// without Config.LeaseTTL).
+	LeasesActive int64
 	// WALEnabled reports whether a write-ahead log is armed; WALLastSeq is
 	// the sequence number of the last durable record and Checkpoints*
 	// count WAL checkpoint passes. All zero without a WAL.
@@ -355,6 +390,9 @@ func (s *System) Stats() Stats {
 		SnapshotEpoch:        s.sys.Epoch(),
 		RerunsCompleted:      done,
 		RerunsFailed:         failed,
+		OpenTasks:            s.sys.OpenTasks(),
+		IndexEpoch:           s.sys.IndexEpoch(),
+		LeasesActive:         s.sys.ActiveLeases(),
 		WALEnabled:           s.sys.Recovery().Enabled,
 		WALLastSeq:           s.sys.WALSeq(),
 		CheckpointsCompleted: ckpts,

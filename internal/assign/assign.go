@@ -58,6 +58,26 @@ func (as *Assigner) AssignStates(candidates []TaskState, q model.QualityVector, 
 }
 
 func (as *Assigner) assign(n int, at func(int) *TaskState, q model.QualityVector, k int, exclude func(taskID int) bool) []int {
+	return as.AssignFunc(n, func(i int, ts *TaskState) bool {
+		c := at(i)
+		if exclude != nil && exclude(c.ID) {
+			return false
+		}
+		*ts = *c
+		return true
+	}, q, k)
+}
+
+// AssignFunc is the streaming form of Assign: fetch is called once per
+// candidate position in order and either fills ts with the candidate's
+// current state (returning true) or rejects the position (returning false —
+// an excluded, closed or stale candidate). Rejected positions do not
+// consume a tie-break slot, so a stream pre-filtered by the caller and a
+// stream filtered through fetch select identically — the property the
+// serving core's candidate index relies on to stay bit-identical to the
+// full-scan implementation. ts is scratch owned by the Assigner; fetch must
+// not retain it across calls.
+func (as *Assigner) AssignFunc(n int, fetch func(i int, ts *TaskState) bool, q model.QualityVector, k int) []int {
 	if k <= 0 || n == 0 {
 		return nil
 	}
@@ -71,12 +91,12 @@ func (as *Assigner) assign(n int, at func(int) *TaskState, q model.QualityVector
 	}
 	h := as.heap[:0]
 	idx := 0
+	var ts TaskState
 	for i := 0; i < n; i++ {
-		ts := at(i)
-		if exclude != nil && exclude(ts.ID) {
+		if !fetch(i, &ts) {
 			continue
 		}
-		e := scored{benefit: BenefitWith(ts, q, &as.sc), idx: idx, id: ts.ID}
+		e := scored{benefit: BenefitWith(&ts, q, &as.sc), idx: idx, id: ts.ID}
 		idx++
 		if len(h) < k {
 			h = append(h, e)

@@ -18,7 +18,12 @@
 // profiling, answered sets) lives in sharded maps so workers do not contend
 // with each other; answer ingest goes through the truth engine's per-task
 // locks; and reads (Request, Result, WorkerQuality) are served from the
-// truth engine's immutable snapshots without blocking writers. The periodic
+// truth engine's immutable snapshots without blocking writers. Assignment
+// candidates come from a live index of the open-task set (maintained
+// incrementally as answers arrive, published as an epoch-versioned
+// immutable array — see index.go) rather than a per-request scan over all
+// tasks, and Config.LeaseTTL bounds outstanding assignments per task and
+// per worker (see lease.go). The periodic
 // batch re-inference runs synchronously on the Submit path by default
 // (preserving the seed's deterministic serial behavior) or, with
 // Config.AsyncRerun, on a background worker that infers over an answer-log
@@ -31,6 +36,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"docs/internal/assign"
 	"docs/internal/dve"
@@ -79,6 +85,22 @@ type Config struct {
 	// WALSync selects the WAL durability level (default group-commit
 	// writes without per-batch fsync; see wal.SyncPolicy).
 	WALSync wal.SyncPolicy
+	// LeaseTTL arms assignment leases: every task served on the OTA path
+	// is leased to the worker until they answer it or the TTL elapses. A
+	// worker re-requesting before submitting gets disjoint tasks, and with
+	// a redundancy cap a task's open slots shrink by its live leases, so
+	// concurrent traffic cannot over-assign it far past AnswersPerTask.
+	// Zero disables leases (the seed behavior). Leases are serving-only
+	// state, never WAL'd; see docs/assignment.md for the recovery caveat.
+	LeaseTTL time.Duration
+	// Clock supplies the lease clock (nil = time.Now). Tests inject a fake
+	// clock to drive TTL expiry deterministically, with no sleeps.
+	Clock func() time.Time
+	// ScanAssign selects the legacy per-request full-scan assignment path
+	// instead of the live candidate index. The two produce bit-identical
+	// assignments; the scan survives as the equivalence oracle and the
+	// benchmark baseline (docs-bench -exp assign).
+	ScanAssign bool
 }
 
 // workerShardCount shards per-worker serving state.
@@ -117,6 +139,15 @@ type System struct {
 	goldenList []*model.Task // golden tasks in publication order
 
 	inc *truth.Incremental
+
+	// index is the live candidate index: the open-task set in publication
+	// order, maintained incrementally as answers arrive and published as an
+	// epoch-versioned immutable array (built once by Publish; atomic so
+	// stats and pre-publish requests race-freely observe "no index yet").
+	index atomic.Pointer[candidateIndex]
+	// leases tracks outstanding assignments when Config.LeaseTTL is set
+	// (nil otherwise). Created in New, before serving.
+	leases *leaseTable
 
 	shards [workerShardCount]workerShard
 
@@ -205,6 +236,9 @@ func New(cfg Config) (*System, error) {
 	for i := range s.shards {
 		s.shards[i].workers = make(map[string]*workerState)
 	}
+	if cfg.LeaseTTL > 0 {
+		s.leases = newLeaseTable(cfg.LeaseTTL, cfg.Clock)
+	}
 	s.assigners.New = func() any { return new(assign.Assigner) }
 	if cfg.AsyncRerun && cfg.RerunEvery > 0 {
 		s.wg.Add(1)
@@ -285,8 +319,13 @@ func (s *System) Publish(tasks []*model.Task) error {
 	if len(s.tasks) > 0 {
 		return fmt.Errorf("core: tasks already published")
 	}
+	// Validate the whole batch into a local map before mutating any
+	// campaign state: a rejected task must leave the system exactly as it
+	// was, so the requester can fix the batch and re-publish (a partial
+	// insert would make the retry fail on its own leftovers).
+	byID := make(map[int]*model.Task, len(tasks))
 	for _, t := range tasks {
-		if _, dup := s.byID[t.ID]; dup {
+		if _, dup := byID[t.ID]; dup {
 			return fmt.Errorf("core: duplicate task ID %d", t.ID)
 		}
 		if t.Domain == nil {
@@ -296,8 +335,9 @@ func (s *System) Publish(tasks []*model.Task) error {
 		if err := t.Validate(s.m); err != nil {
 			return err
 		}
-		s.byID[t.ID] = t
+		byID[t.ID] = t
 	}
+	s.byID = byID
 	s.tasks = tasks
 
 	// Golden tasks: choose among tasks with known ground truth so a new
@@ -328,6 +368,25 @@ func (s *System) Publish(tasks []*model.Task) error {
 			return err
 		}
 	}
+
+	// Build the live candidate index over the assignable tasks, in
+	// publication order (the order the assignment tie-break is defined
+	// over). Each candidate carries a lock-free view handle so a request
+	// never touches the task maps; with leases armed, each task gets its
+	// lease counter here, before serving can observe the campaign.
+	master := make([]candidate, 0, len(s.tasks))
+	for _, t := range s.tasks {
+		if s.golden[t.ID] {
+			continue
+		}
+		c := candidate{id: t.ID, domain: t.Domain, h: s.inc.Handle(t.ID)}
+		if s.leases != nil {
+			s.leases.registerTask(t.ID)
+			c.leases = s.leases.counts[t.ID]
+		}
+		master = append(master, c)
+	}
+	s.index.Store(newCandidateIndex(master))
 
 	// Log the publication — tasks with their DVE-computed domain vectors —
 	// so recovery does not depend on re-running entity linking against a
@@ -369,12 +428,15 @@ func (s *System) GoldenTasks() []int {
 }
 
 // Request serves an arriving worker: a returning (or profiled) worker gets
-// the k highest-benefit unanswered tasks; a new worker is first served the
+// the k highest-benefit open tasks; a new worker is first served the
 // golden tasks she has not answered yet. The returned tasks are in
 // assignment order. Requests run concurrently with each other and with
-// submits: task states are read from the truth engine's latest immutable
-// snapshots, so a request never blocks answer ingest (and may be up to one
-// submit stale, which OTA tolerates by design).
+// submits: the candidate set is one atomic load of the index's shared
+// immutable array and task states are read from the truth engine's latest
+// immutable snapshots, so a request never blocks answer ingest (and may be
+// up to one submit stale, which OTA tolerates by design). With leases
+// armed (Config.LeaseTTL) the served tasks are leased to the worker until
+// answered or expired.
 func (s *System) Request(workerID string, k int) ([]*model.Task, error) {
 	if workerID == "" {
 		return nil, fmt.Errorf("core: empty worker ID")
@@ -406,26 +468,24 @@ func (s *System) Request(workerID string, k int) ([]*model.Task, error) {
 
 	q := s.WorkerQuality(workerID)
 	excluded := s.answeredSnapshot(workerID)
-	redundancy := s.cfg.AnswersPerTask
-	backing := make([]assign.TaskState, 0, len(tasks))
-	for _, t := range tasks {
-		if golden[t.ID] || excluded[t.ID] {
-			continue
-		}
-		v := s.inc.View(t.ID)
-		if v == nil {
-			continue
-		}
-		if redundancy > 0 && v.NumAnswers >= redundancy {
-			continue
-		}
-		// The view's M and S are immutable snapshots: OTA reads them
-		// without copying or locking.
-		backing = append(backing, assign.TaskState{ID: t.ID, R: t.Domain, M: v.M, S: v.S})
+	// Leases: expire what is due, then exclude the tasks this worker
+	// already holds, so a re-request before submitting gets disjoint tasks.
+	var leased map[int]bool
+	if s.leases != nil {
+		leased = s.leases.beginRequest(workerID)
 	}
+	redundancy := s.cfg.AnswersPerTask
 	as := s.assigners.Get().(*assign.Assigner)
-	ids := as.AssignStates(backing, q, k, nil)
+	var ids []int
+	if s.cfg.ScanAssign {
+		ids = s.assignScan(as, tasks, golden, excluded, leased, q, k, redundancy)
+	} else {
+		ids = s.assignIndexed(as, excluded, leased, q, k, redundancy)
+	}
 	s.assigners.Put(as)
+	if s.leases != nil {
+		s.leases.grant(workerID, ids)
+	}
 	out := make([]*model.Task, 0, len(ids))
 	s.mu.RLock()
 	for _, id := range ids {
@@ -433,6 +493,77 @@ func (s *System) Request(workerID string, k int) ([]*model.Task, error) {
 	}
 	s.mu.RUnlock()
 	return out, nil
+}
+
+// assignIndexed is the indexed OTA hot path: one atomic load of the shared
+// immutable candidate array, then a streamed size-k heap over it. The only
+// per-request allocations are the exclusion snapshots and the returned IDs
+// — nothing proportional to campaign size. The per-candidate filter
+// re-checks redundancy (and live leases) against the latest truth
+// snapshot, so entries that closed since the last index compaction are
+// skipped exactly as the full scan would skip them.
+func (s *System) assignIndexed(as *assign.Assigner, excluded, leased map[int]bool, q model.QualityVector, k, redundancy int) []int {
+	ci := s.index.Load()
+	if ci == nil {
+		return nil
+	}
+	arr := ci.load()
+	if arr == nil || len(arr.entries) == 0 {
+		return nil
+	}
+	entries := arr.entries
+	return as.AssignFunc(len(entries), func(i int, ts *assign.TaskState) bool {
+		c := &entries[i]
+		if excluded[c.id] || leased[c.id] {
+			return false
+		}
+		v := c.h.View()
+		if v == nil {
+			return false
+		}
+		if redundancy > 0 {
+			open := redundancy - v.NumAnswers
+			if c.leases != nil {
+				open -= int(c.leases.Load())
+			}
+			if open <= 0 {
+				return false
+			}
+		}
+		// The view's M and S are immutable snapshots: OTA reads them
+		// without copying or locking.
+		ts.ID, ts.R, ts.M, ts.S = c.id, c.domain, v.M, v.S
+		return true
+	}, q, k)
+}
+
+// assignScan is the seed's per-request full scan: rebuild the candidate
+// set from all tasks, materializing a TaskState slice proportional to
+// campaign size. It survives behind Config.ScanAssign as the equivalence
+// oracle (TestIndexedAssignmentEquivalence) and the benchmark baseline;
+// the indexed path must stay bit-identical to it on serial campaigns.
+func (s *System) assignScan(as *assign.Assigner, tasks []*model.Task, golden map[int]bool, excluded, leased map[int]bool, q model.QualityVector, k, redundancy int) []int {
+	backing := make([]assign.TaskState, 0, len(tasks))
+	for _, t := range tasks {
+		if golden[t.ID] || excluded[t.ID] || leased[t.ID] {
+			continue
+		}
+		v := s.inc.View(t.ID)
+		if v == nil {
+			continue
+		}
+		if redundancy > 0 {
+			open := redundancy - v.NumAnswers
+			if s.leases != nil {
+				open -= s.leases.taskLeases(t.ID)
+			}
+			if open <= 0 {
+				continue
+			}
+		}
+		backing = append(backing, assign.TaskState{ID: t.ID, R: t.Domain, M: v.M, S: v.S})
+	}
+	return as.AssignStates(backing, q, k, nil)
 }
 
 // Submit records a worker's answer. Golden-task answers feed the worker's
@@ -513,6 +644,18 @@ func (s *System) Submit(workerID string, taskID, choice int) error {
 	sh.mu.Lock()
 	sh.state(workerID).answered[taskID] = true
 	sh.mu.Unlock()
+	// The accepted answer retires the worker's lease on the task and, once
+	// redundancy is met, drops the task out of the candidate index.
+	if s.leases != nil {
+		s.leases.release(workerID, taskID)
+	}
+	if r := s.cfg.AnswersPerTask; r > 0 {
+		if ci := s.index.Load(); ci != nil {
+			if v := s.inc.View(taskID); v != nil {
+				ci.noteAnswer(taskID, v.NumAnswers, r)
+			}
+		}
+	}
 	s.logMu.Lock()
 	s.log = append(s.log, a)
 	// The WAL reservation shares logMu, so durable replay order is exactly
@@ -711,6 +854,36 @@ func (s *System) Reruns() (completed, failed int64) {
 	return s.reruns.Load(), s.rerunErrs.Load()
 }
 
+// OpenTasks returns the number of open (assignable) tasks in the candidate
+// index: non-golden tasks still under their redundancy cap. Zero before
+// Publish.
+func (s *System) OpenTasks() int {
+	if ci := s.index.Load(); ci != nil {
+		return int(ci.openCount.Load())
+	}
+	return 0
+}
+
+// IndexEpoch returns the candidate index's generation counter: it advances
+// every time a new immutable candidate array is published (the initial
+// build, compactions, and post-rerun resyncs). Zero before Publish.
+func (s *System) IndexEpoch() uint64 {
+	if ci := s.index.Load(); ci != nil {
+		return ci.epoch.Load()
+	}
+	return 0
+}
+
+// ActiveLeases returns the number of live assignment leases (always zero
+// when Config.LeaseTTL is unset). Expired leases leave the count lazily,
+// when the next request processes expiries.
+func (s *System) ActiveLeases() int64 {
+	if s.leases != nil {
+		return s.leases.active.Load()
+	}
+	return 0
+}
+
 // --- internal helpers ---
 
 // inferTasksRLocked returns the non-golden tasks; callers hold s.mu (read
@@ -846,6 +1019,13 @@ func (s *System) runRerun() error {
 		return err
 	}
 	s.inc.Reseed(combined, res, as)
+	// The rerun swap is the only mutation that can change answer counts
+	// non-monotonically, so re-derive the open-task set from the reseeded
+	// snapshots (reopening any task the swap put back under its redundancy
+	// cap, and catching any closure the incremental path missed).
+	if ci := s.index.Load(); ci != nil {
+		ci.resync(s.cfg.AnswersPerTask)
+	}
 	s.reruns.Add(1)
 	return nil
 }

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"docs/internal/crowd"
+	"docs/internal/dataset"
+	"docs/internal/kb"
+	"docs/internal/model"
+)
+
+// traceCampaignCfg drives a full serial campaign (the determinism-test
+// workload: golden gauntlet + OTA + periodic reruns + redundancy cap) and
+// returns the assignment/answer trace plus the finished system, so callers
+// can compare both the decisions and the final state across configs.
+func traceCampaignCfg(t *testing.T, cfg Config) (string, *System) {
+	t.Helper()
+	ds := dataset.Item(3)
+	tasks := ds.Tasks[:120]
+	s := newSystem(t, cfg)
+	if err := s.Publish(tasks); err != nil {
+		t.Fatal(err)
+	}
+	m := kb.MustDefault().Domains().Size()
+	pop, err := crowd.NewPopulation(crowd.Config{NumWorkers: 24, M: m, RelevantDomains: ds.YahooIndex, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := pop.Rand()
+	trace := ""
+	for hit := 0; hit < 400; hit++ {
+		w := pop.Arrival()
+		got, err := s.Request(w.ID, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			break
+		}
+		for _, tk := range got {
+			c := w.Answer(tk, r)
+			trace += fmt.Sprintf("%s:%d:%d;", w.ID, tk.ID, c)
+			if err := s.Submit(w.ID, tk.ID, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return trace, s
+}
+
+func diffTraces(t *testing.T, label, a, b string) {
+	t.Helper()
+	if a == b {
+		return
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 120
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 120
+			if hi > n {
+				hi = n
+			}
+			t.Fatalf("%s: diverge at %d:\nA: ...%s\nB: ...%s", label, i, a[lo:hi], b[lo:hi])
+		}
+	}
+	t.Fatalf("%s: one trace is a prefix of the other (len %d vs %d)", label, len(a), len(b))
+}
+
+// TestIndexedAssignmentEquivalence is the tentpole contract: a serial
+// campaign served from the candidate index makes bit-identical assignment
+// decisions — and therefore ends in bit-identical campaign state
+// (Fingerprint compares every float as raw bits) — to the seed's
+// per-request full scan.
+func TestIndexedAssignmentEquivalence(t *testing.T) {
+	base := Config{GoldenCount: 8, HITSize: 4, AnswersPerTask: 5, RerunEvery: 50}
+	scanCfg := base
+	scanCfg.ScanAssign = true
+	scanTrace, scanSys := traceCampaignCfg(t, scanCfg)
+	idxTrace, idxSys := traceCampaignCfg(t, base)
+	diffTraces(t, "scan vs indexed", scanTrace, idxTrace)
+	if fa, fb := scanSys.Fingerprint(), idxSys.Fingerprint(); fa != fb {
+		t.Fatalf("fingerprints differ between scan and indexed paths")
+	}
+	if idxSys.IndexEpoch() == 0 {
+		t.Fatalf("indexed system never published a candidate array")
+	}
+}
+
+// TestIndexedAssignmentEquivalenceWithLeases pins the lease no-op contract
+// for serial traffic: in a request-then-answer-everything campaign every
+// lease is released before the next request, so arming leases changes
+// nothing — the trace stays bit-identical to the lease-free scan.
+func TestIndexedAssignmentEquivalenceWithLeases(t *testing.T) {
+	base := Config{GoldenCount: 8, HITSize: 4, AnswersPerTask: 5, RerunEvery: 50}
+	scanCfg := base
+	scanCfg.ScanAssign = true
+	leaseCfg := base
+	leaseCfg.LeaseTTL = time.Hour
+	scanTrace, scanSys := traceCampaignCfg(t, scanCfg)
+	leaseTrace, leaseSys := traceCampaignCfg(t, leaseCfg)
+	diffTraces(t, "scan vs indexed+leases", scanTrace, leaseTrace)
+	if fa, fb := scanSys.Fingerprint(), leaseSys.Fingerprint(); fa != fb {
+		t.Fatalf("fingerprints differ between scan and leased indexed paths")
+	}
+	if leaseSys.ActiveLeases() != 0 {
+		t.Fatalf("serial campaign left %d leases outstanding", leaseSys.ActiveLeases())
+	}
+}
+
+// indexTasks builds n two-choice tasks with precomputed one-hot domain
+// vectors (skipping DVE) for index unit tests.
+func indexTasks(n, m int) []*model.Task {
+	tasks := make([]*model.Task, n)
+	for i := range tasks {
+		dom := make(model.DomainVector, m)
+		dom[i%m] = 1
+		tasks[i] = &model.Task{
+			ID: i, Text: fmt.Sprintf("t%d", i), Choices: []string{"a", "b"},
+			Domain: dom, Truth: model.NoTruth, TrueDomain: model.NoTruth,
+		}
+	}
+	return tasks
+}
+
+// TestCandidateIndexMaintenance checks the open-task set shrinks as
+// redundancy is met — maintained on the submit path, not rediscovered per
+// request — and that the published array compacts (epoch advances) as
+// closures accumulate.
+func TestCandidateIndexMaintenance(t *testing.T) {
+	const n, redundancy = 8, 2
+	s := newSystem(t, Config{GoldenCount: -1, HITSize: 4, AnswersPerTask: redundancy, RerunEvery: -1})
+	m := s.Domains().Size()
+	if err := s.Publish(indexTasks(n, m)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.OpenTasks(); got != n {
+		t.Fatalf("OpenTasks after publish = %d, want %d", got, n)
+	}
+	epoch0 := s.IndexEpoch()
+	if epoch0 == 0 {
+		t.Fatalf("IndexEpoch = 0 after publish")
+	}
+
+	// Meet redundancy on task 0: it must leave the open set immediately.
+	for _, w := range []string{"w1", "w2"} {
+		if err := s.Submit(w, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.OpenTasks(); got != n-1 {
+		t.Fatalf("OpenTasks after closing task 0 = %d, want %d", got, n-1)
+	}
+
+	// Close everything: the open set drains to zero, the array compacts
+	// (epoch advances), and requests come back empty.
+	for id := 1; id < n; id++ {
+		for _, w := range []string{"w1", "w2"} {
+			if err := s.Submit(w, id, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := s.OpenTasks(); got != 0 {
+		t.Fatalf("OpenTasks after closing all = %d, want 0", got)
+	}
+	if s.IndexEpoch() == epoch0 {
+		t.Fatalf("IndexEpoch never advanced past %d despite %d closures", epoch0, n)
+	}
+	got, err := s.Request("fresh", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("Request on a drained campaign returned %d tasks", len(got))
+	}
+}
+
+// TestCandidateIndexResyncReopens exercises the reopen direction: resync
+// (the post-rerun pass) must restore any task whose live snapshot says it
+// is back under the redundancy cap, even if the incremental path had
+// marked it closed.
+func TestCandidateIndexResyncReopens(t *testing.T) {
+	const n = 6
+	s := newSystem(t, Config{GoldenCount: -1, HITSize: 4, AnswersPerTask: 1, RerunEvery: -1})
+	m := s.Domains().Size()
+	if err := s.Publish(indexTasks(n, m)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit("w1", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.OpenTasks(); got != n-1 {
+		t.Fatalf("OpenTasks = %d, want %d", got, n-1)
+	}
+
+	// Force-mark an unanswered task closed, as if a rerun swap had left the
+	// incremental bookkeeping behind; resync must reopen it from the live
+	// snapshot (0 answers < cap) while leaving the genuinely closed task 0
+	// out.
+	ci := s.index.Load()
+	ci.mu.Lock()
+	p := ci.pos[3]
+	ci.open[p] = false
+	ci.openCount.Add(-1)
+	ci.stale++
+	ci.mu.Unlock()
+	if got := s.OpenTasks(); got != n-2 {
+		t.Fatalf("OpenTasks after force-close = %d, want %d", got, n-2)
+	}
+	ci.resync(1)
+	if got := s.OpenTasks(); got != n-1 {
+		t.Fatalf("OpenTasks after resync = %d, want %d (task 3 reopened)", got, n-1)
+	}
+	arr := ci.load()
+	found := false
+	for _, c := range arr.entries {
+		if c.id == 0 {
+			t.Fatalf("resync republished closed task 0")
+		}
+		if c.id == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reopened task 3 missing from the published candidate array")
+	}
+}
+
+// TestPublishRejectionLeavesNoState: a rejected batch (duplicate ID or
+// invalid task) must leave the system untouched, so fixing the batch and
+// re-publishing succeeds — no leftover byID entries to collide with, no
+// half-published campaign with an empty candidate index.
+func TestPublishRejectionLeavesNoState(t *testing.T) {
+	s := newSystem(t, Config{GoldenCount: -1, RerunEvery: -1})
+	m := s.Domains().Size()
+	bad := indexTasks(3, m)
+	bad[2].ID = bad[0].ID // duplicate
+	if err := s.Publish(bad); err == nil {
+		t.Fatal("publish accepted a duplicate task ID")
+	}
+	if s.Published() {
+		t.Fatal("rejected publish left the campaign published")
+	}
+	if got := s.OpenTasks(); got != 0 {
+		t.Fatalf("rejected publish left %d open tasks", got)
+	}
+	good := indexTasks(3, m)
+	if err := s.Publish(good); err != nil {
+		t.Fatalf("re-publish after rejection: %v", err)
+	}
+	if got := s.OpenTasks(); got != 3 {
+		t.Fatalf("OpenTasks after re-publish = %d, want 3", got)
+	}
+	if tasks, err := s.Request("w", 3); err != nil || len(tasks) != 3 {
+		t.Fatalf("Request after re-publish = %d tasks, err %v", len(tasks), err)
+	}
+}

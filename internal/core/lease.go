@@ -1,0 +1,186 @@
+package core
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// leaseTable tracks outstanding assignments: when a task is served to a
+// worker on the OTA path, the worker holds a lease on it until they submit
+// an answer or the lease's TTL elapses. Leases give Request the paper's
+// one-HIT-at-a-time semantics under concurrency:
+//
+//   - a worker re-requesting before submitting is excluded from the tasks
+//     they already hold, so two requests in flight return disjoint batches;
+//   - a task's open slots are reduced by its active leases, so with a
+//     redundancy cap of R a task with a answers and l live leases stops
+//     being assigned once a+l ≥ R — heavy concurrent traffic cannot
+//     over-assign it far past its redundancy (the overshoot is bounded by
+//     the number of requests racing the same grant, never compounding).
+//
+// Leases are serving-only state: they are never written to the WAL. A
+// lease is a promise about the near future ("an answer for this task may
+// arrive shortly"), not a fact about the campaign, and logging it would
+// force recovery to reason about wall-clock time. The cost is documented
+// and bounded: after a crash, recovery replays answers but not outstanding
+// leases, so workers who held assignments at crash time may briefly be
+// re-assigned the same tasks and a task may collect a few answers past its
+// redundancy cap until TTLs would have expired anyway. Extra answers are
+// absorbed by truth inference exactly like any over-redundant answer; no
+// state corruption is possible. See docs/assignment.md.
+//
+// Time is injected (Config.Clock) so tests drive expiry deterministically
+// with no sleeps. All mutations take one mutex; per-task active counts are
+// additionally mirrored in atomics so the assignment filter reads them
+// without locking.
+type leaseTable struct {
+	ttl time.Duration
+	now func() time.Time
+
+	// counts maps every assignable (non-golden) task to its live lease
+	// count. The map itself is built once at Publish, before serving, and
+	// never grows: concurrent readers only perform map reads plus atomic
+	// loads on the values.
+	counts map[int]*atomic.Int32
+
+	active atomic.Int64 // total live leases, the /stats gauge
+
+	mu       sync.Mutex
+	byWorker map[string]map[int]time.Time // worker -> task -> expiry
+	exp      expiryHeap                   // possibly-stale (expiry, worker, task) entries
+}
+
+// leaseEntry is one scheduled expiry. Entries are never removed early: a
+// release or a re-grant leaves the old entry in the heap and it is
+// discarded when popped (byWorker is the authority).
+type leaseEntry struct {
+	at     time.Time
+	worker string
+	task   int
+}
+
+type expiryHeap []leaseEntry
+
+func (h expiryHeap) Len() int           { return len(h) }
+func (h expiryHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h expiryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x any)        { *h = append(*h, x.(leaseEntry)) }
+func (h *expiryHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func newLeaseTable(ttl time.Duration, now func() time.Time) *leaseTable {
+	if now == nil {
+		now = time.Now
+	}
+	return &leaseTable{
+		ttl:      ttl,
+		now:      now,
+		counts:   make(map[int]*atomic.Int32),
+		byWorker: make(map[string]map[int]time.Time),
+	}
+}
+
+// registerTask allocates the task's lease counter. Called from Publish
+// (before serving) for every assignable task.
+func (lt *leaseTable) registerTask(id int) {
+	lt.counts[id] = new(atomic.Int32)
+}
+
+// taskLeases returns the task's live lease count without locking; 0 for
+// tasks the table does not track (golden tasks).
+func (lt *leaseTable) taskLeases(id int) int {
+	if c, ok := lt.counts[id]; ok {
+		return int(c.Load())
+	}
+	return 0
+}
+
+// beginRequest processes due expiries and returns the set of tasks the
+// worker currently holds leases on (nil when none) — the per-worker
+// exclusion for this request. One locked pass per request; the cost is
+// O(expired·log + held).
+func (lt *leaseTable) beginRequest(workerID string) map[int]bool {
+	now := lt.now()
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.expireLocked(now)
+	held := lt.byWorker[workerID]
+	if len(held) == 0 {
+		return nil
+	}
+	out := make(map[int]bool, len(held))
+	for id := range held {
+		out[id] = true
+	}
+	return out
+}
+
+// expireLocked drops every lease whose TTL elapsed. Heap entries that were
+// released or superseded by a newer grant are discarded without effect.
+func (lt *leaseTable) expireLocked(now time.Time) {
+	for len(lt.exp) > 0 && !lt.exp[0].at.After(now) {
+		e := heap.Pop(&lt.exp).(leaseEntry)
+		held, ok := lt.byWorker[e.worker]
+		if !ok {
+			continue
+		}
+		expiry, live := held[e.task]
+		if !live || expiry.After(now) {
+			continue // released, or re-granted with a later expiry
+		}
+		delete(held, e.task)
+		if len(held) == 0 {
+			delete(lt.byWorker, e.worker)
+		}
+		lt.counts[e.task].Add(-1)
+		lt.active.Add(-1)
+	}
+}
+
+// grant records leases for the tasks just assigned to the worker. A task
+// the worker already holds (two racing requests selecting it before either
+// grant landed) only has its expiry extended.
+func (lt *leaseTable) grant(workerID string, taskIDs []int) {
+	if len(taskIDs) == 0 {
+		return
+	}
+	now := lt.now()
+	expiry := now.Add(lt.ttl)
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	held, ok := lt.byWorker[workerID]
+	if !ok {
+		held = make(map[int]time.Time, len(taskIDs))
+		lt.byWorker[workerID] = held
+	}
+	for _, id := range taskIDs {
+		if _, live := held[id]; !live {
+			lt.counts[id].Add(1)
+			lt.active.Add(1)
+		}
+		held[id] = expiry
+		heap.Push(&lt.exp, leaseEntry{at: expiry, worker: workerID, task: id})
+	}
+}
+
+// release drops the worker's lease on the task, if any — called when their
+// answer is accepted. The heap entry stays behind and is discarded when its
+// expiry comes due.
+func (lt *leaseTable) release(workerID string, taskID int) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	held, ok := lt.byWorker[workerID]
+	if !ok {
+		return
+	}
+	if _, live := held[taskID]; !live {
+		return
+	}
+	delete(held, taskID)
+	if len(held) == 0 {
+		delete(lt.byWorker, workerID)
+	}
+	lt.counts[taskID].Add(-1)
+	lt.active.Add(-1)
+}

@@ -43,6 +43,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"docs/internal/core"
 	"docs/internal/kb"
@@ -103,6 +104,7 @@ type Config struct {
 	CheckpointEvery int
 	WALSegmentBytes int64
 	WALSync         wal.SyncPolicy
+	LeaseTTL        time.Duration
 }
 
 // Info describes one campaign in List output.
@@ -268,6 +270,7 @@ func (r *Registry) openCampaign(dir string) (*campaign, error) {
 		CheckpointEvery: r.cfg.CheckpointEvery,
 		WALSegmentBytes: r.cfg.WALSegmentBytes,
 		WALSync:         r.cfg.WALSync,
+		LeaseTTL:        r.cfg.LeaseTTL,
 	})
 	if err != nil {
 		return nil, err

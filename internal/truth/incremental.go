@@ -337,6 +337,29 @@ func (inc *Incremental) View(id int) *TaskView {
 	return it.view.Load()
 }
 
+// Handle is a stable, lock-free accessor for one task's published views.
+// Looking a task up by ID costs an RLock'd map read (View); a Handle pays
+// that once and then loads the latest snapshot with a single atomic read —
+// the accessor the serving core's candidate index holds per open task so a
+// request never touches the task map at all.
+type Handle struct{ it *incTask }
+
+// Handle returns the task's view accessor (the zero Handle for unknown
+// tasks). Handles stay valid for the life of the engine.
+func (inc *Incremental) Handle(id int) Handle { return Handle{it: inc.lookup(id)} }
+
+// Valid reports whether the handle refers to a registered task.
+func (h Handle) Valid() bool { return h.it != nil }
+
+// View returns the latest published immutable snapshot (nil for the zero
+// Handle). Same contract as Incremental.View, minus the map lookup.
+func (h Handle) View() *TaskView {
+	if h.it == nil {
+		return nil
+	}
+	return h.it.view.Load()
+}
+
 // Epoch returns the engine-wide mutation counter: it increases on every
 // AddTask, Submit, and Reseed. Two reads returning the same epoch bracket a
 // quiescent engine.

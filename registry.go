@@ -60,6 +60,7 @@ func OpenRegistry(cfg Config) (*Registry, error) {
 		AsyncRerun:      cfg.AsyncRerun,
 		CheckpointEvery: cfg.CheckpointEvery,
 		WALSync:         walSync,
+		LeaseTTL:        cfg.LeaseTTL,
 	})
 	if err != nil {
 		return nil, err

@@ -44,3 +44,11 @@ awk -v ns="$best" -v base="$base" -v thr="$threshold" 'BEGIN {
     }
     printf "check_bench: OK (%+.1f%% vs baseline)\n", (ns / base - 1) * 100
 }'
+
+# Smoke path: the assignment experiment compares the indexed candidate
+# set against the legacy scan and asserts every measured request's
+# assignment identical between the two, so running it at all is a
+# correctness check. Run-only — no latency threshold; machine-dependent
+# speedups are reported, not gated.
+echo "check_bench: smoke-running docs-bench -exp assign (run-only, no threshold)"
+go run ./cmd/docs-bench -exp assign -quick
