@@ -61,16 +61,19 @@ var runners = []runner{
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table3, fig3, ..., fig8c, wal, all)")
+	exp := flag.String("exp", "all", "experiment to run (table3, fig3, ..., fig8c, wal, recover, all)")
 	seed := flag.Uint64("seed", 20160412, "deterministic seed")
 	quick := flag.Bool("quick", false, "reduced sizes for a fast pass")
 	walDir := flag.String("wal-dir", "", "directory for the wal experiment's log files (empty = a temp directory)")
+	recoverAnswers := flag.String("recover-answers", "", "comma-separated campaign sizes for the recover experiment (default 10000,100000; quick 2000; add 1000000 for the million-answer point)")
+	jsonOut := flag.String("json", "", "write the recover experiment's rows as JSON to this path (the BENCH_recover.json CI artifact)")
 	flag.Parse()
 
 	runners := append(runners,
 		runner{"wal", walThroughput(*walDir), "answer WAL group-commit throughput"},
 		runner{"multicampaign", multiCampaign, "registry serving N campaigns, shared vs isolated worker store"},
-		runner{"assign", assignLatency, "per-request assignment latency: indexed candidate set vs full scan"})
+		runner{"assign", assignLatency, "per-request assignment latency: indexed candidate set vs full scan"},
+		runner{"recover", recoverBoot(*recoverAnswers, jsonOut), "boot lag: full WAL replay vs state-snapshot restore"})
 	ran := 0
 	for _, r := range runners {
 		if *exp != "all" && *exp != r.id {

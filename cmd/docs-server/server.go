@@ -201,6 +201,13 @@ func (s *server) handleArchive(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, code, err)
 		return
 	}
+	// Drop the campaign's rate observation: an archived campaign never
+	// serves /stats again, so its entry would otherwise live for the life
+	// of the process — archive-heavy deployments would leak an entry per
+	// retired campaign.
+	s.rateMu.Lock()
+	delete(s.rates, name)
+	s.rateMu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]string{"archived": name})
 }
 
@@ -401,13 +408,21 @@ type statsJSON struct {
 	Campaigns           int     `json:"campaigns"`
 
 	// Durability counters, all zero when the server runs without -wal-dir.
-	WALEnabled           bool    `json:"wal_enabled"`
-	WALLastSeq           uint64  `json:"wal_last_seq"`
-	CheckpointsCompleted int64   `json:"checkpoints_completed"`
-	CheckpointsFailed    int64   `json:"checkpoints_failed"`
-	RecoveredRecords     int     `json:"recovered_records"`
-	RecoveredTornTail    bool    `json:"recovered_torn_tail"`
-	RecoverySeconds      float64 `json:"recovery_seconds"`
+	WALEnabled            bool   `json:"wal_enabled"`
+	WALLastSeq            uint64 `json:"wal_last_seq"`
+	CheckpointsCompleted  int64  `json:"checkpoints_completed"`
+	CheckpointsFailed     int64  `json:"checkpoints_failed"`
+	SnapshotsCompleted    int64  `json:"snapshots_completed"`
+	SnapshotsFailed       int64  `json:"snapshots_failed"`
+	SnapshotLastSeq       uint64 `json:"snapshot_last_seq"`
+	RecoveredRecords      int    `json:"recovered_records"`
+	RecoveredTornTail     bool   `json:"recovered_torn_tail"`
+	RecoveredFromSnapshot bool   `json:"recovered_from_snapshot"`
+	RecoverySnapshotSeq   uint64 `json:"recovery_snapshot_seq"`
+	// RecoverySnapshotRejected is the loud fallback signal: non-empty when
+	// boot found a snapshot it could not trust and replayed the full log.
+	RecoverySnapshotRejected string  `json:"recovery_snapshot_rejected,omitempty"`
+	RecoverySeconds          float64 `json:"recovery_seconds"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -430,24 +445,30 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// truth Publish, Request and WAL recovery use — so a half-applied
 		// publish (applied in memory, durability error on the log append)
 		// can never make /stats disagree with serving behavior.
-		Published:            sys.Published(),
-		Answers:              st.Answers,
-		OpenTasks:            st.OpenTasks,
-		IndexEpoch:           st.IndexEpoch,
-		LeasesActive:         st.LeasesActive,
-		SnapshotEpoch:        st.SnapshotEpoch,
-		RerunsCompleted:      st.RerunsCompleted,
-		RerunsFailed:         st.RerunsFailed,
-		UptimeSeconds:        uptime,
-		Goroutines:           runtime.NumGoroutine(),
-		Campaigns:            liveCampaigns,
-		WALEnabled:           st.WALEnabled,
-		WALLastSeq:           st.WALLastSeq,
-		CheckpointsCompleted: st.CheckpointsCompleted,
-		CheckpointsFailed:    st.CheckpointsFailed,
-		RecoveredRecords:     rec.Records,
-		RecoveredTornTail:    rec.TornTail,
-		RecoverySeconds:      rec.Seconds,
+		Published:                sys.Published(),
+		Answers:                  st.Answers,
+		OpenTasks:                st.OpenTasks,
+		IndexEpoch:               st.IndexEpoch,
+		LeasesActive:             st.LeasesActive,
+		SnapshotEpoch:            st.SnapshotEpoch,
+		RerunsCompleted:          st.RerunsCompleted,
+		RerunsFailed:             st.RerunsFailed,
+		UptimeSeconds:            uptime,
+		Goroutines:               runtime.NumGoroutine(),
+		Campaigns:                liveCampaigns,
+		WALEnabled:               st.WALEnabled,
+		WALLastSeq:               st.WALLastSeq,
+		CheckpointsCompleted:     st.CheckpointsCompleted,
+		CheckpointsFailed:        st.CheckpointsFailed,
+		SnapshotsCompleted:       st.SnapshotsCompleted,
+		SnapshotsFailed:          st.SnapshotsFailed,
+		SnapshotLastSeq:          st.SnapshotLastSeq,
+		RecoveredRecords:         rec.Records,
+		RecoveredTornTail:        rec.TornTail,
+		RecoveredFromSnapshot:    rec.SnapshotUsed,
+		RecoverySnapshotSeq:      rec.SnapshotSeq,
+		RecoverySnapshotRejected: rec.SnapshotRejected,
+		RecoverySeconds:          rec.Seconds,
 	}
 	if uptime > 0 {
 		out.AnswersPerSec = float64(st.Answers) / uptime
@@ -458,7 +479,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	} else if dt := now.Sub(prev.at).Seconds(); dt > 0 {
 		out.AnswersPerSecRecent = float64(st.Answers-prev.answers) / dt
 	}
-	s.rates[name] = rateObs{at: now, answers: st.Answers}
+	// Observations are recorded only for campaigns that resolved above —
+	// /stats probes against unknown names 404 before reaching this point
+	// and must never grow the map — and handleArchive deletes a campaign's
+	// entry when it is retired, so the map is bounded by live campaigns.
+	// The liveness re-check runs under rateMu to close the archive race:
+	// if the campaign was archived after this handler resolved it, either
+	// the re-check sees the flip and skips the write, or the write lands
+	// first and the archive's delete (which takes rateMu after the flip)
+	// removes it — an archived campaign's entry can never survive.
+	if _, err := s.reg.Campaign(name); err == nil {
+		s.rates[name] = rateObs{at: now, answers: st.Answers}
+	}
 	s.rateMu.Unlock()
 	writeJSON(w, http.StatusOK, out)
 }

@@ -590,3 +590,50 @@ func TestLeasedRequestsOverHTTP(t *testing.T) {
 		t.Fatalf("index_epoch = %d, want >= 1", got)
 	}
 }
+
+// TestStatsRateMapPruned is the rate-observation leak regression: the
+// per-campaign map behind answers_per_sec_recent used to keep entries for
+// archived campaigns forever (and nothing may create entries for unknown
+// names probed by scanners) — an archive-heavy or probe-heavy deployment
+// grew the map without bound.
+func TestStatsRateMapPruned(t *testing.T) {
+	ts, srv := testServer(t)
+
+	// 404 probes against unknown campaign names must not touch the map.
+	for i := 0; i < 5; i++ {
+		resp, _ := doJSON(t, "GET", fmt.Sprintf("%s/c/nope%d/stats", ts.URL, i), nil)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("probe %d: status %d, want 404", i, resp.StatusCode)
+		}
+	}
+	srv.rateMu.Lock()
+	leaked := len(srv.rates)
+	srv.rateMu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("unknown-name probes left %d rate entries", leaked)
+	}
+
+	// A live campaign's /stats records an observation; archiving the
+	// campaign must delete it.
+	if resp, _ := doJSON(t, "POST", ts.URL+"/campaigns", map[string]string{"name": "ephemeral"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, "GET", ts.URL+"/c/ephemeral/stats", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+	srv.rateMu.Lock()
+	_, present := srv.rates["ephemeral"]
+	srv.rateMu.Unlock()
+	if !present {
+		t.Fatal("stats call did not record a rate observation")
+	}
+	if resp, _ := doJSON(t, "POST", ts.URL+"/c/ephemeral/archive", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("archive: status %d", resp.StatusCode)
+	}
+	srv.rateMu.Lock()
+	_, present = srv.rates["ephemeral"]
+	srv.rateMu.Unlock()
+	if present {
+		t.Fatal("archived campaign's rate observation leaked")
+	}
+}

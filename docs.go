@@ -82,10 +82,15 @@
 // (survives process crashes); Config.WALSyncEveryBatch adds one fsync per
 // group-commit batch (survives power loss). Checkpoints every
 // Config.CheckpointEvery answers bound the log's disk footprint — they
-// compact the replayed prefix and delete covered segments — but recovery
-// work stays linear in campaign size, because the canonical state is
-// defined by replay, not by a float snapshot. See docs/persistence.md for
-// the full contract.
+// compact the replayed prefix and delete covered segments. State
+// snapshots every Config.SnapshotEvery answers bound the RECOVERY TIME:
+// a background serial shadow replica of the durable log is serialized
+// (floats as raw bits) to an atomically-replaced snapshot file, and boot
+// restores it and replays only the WAL suffix past it — bit-identical to
+// a full replay, falling back to one loudly if the snapshot is torn,
+// corrupt, or ahead of the durable log. See docs/persistence.md for the
+// full contract and the fallback ladder (snapshot → checkpoint →
+// segments).
 //
 // # Multiple campaigns
 //
@@ -188,6 +193,16 @@ type Config struct {
 	// segments) every so many accepted answers when WALDir is set
 	// (0 = default 5000, negative = never).
 	CheckpointEvery int
+	// SnapshotEvery writes a full state snapshot every so many accepted
+	// answers when WALDir is set (0 = default 5000, negative = never).
+	// A snapshot makes restart time proportional to the un-snapshotted
+	// WAL suffix instead of the whole campaign history, while keeping the
+	// bit-exact recovery contract: it is built from a serial shadow
+	// replica of the durable log, so snapshot-assisted boot and full
+	// replay reconstruct identical state. A torn or corrupt snapshot is
+	// rejected loudly and boot falls back to full replay. See
+	// docs/persistence.md.
+	SnapshotEvery int
 	// WALSyncEveryBatch fsyncs the WAL once per group-commit batch,
 	// surviving power loss at the cost of one fsync amortized over each
 	// batch; the default flushes batches to the OS only (survives process
@@ -237,6 +252,7 @@ func New(cfg Config) (*System, error) {
 		RerunEvery:      cfg.RerunEvery,
 		AsyncRerun:      cfg.AsyncRerun,
 		CheckpointEvery: cfg.CheckpointEvery,
+		SnapshotEvery:   cfg.SnapshotEvery,
 		WALSync:         walSync,
 		LeaseTTL:        cfg.LeaseTTL,
 	})
@@ -266,6 +282,15 @@ type Recovery struct {
 	// previous process crashed mid-append; the record was never
 	// acknowledged).
 	TornTail bool
+	// SnapshotUsed is true when the boot restored a state snapshot and
+	// Records counts only the WAL suffix past SnapshotSeq.
+	SnapshotUsed bool
+	// SnapshotSeq is the WAL sequence the restored snapshot covered.
+	SnapshotSeq uint64
+	// SnapshotRejected carries the reason a present snapshot was not used
+	// (torn, corrupt, or ahead of the durable log); the boot fell back to
+	// a full replay. Empty when no snapshot existed or it was used.
+	SnapshotRejected string
 	// Seconds is the wall-clock recovery lag the boot paid.
 	Seconds float64
 }
@@ -275,10 +300,13 @@ type Recovery struct {
 func (s *System) Recovery() Recovery {
 	info := s.sys.Recovery()
 	return Recovery{
-		Enabled:  info.Enabled,
-		Records:  info.Records,
-		TornTail: info.TornTail,
-		Seconds:  info.Duration.Seconds(),
+		Enabled:          info.Enabled,
+		Records:          info.Records,
+		TornTail:         info.TornTail,
+		SnapshotUsed:     info.SnapshotUsed,
+		SnapshotSeq:      info.SnapshotSeq,
+		SnapshotRejected: info.SnapshotRejected,
+		Seconds:          info.Duration.Seconds(),
 	}
 }
 
@@ -378,6 +406,13 @@ type Stats struct {
 	WALLastSeq           uint64
 	CheckpointsCompleted int64
 	CheckpointsFailed    int64
+	// Snapshots* count background state-snapshot passes; SnapshotLastSeq
+	// is the WAL sequence the newest snapshot covers (what a restart would
+	// restore instead of replaying). All zero without a WAL or with
+	// Config.SnapshotEvery negative.
+	SnapshotsCompleted int64
+	SnapshotsFailed    int64
+	SnapshotLastSeq    uint64
 }
 
 // Stats returns the current serving counters. Safe to call concurrently
@@ -385,6 +420,7 @@ type Stats struct {
 func (s *System) Stats() Stats {
 	done, failed := s.sys.Reruns()
 	ckpts, ckptErrs := s.sys.Checkpoints()
+	snaps, snapErrs := s.sys.Snapshots()
 	return Stats{
 		Answers:              s.sys.AnswerCount(),
 		SnapshotEpoch:        s.sys.Epoch(),
@@ -397,6 +433,9 @@ func (s *System) Stats() Stats {
 		WALLastSeq:           s.sys.WALSeq(),
 		CheckpointsCompleted: ckpts,
 		CheckpointsFailed:    ckptErrs,
+		SnapshotsCompleted:   snaps,
+		SnapshotsFailed:      snapErrs,
+		SnapshotLastSeq:      s.sys.LastSnapshotSeq(),
 	}
 }
 

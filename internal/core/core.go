@@ -79,6 +79,14 @@ type Config struct {
 	// segments) every so many accepted answers when a WAL is armed via
 	// Recover (default 5000, negative = never).
 	CheckpointEvery int
+	// SnapshotEvery writes a full state snapshot every so many accepted
+	// answers when a WAL is armed (default 5000, negative = never). A
+	// snapshot makes restart cost proportional to the un-snapshotted WAL
+	// suffix instead of the whole log; it is built from a serial shadow
+	// replica (created lazily on the first pass) so the snapshotted state
+	// is exactly the serial-replay state recovery must reconstruct — see
+	// snapshot.go for the design and its memory/CPU trade-off.
+	SnapshotEvery int
 	// WALSegmentBytes overrides the WAL segment rotation size (0 = the wal
 	// package default).
 	WALSegmentBytes int64
@@ -169,6 +177,19 @@ type System struct {
 	rerunErrs   atomic.Int64
 	ckpts       atomic.Int64
 	ckptErrs    atomic.Int64
+	snaps       atomic.Int64
+	snapErrs    atomic.Int64
+
+	// snapSeq is the WAL sequence covered by the newest state snapshot this
+	// process wrote or booted from.
+	snapSeq atomic.Uint64
+	// shadow is the serial replica the snapshot passes advance and
+	// serialize; shadowSeq is the WAL sequence it has replayed through.
+	// Both are touched only by the maintenance worker (and Close, after the
+	// worker exits).
+	shadow    *System
+	shadowSeq uint64
+	snapCh    chan struct{}
 
 	// ckptMu serializes checkpoint passes and guards the cached checkpoint
 	// tail (last covered sequence and byte length of the intact file).
@@ -178,10 +199,14 @@ type System struct {
 	ckptCh      chan struct{}
 
 	rerunMu sync.Mutex // serializes batch re-inference runs
-	rerunCh chan struct{}
-	quit    chan struct{}
-	wg      sync.WaitGroup
-	closed  sync.Once
+	// rerunFault, when set (tests only), is invoked at the top of every
+	// rerun attempt; a non-nil return fails the rerun — the seam the
+	// failed-rerun regression test injects through.
+	rerunFault func() error
+	rerunCh    chan struct{}
+	quit       chan struct{}
+	wg         sync.WaitGroup
+	closed     sync.Once
 
 	assigners sync.Pool
 }
@@ -218,6 +243,9 @@ func New(cfg Config) (*System, error) {
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 5000
 	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 5000
+	}
 	m := k.Domains().Size()
 	s := &System{
 		kb:        k,
@@ -231,6 +259,7 @@ func New(cfg Config) (*System, error) {
 		inc:       truth.NewIncremental(m),
 		rerunCh:   make(chan struct{}, 1),
 		ckptCh:    make(chan struct{}, 1),
+		snapCh:    make(chan struct{}, 1),
 		quit:      make(chan struct{}),
 	}
 	for i := range s.shards {
@@ -257,8 +286,16 @@ func (s *System) Close() error {
 	s.closed.Do(func() { close(s.quit) })
 	s.wg.Wait()
 	var err error
+	if s.shadow != nil {
+		// The maintenance worker has exited; the shadow replica has no
+		// goroutines or files of its own, but close it for symmetry.
+		err = s.shadow.Close()
+		s.shadow = nil
+	}
 	if s.wal != nil {
-		err = s.wal.Close()
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if s.ownsStore {
 		if cerr := s.store.Close(); err == nil {
@@ -682,6 +719,7 @@ func (s *System) Submit(workerID string, taskID, choice int) error {
 		}
 	}
 	s.maybeCheckpoint(n)
+	s.maybeSnapshot(n)
 	return s.walCommit(p)
 }
 
@@ -875,11 +913,13 @@ func (s *System) IndexEpoch() uint64 {
 }
 
 // ActiveLeases returns the number of live assignment leases (always zero
-// when Config.LeaseTTL is unset). Expired leases leave the count lazily,
-// when the next request processes expiries.
+// when Config.LeaseTTL is unset). The read itself processes due expiries,
+// so an idle system — one receiving no requests, which are the other place
+// lazy expiry runs — still reports zero once every TTL has elapsed rather
+// than counting expired leases forever.
 func (s *System) ActiveLeases() int64 {
 	if s.leases != nil {
-		return s.leases.active.Load()
+		return s.leases.activeNow()
 	}
 	return 0
 }
@@ -1003,10 +1043,32 @@ func (s *System) ensureWorker(workerID string) {
 func (s *System) runRerun() error {
 	s.rerunMu.Lock()
 	defer s.rerunMu.Unlock()
+	err := s.rerunLocked()
+	if err != nil {
+		// A failed rerun must still leave the candidate index resynced: the
+		// reseed never ran (inference failed before any swap), so no task
+		// reopened, but resync is also the periodic safety net for closures
+		// the incremental path missed — skipping it here would leave the
+		// index drifting until the next SUCCESSFUL rerun, unboundedly long
+		// if the failure repeats.
+		if ci := s.index.Load(); ci != nil {
+			ci.resync(s.cfg.AnswersPerTask)
+		}
+	}
+	return err
+}
+
+// rerunLocked is runRerun's body; callers hold rerunMu.
+func (s *System) rerunLocked() error {
 	as := s.answersSnapshot()
 	s.mu.RLock()
 	inferTasks := s.inferTasksRLocked()
 	s.mu.RUnlock()
+	if s.rerunFault != nil {
+		if err := s.rerunFault(); err != nil {
+			return err
+		}
+	}
 	combined, answers, pinned, err := s.combined(inferTasks, as)
 	if err != nil {
 		return err

@@ -32,13 +32,26 @@ type RecoveryInfo struct {
 	Enabled bool
 	// CheckpointRecords is how many records came from the checkpoint file.
 	CheckpointRecords int
-	// Records is the total records replayed (checkpoint + segments).
+	// Records is the total records replayed (checkpoint + segments). With
+	// a snapshot-assisted boot this counts only the suffix past the
+	// snapshot — the records the boot actually paid to re-apply.
 	Records int
 	// TornTail is true when the final segment ended in a torn record that
 	// was dropped (the crash interrupted an unacknowledged append).
 	TornTail bool
 	// LastSeq is the sequence number serving resumed from.
 	LastSeq uint64
+	// SnapshotUsed is true when the boot restored a state snapshot and
+	// replayed only the WAL records past SnapshotSeq.
+	SnapshotUsed bool
+	// SnapshotSeq is the WAL sequence the restored snapshot covered.
+	SnapshotSeq uint64
+	// SnapshotRejected carries the reason a present snapshot was NOT used —
+	// torn, corrupt, structurally invalid, or claiming sequences past the
+	// durable log — in which case the boot fell back to a full replay
+	// (losing time, never state). Empty when no snapshot existed or it was
+	// used.
+	SnapshotRejected string
 	// Duration is the wall-clock cost of the replay — the recovery lag a
 	// restarted server paid before it could serve again.
 	Duration time.Duration
@@ -69,6 +82,7 @@ func (s *System) Recover(dir string) (RecoveryInfo, error) {
 
 	start := time.Now()
 	s.recovering = true
+
 	cp, err := wal.ReadCheckpoint(dir)
 	if err != nil {
 		s.recovering = false
@@ -78,7 +92,36 @@ func (s *System) Recover(dir string) (RecoveryInfo, error) {
 	if cp != nil {
 		cpSeq = cp.LastSeq
 		s.ckptLastSeq, s.ckptBytes = cp.LastSeq, cp.ValidBytes
+	}
+
+	// Fallback ladder: state snapshot → checkpoint → segments. The newest
+	// usable snapshot restores the serial state through its covered
+	// sequence bit-exactly; only the suffix past it is replayed. A torn,
+	// corrupt, invalid, or log-overreaching snapshot is rejected LOUDLY
+	// (RecoveryInfo.SnapshotRejected) and the boot degrades to the full
+	// replay below — recovery then costs time, never state.
+	var snapSeq uint64
+	snap, reject := loadUsableSnapshot(dir, cpSeq)
+	info.SnapshotRejected = reject
+	if snap != nil && reject == "" {
+		if rerr := s.restoreSnapshot(snap); rerr != nil {
+			// restoreSnapshot validates before mutating, so the system is
+			// still virgin and the full replay below recovers everything.
+			info.SnapshotRejected = rerr.Error()
+		} else {
+			snapSeq = snap.Seq
+			info.SnapshotUsed, info.SnapshotSeq = true, snapSeq
+			info.LastSeq = snapSeq
+			s.snapSeq.Store(snapSeq)
+		}
+	}
+
+	if cp != nil {
 		for _, rec := range cp.Records {
+			if rec.Seq <= snapSeq {
+				// The snapshot already embodies this record's effect.
+				continue
+			}
 			// Checkpointed records are not mirrored into durLog: the
 			// in-memory mirror holds only the un-checkpointed suffix (the
 			// next checkpoint extends the file rather than rebuilding the
@@ -87,15 +130,33 @@ func (s *System) Recover(dir string) (RecoveryInfo, error) {
 				s.recovering = false
 				return info, fmt.Errorf("core: checkpoint replay: %w", err)
 			}
+			info.CheckpointRecords++
+			info.Records++
+			if rec.Seq > info.LastSeq {
+				info.LastSeq = rec.Seq
+			}
 		}
-		info.CheckpointRecords = len(cp.Records)
-		info.Records = len(cp.Records)
-		info.LastSeq = cpSeq
 	}
-	st, err := wal.Replay(dir, func(rec wal.Record) error {
-		if rec.Seq <= cpSeq {
-			// Segment truncation is whole-file, so surviving segments can
-			// still hold records the checkpoint already covers.
+	// Segments below the checkpoint's coverage are skipped wholesale; when
+	// nothing needs the mirror, segments below the snapshot are too — that
+	// skip is what makes a snapshot boot O(suffix) in I/O as well as CPU.
+	floor := cpSeq
+	if s.cfg.CheckpointEvery <= 0 && snapSeq > floor {
+		floor = snapSeq
+	}
+	st, err := wal.ReplayFrom(dir, floor, func(rec wal.Record) error {
+		if rec.Seq <= snapSeq {
+			// Covered by the snapshot but not yet by the checkpoint file:
+			// the record's effect is already restored, but it must still
+			// enter the un-checkpointed durLog mirror so the next checkpoint
+			// pass appends it. Replay order keeps the mirror in sequence
+			// order.
+			s.logMu.Lock()
+			s.durLog = append(s.durLog, rec)
+			s.logMu.Unlock()
+			if rec.Seq > info.LastSeq {
+				info.LastSeq = rec.Seq
+			}
 			return nil
 		}
 		if err := s.applyRecord(rec, s.cfg.CheckpointEvery > 0); err != nil {
@@ -123,9 +184,9 @@ func (s *System) Recover(dir string) (RecoveryInfo, error) {
 	info.Enabled = true
 	info.Duration = time.Since(start)
 	s.recovery = info
-	if s.cfg.CheckpointEvery > 0 {
+	if s.cfg.CheckpointEvery > 0 || s.cfg.SnapshotEvery > 0 {
 		s.wg.Add(1)
-		go s.checkpointWorker()
+		go s.maintenanceWorker()
 	}
 	return info, nil
 }
@@ -213,7 +274,7 @@ func (s *System) walCommit(p wal.Pending) error {
 	return nil
 }
 
-// maybeCheckpoint nudges the checkpoint worker every CheckpointEvery
+// maybeCheckpoint nudges the maintenance worker every CheckpointEvery
 // accepted answers.
 func (s *System) maybeCheckpoint(n int64) {
 	z := s.cfg.CheckpointEvery
@@ -226,7 +287,25 @@ func (s *System) maybeCheckpoint(n int64) {
 	}
 }
 
-func (s *System) checkpointWorker() {
+// maybeSnapshot nudges the maintenance worker every SnapshotEvery accepted
+// answers.
+func (s *System) maybeSnapshot(n int64) {
+	z := s.cfg.SnapshotEvery
+	if s.wal == nil || z <= 0 || n%int64(z) != 0 {
+		return
+	}
+	select {
+	case s.snapCh <- struct{}{}:
+	default: // one is already pending; it will cover this batch too
+	}
+}
+
+// maintenanceWorker runs WAL checkpoint passes and state-snapshot passes
+// on one goroutine: the snapshot pass reads the checkpoint file and the
+// segments the checkpoint pass truncates, and sharing the goroutine makes
+// those reads race-free by construction. On shutdown each pending nudge is
+// drained so a graceful Close leaves the freshest possible boot artifacts.
+func (s *System) maintenanceWorker() {
 	defer s.wg.Done()
 	for {
 		select {
@@ -236,9 +315,16 @@ func (s *System) checkpointWorker() {
 				s.runCheckpoint()
 			default:
 			}
+			select {
+			case <-s.snapCh:
+				s.runSnapshotPass()
+			default:
+			}
 			return
 		case <-s.ckptCh:
 			s.runCheckpoint()
+		case <-s.snapCh:
+			s.runSnapshotPass()
 		}
 	}
 }

@@ -116,6 +116,19 @@ func (lt *leaseTable) beginRequest(workerID string) map[int]bool {
 	return out
 }
 
+// activeNow processes due expiries and returns the live lease count. This
+// is the stats read path: without the expiry pass, an idle server — no
+// requests arriving to run beginRequest — would report expired leases as
+// active forever.
+func (lt *leaseTable) activeNow() int64 {
+	now := lt.now()
+	lt.mu.Lock()
+	lt.expireLocked(now)
+	n := lt.active.Load()
+	lt.mu.Unlock()
+	return n
+}
+
 // expireLocked drops every lease whose TTL elapsed. Heap entries that were
 // released or superseded by a newer grant are discarded without effect.
 func (lt *leaseTable) expireLocked(now time.Time) {

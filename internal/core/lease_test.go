@@ -174,3 +174,37 @@ func TestLeaseScanPathParity(t *testing.T) {
 		}
 	}
 }
+
+// TestLeaseStatsLazyExpiry is the idle-server regression: lazy expiry used
+// to run only at Request start, so a server receiving no requests reported
+// expired leases as active forever — monitoring watching leases_active on
+// an idle campaign saw a permanently wrong gauge. The stats read path must
+// process due expiries itself, driven here by the fake clock with no
+// requests after the TTL elapses.
+func TestLeaseStatsLazyExpiry(t *testing.T) {
+	const n, k = 10, 5
+	clk := newFakeClock()
+	s := newSystem(t, Config{
+		GoldenCount: -1, HITSize: k, RerunEvery: -1,
+		LeaseTTL: time.Minute, Clock: clk.Now,
+	})
+	if err := s.Publish(indexTasks(n, s.Domains().Size())); err != nil {
+		t.Fatal(err)
+	}
+	if got := taskIDSet(t, s, "w", k); len(got) != k {
+		t.Fatalf("request returned %d tasks, want %d", len(got), k)
+	}
+	if got := s.ActiveLeases(); got != k {
+		t.Fatalf("ActiveLeases = %d, want %d", got, k)
+	}
+	// TTL elapses with NO further requests: the stats read alone must
+	// retire the leases.
+	clk.Advance(time.Minute + time.Second)
+	if got := s.ActiveLeases(); got != 0 {
+		t.Fatalf("ActiveLeases on an idle system after TTL = %d, want 0", got)
+	}
+	// And the expiry actually freed the slots, not just the counter.
+	if got := taskIDSet(t, s, "w", k); len(got) != k {
+		t.Fatalf("request after stats-driven expiry returned %d tasks, want %d", len(got), k)
+	}
+}

@@ -1,0 +1,600 @@
+// State snapshots: O(suffix) recovery instead of full-log replay.
+//
+// The serving core's canonical state is defined as the serial replay of
+// its durable record stream, so a correct state snapshot must be exactly
+// that serial state — and the live system, serving concurrently (and
+// possibly rerunning inference asynchronously), is NOT in that state. The
+// snapshot subsystem therefore never serializes the live System. Instead
+// it maintains a serial *shadow replica*: a second System, permanently in
+// replay mode (synchronous reruns, no WAL of its own, no writes to a
+// persistent store), fed incrementally from the durable log by the
+// background maintenance worker. Each snapshot pass advances the shadow
+// over the records that became durable since the last pass and then
+// serializes the shadow's complete state — every float as raw bits — into
+// an atomically-replaced snapshot file keyed by the WAL sequence it
+// covers. Because the shadow replayed exactly the records a booting
+// process would, restoring the snapshot and replaying the WAL suffix past
+// it reconstructs the full-replay state bit for bit; the crash-injection
+// suite asserts that equality at every kill point, both ways.
+//
+// The trade-offs are explicit: the shadow doubles the campaign's resident
+// state and re-pays the serial inference cost (including periodic batch
+// reruns) in the background, in exchange for boot time proportional to
+// the un-snapshotted suffix. The shadow is created lazily on the first
+// snapshot pass, so campaigns that never reach the snapshot cadence pay
+// nothing.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"docs/internal/model"
+	"docs/internal/snapshot"
+	"docs/internal/store"
+	"docs/internal/truth"
+	"docs/internal/wal"
+)
+
+// WriteSnapshot serializes the system's current state as a recovery
+// snapshot covering every WAL record reserved so far and atomically
+// replaces <walDir>/snapshot with it. The caller asserts the system is
+// quiescent and its state IS the serial state of the log — true
+// immediately after Recover with no traffic served yet, and for campaigns
+// only ever driven serially. The serving path never calls this on the live
+// system; the background worker snapshots the serial shadow instead.
+func (s *System) WriteSnapshot() error {
+	if s.wal == nil {
+		return fmt.Errorf("core: WriteSnapshot: no WAL armed")
+	}
+	seq := s.wal.ReservedSeq()
+	// Everything the snapshot covers must be power-loss durable before the
+	// snapshot can become the boot source; otherwise a lost tail would make
+	// the snapshot claim records the log no longer holds.
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	st, err := s.exportState(seq)
+	if err != nil {
+		return err
+	}
+	if err := snapshot.Write(s.walDir, st); err != nil {
+		return err
+	}
+	s.snapSeq.Store(seq)
+	return nil
+}
+
+// Snapshots returns how many background snapshot passes have completed
+// and failed.
+func (s *System) Snapshots() (completed, failed int64) {
+	return s.snaps.Load(), s.snapErrs.Load()
+}
+
+// LastSnapshotSeq returns the WAL sequence covered by the newest snapshot
+// this process wrote or booted from (0 when none).
+func (s *System) LastSnapshotSeq() uint64 { return s.snapSeq.Load() }
+
+// exportState serializes the system's complete recoverable state at the
+// given WAL sequence. The system must be quiescent (the shadow between
+// passes, or a freshly recovered system before serving).
+func (s *System) exportState(seq uint64) (*snapshot.State, error) {
+	st := &snapshot.State{Seq: seq, Answers: s.submissions.Load()}
+
+	s.mu.RLock()
+	tasks := s.tasks
+	for _, t := range s.tasks {
+		if s.golden[t.ID] {
+			st.GoldenIDs = append(st.GoldenIDs, t.ID)
+		}
+	}
+	s.mu.RUnlock()
+	if len(tasks) > 0 {
+		blob, err := json.Marshal(tasks)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot: %w", err)
+		}
+		st.Tasks = blob
+	}
+
+	for _, ts := range s.inc.ExportTasks() {
+		st.TaskStates = append(st.TaskStates, snapshot.TaskState{
+			ID:   ts.ID,
+			MHat: snapshot.BitsMatrix(ts.MHat),
+			S:    snapshot.Bits(ts.S),
+		})
+	}
+	for _, w := range s.inc.Workers() {
+		ws := s.inc.Worker(w)
+		st.Workers = append(st.Workers, snapshot.WorkerStats{ID: w, Q: snapshot.Bits(ws.Q), U: snapshot.Bits(ws.U)})
+	}
+
+	// Per-worker serving state, gathered across the shards and sorted for a
+	// deterministic encoding.
+	type servingCopy struct {
+		golden   []model.Answer
+		profiled bool
+		answered []int
+	}
+	serving := make(map[string]*servingCopy)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for w, ws := range sh.workers {
+			sc := &servingCopy{profiled: ws.profiled}
+			sc.golden = append(sc.golden, ws.goldenAnswers...)
+			for id := range ws.answered {
+				sc.answered = append(sc.answered, id)
+			}
+			sort.Ints(sc.answered)
+			serving[w] = sc
+		}
+		sh.mu.Unlock()
+	}
+	names := make([]string, 0, len(serving))
+	for w := range serving {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	for _, w := range names {
+		sc := serving[w]
+		ws := snapshot.WorkerServing{ID: w, Profiled: sc.profiled, Answered: sc.answered}
+		for _, a := range sc.golden {
+			ws.GoldenTasks = append(ws.GoldenTasks, a.Task)
+			ws.GoldenChoices = append(ws.GoldenChoices, a.Choice)
+		}
+		st.Serving = append(st.Serving, ws)
+	}
+
+	// The chronological answer log, column-packed with a worker dictionary.
+	s.logMu.Lock()
+	logCopy := append([]model.Answer(nil), s.log...)
+	s.logMu.Unlock()
+	widx := make(map[string]int)
+	for _, a := range logCopy {
+		i, ok := widx[a.Worker]
+		if !ok {
+			i = len(st.Log.Workers)
+			widx[a.Worker] = i
+			st.Log.Workers = append(st.Log.Workers, a.Worker)
+		}
+		st.Log.W = append(st.Log.W, i)
+		st.Log.T = append(st.Log.T, a.Task)
+		st.Log.C = append(st.Log.C, a.Choice)
+	}
+
+	// A persistent store is durable on its own and recovery never writes
+	// it; a memory-only store is derived state that a full replay would
+	// rebuild, so the snapshot must carry it.
+	if !s.store.Persistent() {
+		for _, w := range s.store.Workers() {
+			ws, _ := s.store.Worker(w)
+			st.Store = append(st.Store, snapshot.WorkerStats{ID: w, Q: snapshot.Bits(ws.Q), U: snapshot.Bits(ws.U)})
+		}
+	}
+	return st, nil
+}
+
+// restoreSnapshot installs a snapshot's state into a virgin system (no
+// publish, no answers). It validates the entire snapshot against the
+// system's configuration BEFORE mutating anything, so an error return
+// leaves the system untouched and the caller can fall back to a full
+// replay; an error after mutation begins is impossible by construction
+// (every failing check runs in the validation phase).
+func (s *System) restoreSnapshot(snap *snapshot.State) error {
+	s.mu.RLock()
+	published := len(s.tasks) > 0
+	s.mu.RUnlock()
+	if published || s.submissions.Load() != 0 {
+		return fmt.Errorf("core: snapshot restore into a serving system")
+	}
+
+	// --- validation phase: parse and cross-check everything ---
+	var tasks []*model.Task
+	if len(snap.Tasks) > 0 {
+		if err := json.Unmarshal(snap.Tasks, &tasks); err != nil {
+			return fmt.Errorf("core: snapshot tasks: %w", err)
+		}
+	}
+	if len(tasks) == 0 {
+		if snap.Seq > 0 || snap.Answers != 0 || snap.Log.Len() != 0 || len(snap.TaskStates) != 0 {
+			return fmt.Errorf("core: snapshot has state but no publication")
+		}
+		return nil // empty snapshot of an unpublished campaign: nothing to do
+	}
+	byID := make(map[int]*model.Task, len(tasks))
+	for _, t := range tasks {
+		if t.Domain == nil {
+			return fmt.Errorf("core: snapshot task %d has no domain vector", t.ID)
+		}
+		if err := t.Validate(s.m); err != nil {
+			return fmt.Errorf("core: snapshot: %w", err)
+		}
+		if _, dup := byID[t.ID]; dup {
+			return fmt.Errorf("core: snapshot duplicate task %d", t.ID)
+		}
+		byID[t.ID] = t
+	}
+	golden := make(map[int]bool, len(snap.GoldenIDs))
+	for _, id := range snap.GoldenIDs {
+		t, ok := byID[id]
+		if !ok || golden[id] {
+			return fmt.Errorf("core: snapshot golden task %d unknown or repeated", id)
+		}
+		if t.Truth == model.NoTruth {
+			return fmt.Errorf("core: snapshot golden task %d has no ground truth", id)
+		}
+		golden[id] = true
+	}
+
+	// Every non-golden task must carry exactly one inference state.
+	states := make(map[int]snapshot.TaskState, len(snap.TaskStates))
+	for _, ts := range snap.TaskStates {
+		t, ok := byID[ts.ID]
+		if !ok || golden[ts.ID] {
+			return fmt.Errorf("core: snapshot state for unknown or golden task %d", ts.ID)
+		}
+		if _, dup := states[ts.ID]; dup {
+			return fmt.Errorf("core: snapshot repeats task state %d", ts.ID)
+		}
+		ell := t.NumChoices()
+		if len(ts.MHat) != s.m || len(ts.S) != ell {
+			return fmt.Errorf("core: snapshot task %d state has wrong dimensions", ts.ID)
+		}
+		for _, row := range ts.MHat {
+			if len(row) != ell {
+				return fmt.Errorf("core: snapshot task %d state has wrong dimensions", ts.ID)
+			}
+		}
+		states[ts.ID] = ts
+	}
+	if len(states) != len(tasks)-len(golden) {
+		return fmt.Errorf("core: snapshot has %d task states for %d non-golden tasks",
+			len(states), len(tasks)-len(golden))
+	}
+
+	// Decode and validate the chronological log; rebuild per-task answer
+	// lists (each task's accepted answers are its per-task subsequence).
+	lg := &snap.Log
+	if len(lg.T) != len(lg.W) || len(lg.C) != len(lg.W) {
+		return fmt.Errorf("core: snapshot log columns disagree")
+	}
+	if snap.Answers != int64(lg.Len()) {
+		return fmt.Errorf("core: snapshot answer count %d != log length %d", snap.Answers, lg.Len())
+	}
+	log := make([]model.Answer, lg.Len())
+	byTask := make(map[int][]model.Answer)
+	seen := make(map[int]map[int]bool) // task -> worker index -> answered
+	for i := range lg.W {
+		wi, tid, c := lg.W[i], lg.T[i], lg.C[i]
+		if wi < 0 || wi >= len(lg.Workers) {
+			return fmt.Errorf("core: snapshot log entry %d has bad worker index", i)
+		}
+		t, ok := byID[tid]
+		if !ok || golden[tid] {
+			return fmt.Errorf("core: snapshot log entry %d targets unknown or golden task %d", i, tid)
+		}
+		if c < 0 || c >= t.NumChoices() {
+			return fmt.Errorf("core: snapshot log entry %d has choice %d out of range", i, c)
+		}
+		if seen[tid] == nil {
+			seen[tid] = make(map[int]bool)
+		}
+		if seen[tid][wi] {
+			return fmt.Errorf("core: snapshot log repeats worker %q on task %d", lg.Workers[wi], tid)
+		}
+		seen[tid][wi] = true
+		a := model.Answer{Worker: lg.Workers[wi], Task: tid, Choice: c}
+		log[i] = a
+		byTask[tid] = append(byTask[tid], a)
+	}
+
+	// Worker statistics and serving state.
+	workerStats := make(map[string]*truth.Stats, len(snap.Workers))
+	for _, ws := range snap.Workers {
+		st, err := statsFromBits(ws, s.m)
+		if err != nil {
+			return err
+		}
+		if _, dup := workerStats[ws.ID]; dup {
+			return fmt.Errorf("core: snapshot repeats worker %q", ws.ID)
+		}
+		workerStats[ws.ID] = st
+	}
+	for _, ws := range snap.Serving {
+		if len(ws.GoldenTasks) != len(ws.GoldenChoices) {
+			return fmt.Errorf("core: snapshot serving state for %q has mismatched golden columns", ws.ID)
+		}
+		for i, tid := range ws.GoldenTasks {
+			t, ok := byID[tid]
+			if !ok || !golden[tid] {
+				return fmt.Errorf("core: snapshot golden answer for %q targets non-golden task %d", ws.ID, tid)
+			}
+			if c := ws.GoldenChoices[i]; c < 0 || c >= t.NumChoices() {
+				return fmt.Errorf("core: snapshot golden answer for %q has choice out of range", ws.ID)
+			}
+		}
+		for _, tid := range ws.Answered {
+			if _, ok := byID[tid]; !ok {
+				return fmt.Errorf("core: snapshot answered set for %q holds unknown task %d", ws.ID, tid)
+			}
+		}
+	}
+	storeStats := make([]storeEntry, 0, len(snap.Store))
+	for _, ws := range snap.Store {
+		st, err := statsFromBits(ws, s.m)
+		if err != nil {
+			return err
+		}
+		storeStats = append(storeStats, storeEntry{id: ws.ID, st: st})
+	}
+	if len(storeStats) > 0 && s.store.Persistent() {
+		// A snapshot taken over a memory-only store cannot restore into a
+		// persistent one: the persistent store is its own source of truth.
+		return fmt.Errorf("core: snapshot carries store state but the store is persistent")
+	}
+
+	// --- mutation phase: nothing below can fail ---
+	s.mu.Lock()
+	s.tasks = tasks
+	s.byID = byID
+	s.golden = golden
+	for _, t := range tasks {
+		if golden[t.ID] {
+			s.goldenList = append(s.goldenList, t)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, t := range tasks {
+		if golden[t.ID] {
+			continue
+		}
+		if err := s.inc.AddTask(t); err != nil {
+			panic(fmt.Sprintf("core: snapshot restore: %v", err)) // virgin engine, validated tasks
+		}
+		if err := s.inc.RestoreTask(truthState(states[t.ID]), byTask[t.ID]); err != nil {
+			panic(fmt.Sprintf("core: snapshot restore: %v", err)) // dimensions validated above
+		}
+	}
+	for id, st := range workerStats {
+		_ = s.inc.SetWorker(id, st)
+	}
+	for _, ws := range snap.Serving {
+		sh := s.shard(ws.ID)
+		sh.mu.Lock()
+		state := sh.state(ws.ID)
+		state.profiled = ws.Profiled
+		for i, tid := range ws.GoldenTasks {
+			state.goldenAnswers = append(state.goldenAnswers,
+				model.Answer{Worker: ws.ID, Task: tid, Choice: ws.GoldenChoices[i]})
+		}
+		for _, tid := range ws.Answered {
+			state.answered[tid] = true
+		}
+		sh.mu.Unlock()
+	}
+	for _, e := range storeStats {
+		_ = s.store.Put(e.id, e.st)
+	}
+	s.logMu.Lock()
+	s.log = log
+	s.logMu.Unlock()
+	s.submissions.Store(snap.Answers)
+
+	// Rebuild the candidate index and lease counters exactly as Publish
+	// would, then resync openness from the restored truth snapshots so
+	// tasks already at their redundancy cap start closed.
+	master := make([]candidate, 0, len(tasks))
+	for _, t := range tasks {
+		if golden[t.ID] {
+			continue
+		}
+		c := candidate{id: t.ID, domain: t.Domain, h: s.inc.Handle(t.ID)}
+		if s.leases != nil {
+			s.leases.registerTask(t.ID)
+			c.leases = s.leases.counts[t.ID]
+		}
+		master = append(master, c)
+	}
+	ci := newCandidateIndex(master)
+	ci.resync(s.cfg.AnswersPerTask)
+	s.index.Store(ci)
+	return nil
+}
+
+type storeEntry struct {
+	id string
+	st *truth.Stats
+}
+
+// statsFromBits rebuilds validated worker statistics from their raw-bit
+// encoding.
+func statsFromBits(ws snapshot.WorkerStats, m int) (*truth.Stats, error) {
+	st := &truth.Stats{Q: model.QualityVector(snapshot.Floats(ws.Q)), U: snapshot.Floats(ws.U)}
+	if err := st.Validate(m); err != nil {
+		return nil, fmt.Errorf("core: snapshot worker %q: %w", ws.ID, err)
+	}
+	return st, nil
+}
+
+// truthState converts a codec task state to the truth engine's form.
+func truthState(ts snapshot.TaskState) truth.TaskState {
+	return truth.TaskState{ID: ts.ID, MHat: snapshot.FloatsMatrix(ts.MHat), S: snapshot.Floats(ts.S)}
+}
+
+// loadUsableSnapshot reads dir's snapshot and applies the trust guard: a
+// snapshot claiming to cover sequences past the durable log's tail (what a
+// power loss under SyncNever can leave) is rejected. cpSeq is the
+// checkpoint's coverage, which the caller has already read — the
+// checkpoint can be ahead of the segments. Returns the snapshot (nil when
+// none exists or it was rejected) and the loud rejection reason (empty
+// when absent or usable).
+func loadUsableSnapshot(dir string, cpSeq uint64) (*snapshot.State, string) {
+	snap, err := snapshot.Read(dir)
+	if err != nil {
+		return nil, err.Error()
+	}
+	if snap == nil {
+		return nil, ""
+	}
+	tail, err := wal.TailSeq(dir)
+	if err != nil {
+		return nil, err.Error()
+	}
+	if cpSeq > tail {
+		tail = cpSeq
+	}
+	if snap.Seq > tail {
+		return nil, fmt.Sprintf("snapshot covers seq %d but the durable log ends at %d", snap.Seq, tail)
+	}
+	return snap, ""
+}
+
+// --- the background snapshot pass (runs on the maintenance worker) ---
+
+// runSnapshotPass advances the serial shadow replica over the records that
+// became durable since the last pass and atomically replaces the snapshot
+// file with the shadow's serialized state.
+func (s *System) runSnapshotPass() {
+	if err := s.snapshotPass(); err != nil {
+		s.snapErrs.Add(1)
+		return
+	}
+	s.snaps.Add(1)
+}
+
+func (s *System) snapshotPass() error {
+	if s.shadow == nil {
+		if err := s.initShadow(); err != nil {
+			return err
+		}
+	}
+	// Records past the shadow normally live in the surviving segments:
+	// truncation lags the checkpoint and never touches the active segment.
+	// The checkpoint file — which holds the ENTIRE record prefix and would
+	// cost O(campaign) to decode on every pass — is consulted only when
+	// the segments actually have a gap (their oldest possible record
+	// starts past shadowSeq+1, so some needed records were truncated into
+	// the checkpoint). The maintenance worker runs checkpoint passes and
+	// snapshot passes on one goroutine, so truncation never races this.
+	advanced := false
+	floor := s.shadowSeq
+	oldest, err := wal.OldestSeq(s.walDir)
+	if err != nil {
+		return err
+	}
+	if oldest == 0 || oldest > s.shadowSeq+1 {
+		cp, err := wal.ReadCheckpoint(s.walDir)
+		if err != nil {
+			return err
+		}
+		if cp != nil {
+			for _, rec := range cp.Records {
+				if rec.Seq <= s.shadowSeq {
+					continue
+				}
+				if err := s.applyToShadow(rec); err != nil {
+					return err
+				}
+				advanced = true
+			}
+			if cp.LastSeq > floor {
+				floor = cp.LastSeq
+			}
+		}
+	}
+	// A concurrent append can leave a torn final frame in the read; that is
+	// fine — those records are not durable yet and the next pass picks them
+	// up once they are whole.
+	if _, err := wal.ReplayFrom(s.walDir, floor, func(rec wal.Record) error {
+		if err := s.applyToShadow(rec); err != nil {
+			return err
+		}
+		advanced = true
+		return nil
+	}); err != nil {
+		return err
+	}
+	if !advanced && s.snapSeq.Load() == s.shadowSeq {
+		return nil // nothing new since the last written snapshot
+	}
+	// Everything the snapshot covers must be power-loss durable before the
+	// snapshot can become the boot source.
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	st, err := s.shadow.exportState(s.shadowSeq)
+	if err != nil {
+		return err
+	}
+	if err := snapshot.Write(s.walDir, st); err != nil {
+		return err
+	}
+	s.snapSeq.Store(s.shadowSeq)
+	return nil
+}
+
+// applyToShadow replays one record into the shadow replica, advancing its
+// position. An apply failure can leave the record HALF-applied (Submit
+// ingests the answer before a due synchronous rerun can fail), and a
+// half-applied replica would wedge every later pass on misleading
+// duplicate-answer errors — so the replica is discarded on failure and
+// the next pass rebuilds it from the last good snapshot (or from zero)
+// and retries cleanly, surfacing the real error each time.
+func (s *System) applyToShadow(rec wal.Record) error {
+	if err := s.shadow.applyRecord(rec, false); err != nil {
+		_ = s.shadow.Close()
+		s.shadow = nil
+		s.shadowSeq = 0
+		return err
+	}
+	s.shadowSeq = rec.Seq
+	return nil
+}
+
+// initShadow builds the serial shadow replica, booting it from the
+// existing snapshot when a usable one is on disk (the common case after a
+// snapshot-assisted boot) and from zero otherwise.
+func (s *System) initShadow() error {
+	cfg := s.cfg
+	cfg.KB = s.kb
+	cfg.AsyncRerun = false // the shadow must replay serially
+	cfg.SnapshotEvery = -1
+	cfg.CheckpointEvery = -1
+	cfg.LeaseTTL = 0 // the shadow never serves requests
+	if s.store.Persistent() {
+		// Share the store read-only: the shadow stays in replay mode, which
+		// skips persistent-store merges (they are already durable).
+		cfg.Store = s.store
+	} else {
+		// A memory-only store is derived state; the shadow rebuilds its own
+		// copy exactly as a booting replay would, and the snapshot carries it.
+		ms, err := store.Open("", s.m)
+		if err != nil {
+			return err
+		}
+		cfg.Store = ms
+	}
+	sh, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	sh.recovering = true // permanent replay mode: sync reruns, no store merges
+	// One-time checkpoint read for the trust guard (the checkpoint can be
+	// ahead of the segments); the per-pass loop above avoids it.
+	var cpSeq uint64
+	if cp, err := wal.ReadCheckpoint(s.walDir); err == nil && cp != nil {
+		cpSeq = cp.LastSeq
+	}
+	if snap, reject := loadUsableSnapshot(s.walDir, cpSeq); snap != nil && reject == "" {
+		if err := sh.restoreSnapshot(snap); err == nil {
+			s.shadowSeq = snap.Seq
+		}
+		// A restore failure is not fatal: the shadow just replays from zero
+		// and the next written snapshot heals the file.
+	}
+	s.shadow = sh
+	return nil
+}

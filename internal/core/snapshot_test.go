@@ -1,0 +1,647 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"docs/internal/mathx"
+	"docs/internal/snapshot"
+	"docs/internal/wal"
+)
+
+// writeStateAt fabricates the snapshot a background pass would have
+// written after the first `covered` records: it replays them through a
+// WAL-less serial system (exactly what the shadow replica does) and
+// serializes that state keyed by the last covered sequence.
+func writeStateAt(t *testing.T, cfg Config, dir string, recs []wal.Record, covered int) {
+	t.Helper()
+	if covered <= 0 {
+		t.Fatal("writeStateAt needs a non-empty prefix")
+	}
+	ref := newSystem(t, cfg)
+	defer ref.Close()
+	applyPrefix(t, ref, recs[:covered])
+	st, err := ref.exportState(recs[covered-1].Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.Write(dir, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotRoundTripProperty drives randomized campaign shapes (task
+// count, golden count, redundancy, rerun cadence) through the logged
+// serial harness, snapshots the recovered state, and asserts a
+// snapshot-assisted boot reproduces the full-replay boot's Fingerprint bit
+// for bit — then keeps serving both systems the same answer stream and
+// asserts they stay identical (the restored engine state, answer lists,
+// counters and rerun boundaries all have to be exact for that to hold).
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	r := mathx.NewRand(2026)
+	for i := 0; i < 8; i++ {
+		cfg := Config{
+			GoldenCount:     []int{-1, 3, 4, 5}[r.Intn(4)],
+			HITSize:         3 + r.Intn(3),
+			AnswersPerTask:  2 + r.Intn(3),
+			RerunEvery:      15 + r.Intn(20),
+			CheckpointEvery: -1,
+			WALSegmentBytes: 1 << 10,
+		}
+		nTasks := 25 + r.Intn(40)
+		dir := t.TempDir()
+		recs := runLoggedCampaign(t, cfg, dir, nTasks)
+		if len(recs) == 0 {
+			t.Fatalf("case %d: empty campaign", i)
+		}
+
+		full := newSystem(t, cfg)
+		if _, err := full.Recover(dir); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		want := full.Fingerprint()
+		if err := full.WriteSnapshot(); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+
+		snapped := newSystem(t, cfg)
+		info, err := snapped.Recover(dir)
+		if err != nil {
+			t.Fatalf("case %d: snapshot boot: %v", i, err)
+		}
+		if !info.SnapshotUsed || info.SnapshotRejected != "" {
+			t.Fatalf("case %d: snapshot not used (rejected: %q)", i, info.SnapshotRejected)
+		}
+		if info.Records != 0 {
+			t.Fatalf("case %d: full-coverage snapshot still replayed %d records", i, info.Records)
+		}
+		if got := snapped.Fingerprint(); got != want {
+			t.Fatalf("case %d: snapshot boot differs from replay boot\nsnap: %.300s\nfull: %.300s", i, got, want)
+		}
+
+		// Continue serving the same stream down both systems: any drift in
+		// the restored numerators, answer lists, worker stats or the rerun
+		// cadence counter would surface here.
+		var regular []int
+		goldenSet := map[int]bool{}
+		for _, id := range snapped.GoldenTasks() {
+			goldenSet[id] = true
+		}
+		for _, tk := range snapped.InferTasks() {
+			regular = append(regular, tk.ID)
+		}
+		sort.Ints(regular)
+		for j := 0; j < 25; j++ {
+			w := fmt.Sprintf("x%d", j%7)
+			id := regular[j%len(regular)]
+			c := j % 2
+			errA := full.Submit(w, id, c)
+			errB := snapped.Submit(w, id, c)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("case %d: continued submit %d disagrees: %v vs %v", i, j, errA, errB)
+			}
+		}
+		if full.Fingerprint() != snapped.Fingerprint() {
+			t.Fatalf("case %d: states diverged after continued serving", i)
+		}
+		if err := full.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := snapped.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotFallbackLoud: a torn, corrupt, or log-overreaching snapshot
+// must never poison a boot — recovery falls back to the full replay,
+// recovers the identical state, and reports WHY in
+// RecoveryInfo.SnapshotRejected (silent fallback would hide rot).
+func TestSnapshotFallbackLoud(t *testing.T) {
+	cfg := Config{GoldenCount: 4, HITSize: 4, AnswersPerTask: 3, RerunEvery: 20,
+		CheckpointEvery: -1, WALSegmentBytes: 1 << 10}
+	dir := t.TempDir()
+	recs := runLoggedCampaign(t, cfg, dir, 30)
+
+	full := newSystem(t, cfg)
+	if _, err := full.Recover(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := full.Fingerprint()
+	if err := full.WriteSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, snapshot.FileName)
+	pristine, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		if err := os.WriteFile(snapPath, mutate(append([]byte(nil), pristine...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := newSystem(t, cfg)
+		info, err := s.Recover(dir)
+		if err != nil {
+			t.Fatalf("%s: fallback boot failed: %v", name, err)
+		}
+		if info.SnapshotUsed {
+			t.Fatalf("%s: corrupt snapshot was used", name)
+		}
+		if info.SnapshotRejected == "" {
+			t.Fatalf("%s: fallback was silent", name)
+		}
+		if info.Records != len(recs) {
+			t.Fatalf("%s: fallback replayed %d records, want %d", name, info.Records, len(recs))
+		}
+		if got := s.Fingerprint(); got != want {
+			t.Fatalf("%s: fallback state differs from full replay", name)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	corrupt("torn tail", func(b []byte) []byte { return b[:len(b)-7] })
+	corrupt("payload rot", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b })
+	corrupt("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+
+	// A snapshot claiming sequences past the durable log (what a power loss
+	// under SyncNever leaves behind): crash the log at a prefix but keep
+	// the full-coverage snapshot.
+	spans := segmentSpans(t, dir, 0)
+	cut := len(recs) / 2
+	crashDir := buildCrashDir(t, dir, recs, spans, cut, 0)
+	if err := os.WriteFile(filepath.Join(crashDir, snapshot.FileName), pristine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ref := newSystem(t, cfg)
+	defer ref.Close()
+	applyPrefix(t, ref, recs[:cut])
+	s := newSystem(t, cfg)
+	info, err := s.Recover(crashDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SnapshotUsed || info.SnapshotRejected == "" {
+		t.Fatalf("log-overreaching snapshot not rejected loudly (used=%v rejected=%q)",
+			info.SnapshotUsed, info.SnapshotRejected)
+	}
+	if got := s.Fingerprint(); got != ref.Fingerprint() {
+		t.Fatal("fallback after overreaching snapshot differs from prefix replay")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashInjectionSnapshotBothWays is the snapshot acceptance sweep: at
+// every randomized kill point (clean boundaries and torn mid-frame cuts)
+// the surviving log is recovered BOTH ways — full replay, and snapshot
+// restore at a covering prefix plus suffix replay — and the two
+// Fingerprints must be bit-identical to each other and to the serial
+// reference.
+func TestCrashInjectionSnapshotBothWays(t *testing.T) {
+	cfg := Config{GoldenCount: 4, HITSize: 4, AnswersPerTask: 3, RerunEvery: 20,
+		CheckpointEvery: -1, WALSegmentBytes: 1 << 10}
+	srcDir := t.TempDir()
+	recs := runLoggedCampaign(t, cfg, srcDir, 50)
+	if len(recs) < 40 {
+		t.Fatalf("campaign produced only %d records", len(recs))
+	}
+	spans := segmentSpans(t, srcDir, 0)
+
+	// Snapshot states at fixed prefixes, fabricated exactly as the shadow
+	// replica would have written them.
+	snapAt := []int{len(recs) / 4, len(recs) / 2, 3 * len(recs) / 4}
+	states := map[int]*snapshot.State{}
+	for _, j := range snapAt {
+		ref := newSystem(t, cfg)
+		applyPrefix(t, ref, recs[:j])
+		st, err := ref.exportState(recs[j-1].Seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states[j] = st
+		if err := ref.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := mathx.NewRand(31)
+	type kill struct {
+		surviving int
+		torn      int64
+	}
+	const killPoints = 28
+	kills := make([]kill, 0, killPoints)
+	for i := 0; i < killPoints-1; i++ {
+		k := kill{surviving: 1 + int(r.Float64()*float64(len(recs)))}
+		if k.surviving > len(recs) {
+			k.surviving = len(recs)
+		}
+		if k.surviving < len(recs) && r.Float64() < 0.35 {
+			k.torn = 1 + int64(r.Float64()*16)
+		}
+		kills = append(kills, k)
+	}
+	kills = append(kills, kill{surviving: len(recs) - 1, torn: 5})
+	sort.Slice(kills, func(i, j int) bool { return kills[i].surviving < kills[j].surviving })
+
+	ref := newSystem(t, cfg)
+	defer ref.Close()
+	applied := 0
+	refPrint := ref.Fingerprint()
+	for i, k := range kills {
+		if k.surviving > applied {
+			applyPrefix(t, ref, recs[applied:k.surviving])
+			applied = k.surviving
+			refPrint = ref.Fingerprint()
+		}
+		// The largest fabricated snapshot that the surviving log covers.
+		best := 0
+		for _, j := range snapAt {
+			if j <= k.surviving && j > best {
+				best = j
+			}
+		}
+
+		crashDir := buildCrashDir(t, srcDir, recs, spans, k.surviving, k.torn)
+		full := newSystem(t, cfg)
+		infoF, err := full.Recover(crashDir)
+		if err != nil {
+			t.Fatalf("kill %d (surviving=%d torn=%d): full replay: %v", i, k.surviving, k.torn, err)
+		}
+		if infoF.SnapshotUsed {
+			t.Fatalf("kill %d: replay boot found a snapshot in a fresh crash dir", i)
+		}
+		fpFull := full.Fingerprint()
+		if fpFull != refPrint {
+			t.Fatalf("kill %d (surviving=%d torn=%d): full replay differs from serial reference", i, k.surviving, k.torn)
+		}
+		// Write the full-coverage snapshot from the recovered system while
+		// it is quiescent — a later boot (below, and the k%4==0 branch)
+		// restores it.
+		if err := full.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		if best > 0 {
+			if err := snapshot.Write(crashDir, states[best]); err != nil {
+				t.Fatal(err)
+			}
+			snapped := newSystem(t, cfg)
+			info, err := snapped.Recover(crashDir)
+			if err != nil {
+				t.Fatalf("kill %d: snapshot boot: %v", i, err)
+			}
+			if !info.SnapshotUsed || info.SnapshotRejected != "" {
+				t.Fatalf("kill %d: snapshot at %d rejected: %q", i, best, info.SnapshotRejected)
+			}
+			if info.Records != k.surviving-best {
+				t.Fatalf("kill %d: snapshot boot replayed %d records, want suffix %d",
+					i, info.Records, k.surviving-best)
+			}
+			if got := snapped.Fingerprint(); got != fpFull {
+				t.Fatalf("kill %d (surviving=%d torn=%d snapshot=%d): snapshot boot differs from full replay",
+					i, k.surviving, k.torn, best)
+			}
+			if err := snapped.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestSnapshotCheckpointInterleaving pins the snapshot/checkpoint
+// interplay in both orders — snapshot older than the checkpoint's
+// coverage (its suffix comes from the checkpoint file, then segments) and
+// snapshot newer (segment records below it must enter the durLog mirror
+// without re-applying) — including a checkpoint pass AFTER the
+// snapshot-assisted boot, whose extended file must itself recover cleanly.
+func TestSnapshotCheckpointInterleaving(t *testing.T) {
+	cfg := Config{GoldenCount: 4, HITSize: 4, AnswersPerTask: 3, RerunEvery: 20,
+		CheckpointEvery: -1, WALSegmentBytes: 1 << 10}
+	srcDir := t.TempDir()
+	recs := runLoggedCampaign(t, cfg, srcDir, 40)
+
+	covered := len(recs) * 2 / 3
+	cpSeq := recs[covered-1].Seq
+	if err := wal.WriteCheckpoint(srcDir, cpSeq, recs[:covered]); err != nil {
+		t.Fatal(err)
+	}
+	// Emulate TruncateBefore: segments wholly covered by the checkpoint
+	// are gone, so records below the surviving segments exist ONLY in the
+	// checkpoint file — the gap both recovery and the shadow's snapshot
+	// pass must bridge from it.
+	all := segmentSpans(t, srcDir, 0)
+	maxSeqByFile := map[string]uint64{}
+	lastFile := ""
+	for seq, sp := range all {
+		if seq > maxSeqByFile[sp.file] {
+			maxSeqByFile[sp.file] = seq
+		}
+		if sp.file > lastFile {
+			lastFile = sp.file
+		}
+	}
+	for file, maxSeq := range maxSeqByFile {
+		if file != lastFile && maxSeq <= cpSeq {
+			if err := os.Remove(filepath.Join(srcDir, file)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	full := newSystem(t, cfg)
+	if _, err := full.Recover(srcDir); err != nil {
+		t.Fatal(err)
+	}
+	want := full.Fingerprint()
+	if err := full.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The checkpoint mirror matters from here on.
+	cfg.CheckpointEvery = 1 << 30
+
+	for _, tc := range []struct {
+		name   string
+		snapAt int
+	}{
+		{"snapshot-behind-checkpoint", covered / 2},
+		{"snapshot-ahead-of-checkpoint", covered + (len(recs)-covered)/2},
+	} {
+		dir := t.TempDir()
+		copyDir(t, srcDir, dir)
+		writeStateAt(t, cfg, dir, recs, tc.snapAt)
+
+		s := newSystem(t, cfg)
+		info, err := s.Recover(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !info.SnapshotUsed || info.SnapshotSeq != recs[tc.snapAt-1].Seq {
+			t.Fatalf("%s: snapshot not used as expected (%+v)", tc.name, info)
+		}
+		if got := s.Fingerprint(); got != want {
+			t.Fatalf("%s: recovered state differs from full replay", tc.name)
+		}
+		// Run a checkpoint pass on the booted system: it must append
+		// exactly the un-checkpointed records — including any the snapshot
+		// covered but the checkpoint file did not — and the result must
+		// still recover to the same state.
+		s.runCheckpoint()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		cp, err := wal.ReadCheckpoint(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp.LastSeq != recs[len(recs)-1].Seq {
+			t.Fatalf("%s: post-boot checkpoint covers seq %d, want %d", tc.name, cp.LastSeq, recs[len(recs)-1].Seq)
+		}
+		again := newSystem(t, cfg)
+		if _, err := again.Recover(dir); err != nil {
+			t.Fatalf("%s: re-recovery: %v", tc.name, err)
+		}
+		if got := again.Fingerprint(); got != want {
+			t.Fatalf("%s: re-recovery after checkpoint differs", tc.name)
+		}
+		// Drive a live snapshot pass: the shadow boots from the on-disk
+		// snapshot and — when that snapshot predates the surviving
+		// segments — must bridge the gap from the checkpoint file. The
+		// pass must end with a snapshot covering the whole log that boots
+		// bit-identically.
+		again.runSnapshotPass()
+		if done, failed := again.Snapshots(); done != 1 || failed != 0 {
+			t.Fatalf("%s: snapshot pass done=%d failed=%d", tc.name, done, failed)
+		}
+		if got := again.LastSnapshotSeq(); got != recs[len(recs)-1].Seq {
+			t.Fatalf("%s: pass covered seq %d, want log tail %d", tc.name, got, recs[len(recs)-1].Seq)
+		}
+		if err := again.Close(); err != nil {
+			t.Fatal(err)
+		}
+		final := newSystem(t, cfg)
+		info, err = final.Recover(dir)
+		if err != nil {
+			t.Fatalf("%s: boot from pass-written snapshot: %v", tc.name, err)
+		}
+		if !info.SnapshotUsed || info.SnapshotSeq != recs[len(recs)-1].Seq {
+			t.Fatalf("%s: pass-written snapshot not used (%+v)", tc.name, info)
+		}
+		if got := final.Fingerprint(); got != want {
+			t.Fatalf("%s: boot from pass-written snapshot differs", tc.name)
+		}
+		if err := final.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotWorkerIntegration runs a campaign with the background
+// snapshot worker live (small SnapshotEvery forces several passes, async
+// rerun stresses the shadow's serial independence) and asserts the
+// snapshot it leaves behind boots to exactly the state a full replay of
+// the surviving log produces — and that both equal the serial reference.
+func TestSnapshotWorkerIntegration(t *testing.T) {
+	cfg := Config{GoldenCount: 4, HITSize: 4, AnswersPerTask: 3, RerunEvery: 20,
+		AsyncRerun: true, CheckpointEvery: 30, SnapshotEvery: 25, WALSegmentBytes: 1 << 10}
+	dir := t.TempDir()
+	recs := runLoggedCampaign(t, cfg, dir, 40)
+
+	if _, err := os.Stat(filepath.Join(dir, snapshot.FileName)); err != nil {
+		t.Fatalf("no snapshot written despite SnapshotEvery=25: %v", err)
+	}
+
+	// Serial reference over the surviving records.
+	serialCfg := cfg
+	serialCfg.AsyncRerun = false
+	ref := newSystem(t, serialCfg)
+	defer ref.Close()
+	applyPrefix(t, ref, recs)
+
+	snapped := newSystem(t, cfg)
+	infoS, err := snapped.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !infoS.SnapshotUsed {
+		t.Fatalf("snapshot present but not used (rejected: %q)", infoS.SnapshotRejected)
+	}
+
+	plain := t.TempDir()
+	copyDir(t, dir, plain)
+	if err := os.Remove(filepath.Join(plain, snapshot.FileName)); err != nil {
+		t.Fatal(err)
+	}
+	full := newSystem(t, cfg)
+	if _, err := full.Recover(plain); err != nil {
+		t.Fatal(err)
+	}
+
+	fpSnap, fpFull, fpRef := snapped.Fingerprint(), full.Fingerprint(), ref.Fingerprint()
+	if fpSnap != fpFull {
+		t.Fatal("snapshot boot differs from full-replay boot")
+	}
+	if fpSnap != fpRef {
+		t.Fatal("recovered state differs from serial reference")
+	}
+	if err := snapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// copyDir copies every regular file in src into dst (flat — WAL dirs hold
+// no subdirectories).
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFailedRerunStillResyncsIndex: a rerun that fails (inference error)
+// must still leave the candidate index resynced — resync doubles as the
+// safety net for closures the incremental path missed, and before the fix
+// a failing rerun skipped it until the next SUCCESSFUL rerun, unboundedly
+// long if the failure repeats.
+func TestFailedRerunStillResyncsIndex(t *testing.T) {
+	s := newSystem(t, Config{GoldenCount: -1, HITSize: 4, AnswersPerTask: 1, RerunEvery: 2, CheckpointEvery: -1})
+	if err := s.Publish(indexTasks(16, s.Domains().Size())); err != nil {
+		t.Fatal(err)
+	}
+	s.rerunFault = func() error { return fmt.Errorf("injected inference failure") }
+
+	// Two answers close two tasks (redundancy 1); the second trips the
+	// periodic rerun, which fails. The closed entries are below the
+	// compaction threshold (16/4 = 4), so only resync can republish.
+	epoch0 := s.IndexEpoch()
+	if err := s.Submit("w1", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Submit("w2", 1, 0)
+	if err == nil {
+		t.Fatal("submit at the rerun boundary should surface the rerun failure")
+	}
+	if got := s.OpenTasks(); got != 14 {
+		t.Fatalf("OpenTasks = %d, want 14", got)
+	}
+	ci := s.index.Load()
+	if ci == nil {
+		t.Fatal("no candidate index")
+	}
+	if got := len(ci.load().entries); got != 14 {
+		t.Fatalf("published candidate array holds %d entries, want 14 — failed rerun skipped resync", got)
+	}
+	if s.IndexEpoch() == epoch0 {
+		t.Fatal("index epoch unchanged: failed rerun did not republish")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShadowDiscardedOnApplyFailure: a record that fails to apply inside
+// the shadow replica can be HALF-applied (Submit ingests the answer before
+// a due synchronous rerun fails), and before the fix the pass kept the
+// wedged replica — every later pass re-applied the same record, hit a
+// misleading duplicate-answer error, and no snapshot was ever written
+// again. The pass must discard the replica on failure and rebuild it from
+// the last good snapshot on the next attempt.
+func TestShadowDiscardedOnApplyFailure(t *testing.T) {
+	cfg := Config{GoldenCount: -1, HITSize: 4, RerunEvery: 10,
+		CheckpointEvery: -1, SnapshotEvery: -1, WALSegmentBytes: 1 << 10}
+	dir := t.TempDir()
+	s := newSystem(t, cfg)
+	if _, err := s.Recover(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(indexTasks(30, s.m)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		if err := s.Submit(fmt.Sprintf("w%d", i), i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.runSnapshotPass()
+	if done, failed := s.Snapshots(); done != 1 || failed != 0 {
+		t.Fatalf("first pass: done=%d failed=%d", done, failed)
+	}
+	goodSeq := s.LastSnapshotSeq()
+
+	// Fault the live shadow's rerun and push the campaign across the next
+	// rerun boundary (the shadow replays to 20 and its rerun fails AFTER
+	// the 20th answer was ingested — the half-applied shape).
+	s.shadow.rerunFault = func() error { return fmt.Errorf("injected shadow rerun failure") }
+	for i := 15; i < 21; i++ {
+		if err := s.Submit(fmt.Sprintf("w%d", i), i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.runSnapshotPass()
+	if done, failed := s.Snapshots(); done != 1 || failed != 1 {
+		t.Fatalf("faulted pass: done=%d failed=%d", done, failed)
+	}
+	if s.shadow != nil {
+		t.Fatal("wedged shadow replica was kept after an apply failure")
+	}
+	if got := s.LastSnapshotSeq(); got != goodSeq {
+		t.Fatalf("failed pass moved the snapshot seq to %d", got)
+	}
+
+	// The next pass rebuilds a fresh replica from the last good snapshot
+	// and succeeds — before the fix it wedged on a duplicate answer.
+	s.runSnapshotPass()
+	if done, failed := s.Snapshots(); done != 2 || failed != 1 {
+		t.Fatalf("recovery pass: done=%d failed=%d", done, failed)
+	}
+	if got, want := s.LastSnapshotSeq(), s.wal.ReservedSeq(); got != want {
+		t.Fatalf("recovered pass covered seq %d, want log tail %d", got, want)
+	}
+	want := s.Fingerprint()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	boot := newSystem(t, cfg)
+	info, err := boot.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.SnapshotUsed {
+		t.Fatalf("snapshot not used after shadow recovery (rejected: %q)", info.SnapshotRejected)
+	}
+	if got := boot.Fingerprint(); got != want {
+		t.Fatal("boot from post-recovery snapshot differs from live serial state")
+	}
+	if err := boot.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -102,6 +103,7 @@ type Config struct {
 	RerunEvery      int
 	AsyncRerun      bool
 	CheckpointEvery int
+	SnapshotEvery   int
 	WALSegmentBytes int64
 	WALSync         wal.SyncPolicy
 	LeaseTTL        time.Duration
@@ -215,10 +217,15 @@ func Open(cfg Config) (*Registry, error) {
 	return r, nil
 }
 
-// recoverAll enumerates <WALDir>/campaigns and boots every namespace found:
-// archived ones are listed, the rest replayed. Names are processed in
-// sorted order for deterministic boot logs, though order cannot affect the
-// outcome (replay never writes the shared store).
+// recoverAll enumerates <WALDir>/campaigns and boots every namespace
+// found: archived ones are listed, the rest replayed — CONCURRENTLY, up to
+// one replay per CPU. Concurrent boot is provably safe: replay never
+// writes the shared store (profiling merges are already durable and are
+// skipped), so each campaign's recovered state is a pure function of its
+// own log plus the store file and boot order cannot affect the outcome —
+// the multi-campaign crash suite asserts exactly that, campaign by
+// campaign. For a registry hosting many campaigns this turns boot lag from
+// the sum of the replays into roughly the longest one.
 func (r *Registry) recoverAll() error {
 	root := filepath.Join(r.cfg.WALDir, campaignsDir)
 	if err := os.MkdirAll(root, 0o755); err != nil {
@@ -239,19 +246,44 @@ func (r *Registry) recoverAll() error {
 		names = append(names, e.Name())
 	}
 	sort.Strings(names)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for _, name := range names {
 		dir := filepath.Join(root, name)
 		if _, err := os.Stat(filepath.Join(dir, archivedMarker)); err == nil {
+			mu.Lock()
 			r.campaigns[name] = &campaign{archived: true}
+			mu.Unlock()
 			continue
 		} else if !errors.Is(err, os.ErrNotExist) {
+			wg.Wait()
 			return fmt.Errorf("registry: campaign %q: %w", name, err)
 		}
-		c, err := r.openCampaign(dir)
-		if err != nil {
-			return fmt.Errorf("registry: recover campaign %q: %w", name, err)
-		}
-		r.campaigns[name] = c
+		wg.Add(1)
+		go func(name, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c, err := r.openCampaign(dir)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("registry: recover campaign %q: %w", name, err)
+				}
+				return
+			}
+			r.campaigns[name] = c
+		}(name, dir)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		// The caller closes the registry, which shuts down whatever booted.
+		return firstErr
 	}
 	return nil
 }
@@ -268,6 +300,7 @@ func (r *Registry) openCampaign(dir string) (*campaign, error) {
 		RerunEvery:      r.cfg.RerunEvery,
 		AsyncRerun:      r.cfg.AsyncRerun,
 		CheckpointEvery: r.cfg.CheckpointEvery,
+		SnapshotEvery:   r.cfg.SnapshotEvery,
 		WALSegmentBytes: r.cfg.WALSegmentBytes,
 		WALSync:         r.cfg.WALSync,
 		LeaseTTL:        r.cfg.LeaseTTL,

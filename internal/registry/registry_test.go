@@ -514,3 +514,80 @@ func TestMemoryOnlyRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestConcurrentBootPreservesEveryCampaign pins the concurrent recoverAll:
+// many campaigns booted in parallel must each recover their own state
+// exactly (fingerprints compared against the pre-shutdown systems) and the
+// boot must remain a pure function of each campaign's log plus the shared
+// store — the safety argument for replaying concurrently at all. Run under
+// -race in CI, this is also the data-race gate for the parallel boot path.
+func TestConcurrentBootPreservesEveryCampaign(t *testing.T) {
+	root := t.TempDir()
+	reg, err := Open(Config{WALDir: root, GoldenCount: 3, HITSize: 4, AnswersPerTask: 3, RerunEvery: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nCampaigns = 6
+	want := make(map[string]string, nCampaigns)
+	answers := make(map[string]int64, nCampaigns)
+	for c := 0; c < nCampaigns; c++ {
+		name := fmt.Sprintf("c%d", c)
+		sys, err := reg.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Publish(synthTasks(26, 20, 3*c)); err != nil {
+			t.Fatal(err)
+		}
+		// One distinct worker per campaign: the shared store carries
+		// profiles across campaigns, and this test wants each campaign to
+		// exercise its own golden gauntlet.
+		w := fmt.Sprintf("boot-w%d", c)
+		profile(t, sys, w)
+		for i := 0; i < 8; i++ {
+			got, err := sys.Request(w, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tk := range got {
+				if err := sys.Submit(w, tk.ID, tk.Truth); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		answers[name] = sys.AnswerCount()
+	}
+	// Fingerprints are captured only after EVERY campaign has been driven:
+	// the comparator includes the shared store, which keeps absorbing
+	// profiling merges as later campaigns run — a snapshot taken mid-way
+	// would differ from the recovered state for store reasons, not
+	// recovery reasons.
+	for name := range answers {
+		sys, err := reg.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = sys.Fingerprint()
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(Config{WALDir: root, GoldenCount: 3, HITSize: 4, AnswersPerTask: 3, RerunEvery: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for name, fp := range want {
+		sys, err := re.Get(name)
+		if err != nil {
+			t.Fatalf("campaign %s: %v", name, err)
+		}
+		if got := sys.AnswerCount(); got != answers[name] {
+			t.Fatalf("campaign %s: recovered %d answers, want %d", name, got, answers[name])
+		}
+		if got := sys.Fingerprint(); got != fp {
+			t.Fatalf("campaign %s: concurrent boot recovered a different state", name)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package snapshot
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleState() *State {
+	return &State{
+		Seq:       41,
+		Answers:   3,
+		Tasks:     []byte(`[{"ID":0}]`),
+		GoldenIDs: []int{7},
+		TaskStates: []TaskState{{
+			ID:   0,
+			MHat: BitsMatrix([][]float64{{1, 0.5}, {0.25, 1}}),
+			S:    Bits([]float64{0.25, 0.75}),
+		}},
+		Workers: []WorkerStats{{ID: "w", Q: Bits([]float64{0.9}), U: Bits([]float64{2})}},
+		Serving: []WorkerServing{{ID: "w", Profiled: true, GoldenTasks: []int{7}, GoldenChoices: []int{1}, Answered: []int{0}}},
+		Log:     Log{Workers: []string{"w"}, W: []int{0, 0, 0}, T: []int{0, 1, 2}, C: []int{1, 0, 1}},
+	}
+}
+
+// TestBitsExactness: the float codec must round-trip every bit pattern,
+// including negative zero, denormals and values that decimal formatting
+// would mangle.
+func TestBitsExactness(t *testing.T) {
+	vals := []float64{0, math.Copysign(0, -1), 1.0 / 3.0, math.SmallestNonzeroFloat64,
+		math.MaxFloat64, 0.1 + 0.2, math.Nextafter(1, 2)}
+	got := Floats(Bits(vals))
+	for i := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("value %d: %x != %x", i, math.Float64bits(got[i]), math.Float64bits(vals[i]))
+		}
+	}
+}
+
+// TestEncodeDecodeRoundTrip pins the file image: decode(encode(state))
+// must reproduce the state exactly, and Write/Read must agree with it.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	st := sampleState()
+	data, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, back) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", st, back)
+	}
+
+	dir := t.TempDir()
+	if err := Write(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	back, err = Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, back) {
+		t.Fatal("Write/Read mismatch")
+	}
+}
+
+// TestReadAbsent: no snapshot is (nil, nil), not an error.
+func TestReadAbsent(t *testing.T) {
+	st, err := Read(t.TempDir())
+	if st != nil || err != nil {
+		t.Fatalf("Read on empty dir = (%v, %v), want (nil, nil)", st, err)
+	}
+}
+
+// TestDecodeRejectsDamage: every damage shape — torn tail, payload rot,
+// header rot, trailing garbage — must reject with ErrCorrupt, never decode
+// to a different state and never panic.
+func TestDecodeRejectsDamage(t *testing.T) {
+	data, err := Encode(sampleState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"torn header":      func(b []byte) []byte { return b[:len(magic)+4] },
+		"torn payload":     func(b []byte) []byte { return b[:len(b)-3] },
+		"payload rot":      func(b []byte) []byte { b[len(b)-5] ^= 1; return b },
+		"crc rot":          func(b []byte) []byte { b[len(magic)+5] ^= 1; return b },
+		"bad magic":        func(b []byte) []byte { b[2] ^= 1; return b },
+		"trailing garbage": func(b []byte) []byte { return append(b, make([]byte, 64)...) },
+		"empty":            func(b []byte) []byte { return nil },
+	}
+	for name, mutate := range cases {
+		mutated := mutate(append([]byte(nil), data...))
+		st, err := Decode(mutated)
+		if err == nil || st != nil {
+			t.Fatalf("%s: decoded despite damage", name)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: error %v does not wrap ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestWriteAtomic: a Write over an existing snapshot either fully
+// replaces it or leaves it; no temp litter survives.
+func TestWriteAtomic(t *testing.T) {
+	dir := t.TempDir()
+	st := sampleState()
+	if err := Write(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	st2 := sampleState()
+	st2.Seq = 99
+	if err := Write(dir, st2); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seq != 99 {
+		t.Fatalf("Seq = %d after replace, want 99", back.Seq)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != FileName {
+			t.Fatalf("stray file %q left behind", filepath.Join(dir, e.Name()))
+		}
+	}
+}

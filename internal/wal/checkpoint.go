@@ -13,10 +13,13 @@ import (
 // record stream itself, not a serialized engine state: the serving core's
 // canonical state is *defined* as the serial replay of its answer log, and
 // replaying the checkpointed prefix reproduces that state bit-for-bit —
-// float-by-float snapshots could drift from the replay the equivalence
-// proofs are anchored to. The trade-off is that recovery time stays linear
-// in campaign size; the checkpoint consolidates segments, it does not
-// shrink the stream.
+// float-by-float snapshots of LIVE state could drift from the replay the
+// equivalence proofs are anchored to. The checkpoint consolidates
+// segments, it does not shrink the stream, so a checkpoint alone leaves
+// recovery linear in campaign size; O(suffix) boot is provided one layer
+// up by state snapshots (docs/internal/snapshot), which sidestep the
+// drift objection by serializing a serial shadow replica of this very
+// record stream.
 //
 // File layout: an 8-byte magic, then frames — the same length+CRC encoding
 // as a segment, in strictly increasing sequence order:

@@ -284,6 +284,16 @@ func (l *Log) LastSeq() uint64 {
 	return l.flushed
 }
 
+// ReservedSeq returns the last assigned sequence number — reservations
+// included, durable or not. On a quiescent log (no reservation in flight)
+// it is the sequence the next record will follow, which is what a state
+// snapshot of a quiescent system covers.
+func (l *Log) ReservedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
 // Sync flushes any pending batch and fsyncs the active segment.
 func (l *Log) Sync() error {
 	l.mu.Lock()
@@ -567,6 +577,17 @@ type ReplayStats struct {
 // and reported via ReplayStats.TornTail; torn or corrupt data anywhere else
 // fails with ErrCorrupt. A missing directory replays zero records.
 func Replay(dir string, fn func(rec Record) error) (ReplayStats, error) {
+	return ReplayFrom(dir, 0, fn)
+}
+
+// ReplayFrom is Replay restricted to records with Seq > afterSeq. Segments
+// that lie wholly at or below the cut are skipped without being read or
+// CRC-checked — this is what makes a snapshot-assisted boot proportional
+// to the un-snapshotted suffix rather than the whole log. The final
+// segment is always scanned (torn-tail detection must see it), and records
+// at or below the cut inside a scanned segment are decoded but not
+// delivered.
+func ReplayFrom(dir string, afterSeq uint64, fn func(rec Record) error) (ReplayStats, error) {
 	var st ReplayStats
 	segs, err := segments(dir)
 	if errors.Is(err, os.ErrNotExist) {
@@ -576,7 +597,16 @@ func Replay(dir string, fn func(rec Record) error) (ReplayStats, error) {
 		return st, err
 	}
 	for i, seg := range segs {
+		// Segment i spans [segs[i].firstSeq, segs[i+1].firstSeq): it holds
+		// nothing past the cut when the next segment starts at or below
+		// afterSeq+1 (the same coverage rule TruncateBefore deletes by).
+		if i+1 < len(segs) && segs[i+1].firstSeq <= afterSeq+1 {
+			continue
+		}
 		serr := ScanSegment(filepath.Join(dir, seg.name), func(rec Record, _, _ int64) error {
+			if rec.Seq <= afterSeq {
+				return nil
+			}
 			st.Records++
 			st.LastSeq = rec.Seq
 			return fn(rec)
@@ -594,4 +624,62 @@ func Replay(dir string, fn func(rec Record) error) (ReplayStats, error) {
 		return st, serr
 	}
 	return st, nil
+}
+
+// OldestSeq returns the first sequence number the log's surviving
+// segments can hold (the oldest segment's name), or 0 when there are no
+// segments. Records below it live only in the checkpoint file; the
+// serving core's snapshot pass uses this to skip reading — and fully
+// decoding — the checkpoint, which holds the entire record prefix, on
+// every pass where the segments alone cover everything it needs.
+func OldestSeq(dir string) (uint64, error) {
+	segs, err := segments(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return 0, nil
+	}
+	return segs[0].firstSeq, nil
+}
+
+// TailSeq returns the sequence number of the last intact record in the
+// directory's segments (0 when there are none), tolerating a torn tail in
+// the final segment. Together with the checkpoint's LastSeq it bounds what
+// a recovery can possibly replay — the guard a state snapshot must pass
+// before it is trusted: a snapshot claiming to cover sequences the durable
+// log does not hold (possible after a power loss under SyncNever) would
+// silently resurrect unacknowledged state, so such a snapshot is rejected
+// and the boot falls back to a full replay.
+func TailSeq(dir string) (uint64, error) {
+	segs, err := segments(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	// Walk backwards: a freshly rotated final segment can be empty, in
+	// which case the tail lives in the previous one.
+	for i := len(segs) - 1; i >= 0; i-- {
+		var seq uint64
+		found := false
+		serr := ScanSegment(filepath.Join(dir, segs[i].name), func(rec Record, _, _ int64) error {
+			seq, found = rec.Seq, true
+			return nil
+		})
+		if serr != nil && !errors.Is(serr, errTornTail) {
+			return 0, serr
+		}
+		if serr != nil && i != len(segs)-1 {
+			return 0, fmt.Errorf("%w: %v", ErrCorrupt, serr)
+		}
+		if found {
+			return seq, nil
+		}
+	}
+	return 0, nil
 }

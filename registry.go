@@ -59,6 +59,7 @@ func OpenRegistry(cfg Config) (*Registry, error) {
 		RerunEvery:      cfg.RerunEvery,
 		AsyncRerun:      cfg.AsyncRerun,
 		CheckpointEvery: cfg.CheckpointEvery,
+		SnapshotEvery:   cfg.SnapshotEvery,
 		WALSync:         walSync,
 		LeaseTTL:        cfg.LeaseTTL,
 	})

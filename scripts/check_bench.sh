@@ -52,3 +52,12 @@ awk -v ns="$best" -v base="$base" -v thr="$threshold" 'BEGIN {
 # speedups are reported, not gated.
 echo "check_bench: smoke-running docs-bench -exp assign (run-only, no threshold)"
 go run ./cmd/docs-bench -exp assign -quick
+
+# Recovery smoke: boots the same logged campaign by full replay and by
+# state snapshot and asserts the two fingerprints bit-identical before
+# reporting timings, so running it at all is a correctness check too.
+# Run-only — the speedup is machine-dependent and is recorded, not gated;
+# the JSON rows land in bench/BENCH_recover.json (uploaded as a CI
+# artifact).
+echo "check_bench: smoke-running docs-bench -exp recover (run-only, no threshold)"
+go run ./cmd/docs-bench -exp recover -quick -json bench/BENCH_recover.json
