@@ -9,7 +9,8 @@
 //	docs-bench -seed 42         # change the deterministic seed
 //
 // Experiments: table3, fig3, fig4a, fig4b, fig4c, fig4d, fig4e, fig5,
-// fig6, fig7a, fig7b, fig8, fig8c, wal, multicampaign, assign, all.
+// fig6, fig7a, fig7b, fig8, fig8c, wal, multicampaign, assign, recover,
+// http, all.
 //
 // The wal experiment measures the durable ingest path added on top of the
 // paper (answer WAL with group commit); -wal-dir points it at a real
@@ -67,13 +68,18 @@ func main() {
 	walDir := flag.String("wal-dir", "", "directory for the wal experiment's log files (empty = a temp directory)")
 	recoverAnswers := flag.String("recover-answers", "", "comma-separated campaign sizes for the recover experiment (default 10000,100000; quick 2000; add 1000000 for the million-answer point)")
 	jsonOut := flag.String("json", "", "write the recover experiment's rows as JSON to this path (the BENCH_recover.json CI artifact)")
+	httpRate := flag.Float64("http-rate", 0, "http experiment offered arrival rate in answers/sec (0 = unthrottled: measure sustainable capacity)")
+	httpClients := flag.Int("http-workers", 0, "http experiment concurrent client goroutines (0 = default 128, quick 32)")
+	httpBatch := flag.Int("http-batch", 64, "http experiment answers per batch")
+	httpJSON := flag.String("http-json", "", "write the http experiment's rows as JSON to this path (the BENCH_http.json CI artifact)")
 	flag.Parse()
 
 	runners := append(runners,
 		runner{"wal", walThroughput(*walDir), "answer WAL group-commit throughput"},
 		runner{"multicampaign", multiCampaign, "registry serving N campaigns, shared vs isolated worker store"},
 		runner{"assign", assignLatency, "per-request assignment latency: indexed candidate set vs full scan"},
-		runner{"recover", recoverBoot(*recoverAnswers, jsonOut), "boot lag: full WAL replay vs state-snapshot restore"})
+		runner{"recover", recoverBoot(*recoverAnswers, jsonOut), "boot lag: full WAL replay vs state-snapshot restore"},
+		runner{"http", httpLoad(httpRate, httpClients, httpBatch, httpJSON), "open-loop HTTP load: single vs batched submission over the real server"})
 	ran := 0
 	for _, r := range runners {
 		if *exp != "all" && *exp != r.id {

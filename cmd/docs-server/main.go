@@ -1,11 +1,14 @@
 // Command docs-server runs the DOCS system as an HTTP service hosting many
 // campaigns at once: requesters publish task sets with
 // POST /c/{campaign}/publish, workers obtain assignments with
-// GET /c/{campaign}/request and answer with POST /c/{campaign}/submit, and
-// requesters read inferred truths from GET /c/{campaign}/results. Worker
-// profiles are shared across campaigns through one store. See server.go
-// for the full API (including the legacy single-campaign aliases) and
-// README.md for the durability contract.
+// GET /c/{campaign}/request and answer with POST /c/{campaign}/submit or
+// batched with POST /c/{campaign}/submit-batch, and requesters read
+// inferred truths from GET /c/{campaign}/results. Worker profiles are
+// shared across campaigns through one store. The handlers live in
+// docs/internal/httpapi (shared with the load harness); see that package
+// for the full API (including the legacy single-campaign aliases),
+// docs/protocol.md for the batch wire formats, and README.md for the
+// durability contract.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"docs"
+	"docs/internal/httpapi"
 )
 
 func main() {
@@ -34,9 +38,10 @@ func main() {
 	perTask := flag.Int("redundancy", 0, "max answers per task (0 = unlimited)")
 	syncRerun := flag.Bool("sync-rerun", false, "run the periodic batch re-inference on the submitting request instead of the background worker")
 	leaseTTL := flag.Duration("lease-ttl", 0, "assignment lease TTL: tasks served to a worker are excluded from their re-requests and count against redundancy until answered or expired (0 = leases disabled)")
+	maxBatch := flag.Int("max-batch", 0, "max answers one POST /submit-batch materializes; items past the clamp are rejected per-item (0 = default 256)")
 	flag.Parse()
 
-	srv, err := newServer(docs.Config{
+	srv, err := httpapi.New(docs.Config{
 		StorePath:         *storePath,
 		WALDir:            *walDir,
 		WALSyncEveryBatch: *walFsync,
@@ -47,11 +52,11 @@ func main() {
 		AnswersPerTask:    *perTask,
 		AsyncRerun:        !*syncRerun,
 		LeaseTTL:          *leaseTTL,
-	})
+	}, httpapi.Options{MaxBatch: *maxBatch})
 	if err != nil {
 		log.Fatalf("docs-server: %v", err)
 	}
-	for _, info := range srv.reg.Campaigns() {
+	for _, info := range srv.Registry().Campaigns() {
 		switch {
 		case info.Archived:
 			log.Printf("docs-server: campaign %q: archived", info.Name)
@@ -62,7 +67,7 @@ func main() {
 	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.handler(),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -84,7 +89,7 @@ func main() {
 		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("docs-server: shutdown: %v", err)
 		}
-		if err := srv.close(); err != nil {
+		if err := srv.Close(); err != nil {
 			log.Fatalf("docs-server: close: %v", err)
 		}
 		log.Printf("docs-server: WALs flushed, bye")

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"docs/internal/crowd"
+	"docs/internal/dataset"
+	"docs/internal/model"
+)
+
+// newSimClient builds the ONE http.Client the whole simulation shares.
+// Every simulated worker's requests ride the same keep-alive pool — a
+// per-worker client would redial per worker (or worse, per request) and
+// the simulator would bottleneck on connection churn instead of the
+// server under test.
+func newSimClient() *http.Client {
+	return &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
+// runCampaignHTTP drives one campaign on a running docs-server instead
+// of an in-process registry: publish the dataset over POST /publish,
+// loop the shared worker population through GET /request and
+// POST /submit (or POST /submit-batch with -batch > 1), then score the
+// server's GET /results against the dataset's ground truth. The
+// simulated workers know each task's truth locally (the dataset is
+// synthetic); the server sees only worker IDs, task IDs and choices,
+// exactly what a real crowd would send it.
+func runCampaignHTTP(client *http.Client, server, cname string, ds *dataset.Dataset, pop *crowd.Population, dsName string, hit, redundancy, batch int) {
+	base := strings.TrimRight(server, "/") + "/c/" + cname
+	byID := make(map[int]*model.Task, len(ds.Tasks))
+	for _, tk := range ds.Tasks {
+		byID[tk.ID] = tk
+	}
+
+	type taskJSON struct {
+		ID          int      `json:"id"`
+		Text        string   `json:"text"`
+		Choices     []string `json:"choices"`
+		GoldenTruth int      `json:"golden_truth"`
+	}
+	pub := struct {
+		Tasks []taskJSON `json:"tasks"`
+	}{Tasks: make([]taskJSON, len(ds.Tasks))}
+	for i, tk := range ds.Tasks {
+		pub.Tasks[i] = taskJSON{ID: tk.ID, Text: tk.Text, Choices: tk.Choices, GoldenTruth: tk.Truth}
+	}
+	var published struct {
+		Published int   `json:"published"`
+		Golden    []int `json:"golden"`
+	}
+	if err := callJSON(client, http.MethodPost, base+"/publish", "application/json", mustJSON(pub), &published); err != nil {
+		log.Fatalf("docs-simulate: publish: %v", err)
+	}
+	golden := make(map[int]bool, len(published.Golden))
+	for _, id := range published.Golden {
+		golden[id] = true
+	}
+	fmt.Printf("published %d tasks (%s) to %s, %d golden\n", published.Published, dsName, base, len(golden))
+
+	r := pop.Rand()
+	target := redundancy * (len(ds.Tasks) - len(golden))
+	collected, goldenAnswers, hits, idle := 0, 0, 0, 0
+	for collected < target && idle < 5000 {
+		w := pop.Arrival()
+		var got struct {
+			Tasks []taskJSON `json:"tasks"`
+		}
+		if err := callJSON(client, http.MethodGet, fmt.Sprintf("%s/request?worker=%s&k=%d", base, w.ID, hit), "", nil, &got); err != nil {
+			log.Fatalf("docs-simulate: request: %v", err)
+		}
+		if len(got.Tasks) == 0 {
+			idle++
+			continue
+		}
+		idle = 0
+		hits++
+		type answer struct {
+			Worker string `json:"worker"`
+			Task   int    `json:"task"`
+			Choice int    `json:"choice"`
+		}
+		answers := make([]answer, 0, len(got.Tasks))
+		for _, at := range got.Tasks {
+			tk, ok := byID[at.ID]
+			if !ok {
+				log.Fatalf("docs-simulate: server assigned unknown task %d", at.ID)
+			}
+			answers = append(answers, answer{Worker: w.ID, Task: tk.ID, Choice: w.Answer(tk, r)})
+		}
+		if batch > 1 {
+			for start := 0; start < len(answers); start += batch {
+				end := min(start+batch, len(answers))
+				req := struct {
+					Answers []answer `json:"answers"`
+				}{Answers: answers[start:end]}
+				var resp struct {
+					Accepted int `json:"accepted"`
+					Rejected int `json:"rejected"`
+				}
+				if err := callJSON(client, http.MethodPost, base+"/submit-batch", "application/json", mustJSON(req), &resp); err != nil {
+					log.Fatalf("docs-simulate: submit-batch: %v", err)
+				}
+				if resp.Rejected > 0 {
+					log.Fatalf("docs-simulate: submit-batch rejected %d items", resp.Rejected)
+				}
+			}
+		} else {
+			for _, a := range answers {
+				if err := callJSON(client, http.MethodPost, base+"/submit", "application/json", mustJSON(a), nil); err != nil {
+					log.Fatalf("docs-simulate: submit: %v", err)
+				}
+			}
+		}
+		for _, a := range answers {
+			if golden[a.Task] {
+				goldenAnswers++
+			} else {
+				collected++
+			}
+		}
+	}
+	fmt.Printf("campaign done: %d HITs, %d answers (%d golden)\n", hits, collected, goldenAnswers)
+
+	var res struct {
+		Results []struct {
+			TaskID int
+			Choice int
+		} `json:"results"`
+	}
+	if err := callJSON(client, http.MethodGet, base+"/results", "", nil, &res); err != nil {
+		log.Fatalf("docs-simulate: results: %v", err)
+	}
+	right, scored := 0, 0
+	for _, rr := range res.Results {
+		tk, ok := byID[rr.TaskID]
+		if !ok || golden[rr.TaskID] || tk.Truth == model.NoTruth {
+			continue
+		}
+		scored++
+		if rr.Choice == tk.Truth {
+			right++
+		}
+	}
+	if scored > 0 {
+		fmt.Printf("final accuracy: %.2f%% over %d tasks (scored against the dataset's ground truth)\n",
+			100*float64(right)/float64(scored), scored)
+	}
+}
+
+// callJSON performs one HTTP call and decodes the JSON response into
+// out (when non-nil), failing on any non-200 status.
+func callJSON(client *http.Client, method, url, contentType string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, msg)
+	}
+	if out == nil {
+		_, err := io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func mustJSON(v any) []byte {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		log.Fatalf("docs-simulate: encode: %v", err)
+	}
+	return blob
+}

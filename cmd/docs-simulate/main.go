@@ -10,10 +10,18 @@
 // gauntlet everywhere else — the paper's cross-requester story — and the
 // tool reports how many profiles carried over per campaign.
 //
+// With -server URL it drives a running docs-server over HTTP instead of
+// an in-process registry — every simulated worker shares one keep-alive
+// connection pool so the simulator measures the server, not its own
+// connection churn. With -batch N answers are submitted in groups of up
+// to N per call: POST /submit-batch over HTTP, the batched (group-
+// committed) core entry locally. See docs/protocol.md.
+//
 // Usage:
 //
 //	docs-simulate -dataset 4D -workers 50 -redundancy 10 -seed 7
 //	docs-simulate -dataset Item -campaigns 4 -workers 80
+//	docs-simulate -server http://localhost:8080 -batch 20
 package main
 
 import (
@@ -44,7 +52,40 @@ func main() {
 	walDir := flag.String("wal-dir", "", "registry root directory: campaigns become durable under <dir>/campaigns/<name> and an interrupted simulation resumes from the logs (empty = memory-only)")
 	walFsync := flag.Bool("wal-fsync", false, "fsync the WALs once per group-commit batch")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "answers between WAL checkpoints (0 = default, negative = never)")
+	server := flag.String("server", "", "drive a running docs-server at this base URL over HTTP instead of an in-process registry; all workers share one keep-alive connection pool")
+	batch := flag.Int("batch", 0, "submit answers in batches of up to N per call (POST /submit-batch over HTTP, the batched core entry locally); 0 or 1 = one answer per submit")
 	flag.Parse()
+
+	if *server != "" {
+		client := newSimClient()
+		base, err := dataset.ByName(*name, *seed)
+		if err != nil {
+			log.Fatalf("docs-simulate: %v", err)
+		}
+		pop, err := crowd.NewPopulation(crowd.Config{
+			NumWorkers:      *workers,
+			M:               kb.MustDefault().Domains().Size(),
+			RelevantDomains: base.YahooIndex,
+			Seed:            *seed,
+		})
+		if err != nil {
+			log.Fatalf("docs-simulate: %v", err)
+		}
+		for ci := 0; ci < *campaigns; ci++ {
+			ds := base
+			if ci > 0 {
+				if ds, err = dataset.ByName(*name, *seed+uint64(ci)); err != nil {
+					log.Fatalf("docs-simulate: %v", err)
+				}
+			}
+			cname := fmt.Sprintf("c%d", ci)
+			if *campaigns > 1 {
+				fmt.Printf("=== campaign %s ===\n", cname)
+			}
+			runCampaignHTTP(client, *server, cname, ds, pop, *name, *hit, *redundancy, *batch)
+		}
+		return
+	}
 
 	walSync := wal.SyncNever
 	if *walFsync {
@@ -90,7 +131,7 @@ func main() {
 		if *campaigns > 1 {
 			fmt.Printf("=== campaign %s ===\n", cname)
 		}
-		runCampaign(reg, cname, ds, pop, *name, *hit, *redundancy, *campaigns == 1)
+		runCampaign(reg, cname, ds, pop, *name, *hit, *redundancy, *batch, *campaigns == 1)
 	}
 	if *campaigns > 1 {
 		fmt.Printf("shared store: %d workers profiled across %d campaigns\n",
@@ -100,7 +141,10 @@ func main() {
 
 // runCampaign publishes (or resumes) one campaign and drives the shared
 // population through it until every task reaches its redundancy cap.
-func runCampaign(reg *registry.Registry, cname string, ds *dataset.Dataset, pop *crowd.Population, dsName string, hit, redundancy int, verbose bool) {
+// With batch > 1, each HIT's answers go through the batched core entry
+// (the same group-committed path POST /submit-batch uses) in chunks of
+// up to batch answers.
+func runCampaign(reg *registry.Registry, cname string, ds *dataset.Dataset, pop *crowd.Population, dsName string, hit, redundancy, batch int, verbose bool) {
 	sys, err := reg.Get(cname)
 	if errors.Is(err, registry.ErrNotFound) {
 		sys, err = reg.Create(cname)
@@ -136,11 +180,11 @@ func runCampaign(reg *registry.Registry, cname string, ds *dataset.Dataset, pop 
 	seen := map[string]bool{}
 	for collected < target && idle < 5000 {
 		w := pop.Arrival()
-		batch, err := sys.Request(w.ID, hit)
+		assigned, err := sys.Request(w.ID, hit)
 		if err != nil {
 			log.Fatalf("docs-simulate: request: %v", err)
 		}
-		if len(batch) == 0 {
+		if len(assigned) == 0 {
 			idle++
 			continue
 		}
@@ -150,16 +194,37 @@ func runCampaign(reg *registry.Registry, cname string, ds *dataset.Dataset, pop 
 			seen[w.ID] = true
 			// A worker's first batch is homogeneous: golden while
 			// unprofiled, regular once their profile carried over.
-			if golden[batch[0].ID] {
+			if golden[assigned[0].ID] {
 				gauntlets++
 			} else {
 				carried++
 			}
 		}
-		for _, tk := range batch {
-			if err := sys.Submit(w.ID, tk.ID, w.Answer(tk, r)); err != nil {
-				log.Fatalf("docs-simulate: submit: %v", err)
+		if batch > 1 {
+			items := make([]core.BatchItem, len(assigned))
+			for i, tk := range assigned {
+				items[i] = core.BatchItem{Worker: w.ID, Task: tk.ID, Choice: w.Answer(tk, r)}
 			}
+			for start := 0; start < len(items); start += batch {
+				end := min(start+batch, len(items))
+				statuses, err := sys.SubmitBatch(items[start:end])
+				if err != nil {
+					log.Fatalf("docs-simulate: submit batch: %v", err)
+				}
+				for i, st := range statuses {
+					if !st.OK {
+						log.Fatalf("docs-simulate: submit batch item %d: %s", start+i+1, st.Err)
+					}
+				}
+			}
+		} else {
+			for _, tk := range assigned {
+				if err := sys.Submit(w.ID, tk.ID, w.Answer(tk, r)); err != nil {
+					log.Fatalf("docs-simulate: submit: %v", err)
+				}
+			}
+		}
+		for _, tk := range assigned {
 			if golden[tk.ID] {
 				goldenAnswers++
 			} else {

@@ -344,6 +344,37 @@ func (s *System) Submit(workerID string, taskID, choice int) error {
 	return s.sys.Submit(workerID, taskID, choice)
 }
 
+// BatchStatus is the per-item outcome of SubmitBatch.
+type BatchStatus struct {
+	OK bool
+	// Error is the rejection reason, empty when OK.
+	Error string
+}
+
+// SubmitBatch records many answers in one call. Each item is validated
+// independently — one bad answer never poisons the batch — and every
+// accepted regular answer becomes durable in ONE write-ahead-log record
+// (one write, at most one fsync), instead of one per answer. The resulting
+// state is bit-identical to submitting the same answers one by one. The
+// returned slice has one status per item, in input order; the error is
+// batch-level (a durability failure — some items may be applied in memory
+// without the durability promise; treat as 5xx). See docs/protocol.md.
+func (s *System) SubmitBatch(answers []Answer) ([]BatchStatus, error) {
+	items := make([]core.BatchItem, len(answers))
+	for i, a := range answers {
+		items[i] = core.BatchItem{Worker: a.Worker, Task: a.TaskID, Choice: a.Choice}
+	}
+	got, err := s.sys.SubmitBatch(items)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchStatus, len(got))
+	for i, st := range got {
+		out[i] = BatchStatus{OK: st.OK, Error: st.Err}
+	}
+	return out, nil
+}
+
 // GoldenTaskIDs returns the IDs of the selected golden tasks.
 func (s *System) GoldenTaskIDs() []int { return s.sys.GoldenTasks() }
 
@@ -399,6 +430,10 @@ type Stats struct {
 	// LeasesActive is the number of live assignment leases (always zero
 	// without Config.LeaseTTL).
 	LeasesActive int64
+	// BatchesTotal counts accepted SubmitBatch calls and BatchAnswersTotal
+	// the answers they carried; single-submit traffic leaves both zero.
+	BatchesTotal      int64
+	BatchAnswersTotal int64
 	// WALEnabled reports whether a write-ahead log is armed; WALLastSeq is
 	// the sequence number of the last durable record and Checkpoints*
 	// count WAL checkpoint passes. All zero without a WAL.
@@ -421,6 +456,7 @@ func (s *System) Stats() Stats {
 	done, failed := s.sys.Reruns()
 	ckpts, ckptErrs := s.sys.Checkpoints()
 	snaps, snapErrs := s.sys.Snapshots()
+	batches, batchAnswers := s.sys.BatchCounts()
 	return Stats{
 		Answers:              s.sys.AnswerCount(),
 		SnapshotEpoch:        s.sys.Epoch(),
@@ -429,6 +465,8 @@ func (s *System) Stats() Stats {
 		OpenTasks:            s.sys.OpenTasks(),
 		IndexEpoch:           s.sys.IndexEpoch(),
 		LeasesActive:         s.sys.ActiveLeases(),
+		BatchesTotal:         batches,
+		BatchAnswersTotal:    batchAnswers,
 		WALEnabled:           s.sys.Recovery().Enabled,
 		WALLastSeq:           s.sys.WALSeq(),
 		CheckpointsCompleted: ckpts,

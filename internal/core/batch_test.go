@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"docs/internal/mathx"
+	"docs/internal/model"
+	"docs/internal/wal"
+)
+
+// TestBatchSubmitEquivalence is the batched protocol's correctness
+// anchor: a campaign driven through SubmitBatch — golden and regular
+// answers mixed, invalid items injected into the batches — must leave
+// the system bit-identical (Fingerprint) to submitting exactly the
+// accepted answers one by one, live AND after WAL recovery of either
+// log. The batch entry may only change how answers reach the log, never
+// what state they produce.
+func TestBatchSubmitEquivalence(t *testing.T) {
+	cfg := Config{GoldenCount: 4, HITSize: 6, AnswersPerTask: 3, RerunEvery: 20, CheckpointEvery: -1}
+	dirA := t.TempDir()
+	a := newSystem(t, cfg)
+	if _, err := a.Recover(dirA); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Publish(concTasks(a.m, 40)); err != nil {
+		t.Fatal(err)
+	}
+	goldenSet := map[int]bool{}
+	for _, id := range a.GoldenTasks() {
+		goldenSet[id] = true
+	}
+
+	type ans struct {
+		w            string
+		task, choice int
+	}
+	var accepted []ans
+	rejected := 0
+	r := mathx.NewRand(99)
+	for i := 0; ; i++ {
+		w := fmt.Sprintf("w%d", i%9)
+		got, err := a.Request(w, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			break
+		}
+		items := make([]BatchItem, 0, len(got)+2)
+		// Poison pills at deterministic positions: a bad item must be
+		// rejected in place without touching its neighbours.
+		if i%4 == 0 {
+			items = append(items, BatchItem{Worker: "", Task: got[0].ID, Choice: 0})
+		}
+		for _, tk := range got {
+			c := tk.Truth
+			if c == model.NoTruth {
+				c = 0
+			} else if !goldenSet[tk.ID] && r.Float64() >= 0.85 {
+				c = 1 - c
+			}
+			items = append(items, BatchItem{Worker: w, Task: tk.ID, Choice: c})
+		}
+		if i%3 == 0 {
+			items = append(items, BatchItem{Worker: w, Task: 999999, Choice: 0})
+		}
+		statuses, err := a.SubmitBatch(items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(statuses) != len(items) {
+			t.Fatalf("batch %d: %d statuses for %d items", i, len(statuses), len(items))
+		}
+		for j, st := range statuses {
+			if st.OK {
+				accepted = append(accepted, ans{items[j].Worker, items[j].Task, items[j].Choice})
+			} else {
+				rejected++
+				if st.Err == "" {
+					t.Fatalf("batch %d item %d: rejected without a reason", i, j)
+				}
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no invalid items were exercised")
+	}
+	batches, batchAnswers := a.BatchCounts()
+	if batches == 0 {
+		t.Fatal("no batches counted")
+	}
+	if batchAnswers != int64(len(accepted)) {
+		t.Fatalf("batch answer counter %d, accepted %d", batchAnswers, len(accepted))
+	}
+	liveA := fingerprint(a)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the identical accepted stream, one Submit per answer.
+	dirB := t.TempDir()
+	b := newSystem(t, cfg)
+	if _, err := b.Recover(dirB); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(concTasks(b.m, 40)); err != nil {
+		t.Fatal(err)
+	}
+	for _, an := range accepted {
+		if err := b.Submit(an.w, an.task, an.choice); err != nil {
+			t.Fatalf("reference submit (%s, %d, %d): %v", an.w, an.task, an.choice, err)
+		}
+	}
+	if got := fingerprint(b); got != liveA {
+		t.Fatalf("batched state differs from one-by-one reference\nbatched:   %.300s\nreference: %.300s", liveA, got)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both logs — A's KindBatch groups, B's per-answer records — must
+	// recover to that same state.
+	for name, dir := range map[string]string{"batched": dirA, "single": dirB} {
+		rec := newSystem(t, cfg)
+		if _, err := rec.Recover(dir); err != nil {
+			t.Fatalf("%s recovery: %v", name, err)
+		}
+		if got := fingerprint(rec); got != liveA {
+			t.Fatalf("%s log recovered to a different state", name)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A's durable stream must actually contain batch groups (the whole
+	// point of the protocol: rejected items absent, accepted ones grouped).
+	sawBatch := false
+	if _, err := wal.Replay(dirA, func(rec wal.Record) error {
+		if rec.Kind == wal.KindBatch {
+			sawBatch = true
+			if _, extra, err := wal.DecodeBatch(rec.Blob, 0); err != nil || extra != 0 {
+				return fmt.Errorf("undecodable batch record %d: %v", rec.Seq, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawBatch {
+		t.Fatal("batched campaign logged no KindBatch records")
+	}
+}
+
+// runLoggedBatchedCampaign mirrors runLoggedCampaign with every HIT
+// submitted through SubmitBatch (invalid items injected and rejected
+// along the way), returning the durable record stream — KindBatch groups
+// among plain answers (golden submissions split out of their groups).
+func runLoggedBatchedCampaign(t *testing.T, cfg Config, dir string, nTasks int) []wal.Record {
+	t.Helper()
+	s := newSystem(t, cfg)
+	if _, err := s.Recover(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(concTasks(s.m, nTasks)); err != nil {
+		t.Fatal(err)
+	}
+	goldenSet := map[int]bool{}
+	for _, id := range s.GoldenTasks() {
+		goldenSet[id] = true
+	}
+	r := mathx.NewRand(43)
+	for i := 0; ; i++ {
+		w := fmt.Sprintf("w%d", i%11)
+		got, err := s.Request(w, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			break
+		}
+		items := make([]BatchItem, 0, len(got)+1)
+		for _, tk := range got {
+			c := tk.Truth
+			if c == model.NoTruth {
+				c = 0
+			} else if !goldenSet[tk.ID] && r.Float64() >= 0.85 {
+				c = 1 - c
+			}
+			items = append(items, BatchItem{Worker: w, Task: tk.ID, Choice: c})
+		}
+		if i%5 == 0 {
+			items = append(items, BatchItem{Worker: w, Task: -1, Choice: 0})
+		}
+		statuses, err := s.SubmitBatch(items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, st := range statuses {
+			if !st.OK && items[j].Task != -1 {
+				t.Fatalf("valid item (%s, %d) rejected: %s", items[j].Worker, items[j].Task, st.Err)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []wal.Record
+	st, err := wal.Replay(dir, func(rec wal.Record) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TornTail {
+		t.Fatal("uninterrupted batched run left a torn tail")
+	}
+	return recs
+}
+
+// TestCrashInjectionBatchedRecoveryExact reruns the crash-injection
+// sweep over a campaign whose traffic went through SubmitBatch: each
+// group is ONE WAL frame, so a kill point either keeps a whole group or
+// drops it entirely — a torn cut inside a batch frame must recover to
+// exactly the state before the group, bit for bit. Every kill point that
+// lands just before a KindBatch record is additionally torn mid-frame to
+// pin the all-or-nothing contract on the batch records themselves.
+func TestCrashInjectionBatchedRecoveryExact(t *testing.T) {
+	cfg := Config{GoldenCount: 4, HITSize: 4, AnswersPerTask: 3, RerunEvery: 20,
+		CheckpointEvery: -1, WALSegmentBytes: 1 << 10}
+	srcDir := t.TempDir()
+	recs := runLoggedBatchedCampaign(t, cfg, srcDir, 60)
+	if len(recs) < 20 {
+		t.Fatalf("campaign produced only %d records", len(recs))
+	}
+	batchIdx := []int{}
+	for i, rec := range recs {
+		if rec.Kind == wal.KindBatch {
+			batchIdx = append(batchIdx, i)
+		}
+	}
+	if len(batchIdx) == 0 {
+		t.Fatal("batched campaign logged no KindBatch records")
+	}
+	spans := segmentSpans(t, srcDir, 0)
+
+	type kill struct {
+		surviving int
+		torn      int64
+	}
+	r := mathx.NewRand(17)
+	kills := make([]kill, 0, 40+len(batchIdx))
+	for i := 0; i < 40; i++ {
+		k := kill{surviving: int(r.Float64() * float64(len(recs)+1))}
+		if k.surviving > len(recs) {
+			k.surviving = len(recs)
+		}
+		if k.surviving < len(recs) && r.Float64() < 0.35 {
+			k.torn = 1 + int64(r.Float64()*16)
+		}
+		kills = append(kills, k)
+	}
+	// Tear into every batch frame: the cut lands mid-group and the whole
+	// group must vanish.
+	for _, bi := range batchIdx {
+		kills = append(kills, kill{surviving: bi, torn: 5})
+	}
+	sort.Slice(kills, func(i, j int) bool { return kills[i].surviving < kills[j].surviving })
+
+	ref := newSystem(t, cfg)
+	applied := 0
+	refPrint := fingerprint(ref)
+	for i, k := range kills {
+		if k.surviving > applied {
+			applyPrefix(t, ref, recs[applied:k.surviving])
+			applied = k.surviving
+			refPrint = fingerprint(ref)
+		}
+		crashDir := buildCrashDir(t, srcDir, recs, spans, k.surviving, k.torn)
+		rec := newSystem(t, cfg)
+		info, err := rec.Recover(crashDir)
+		if err != nil {
+			t.Fatalf("kill %d (surviving=%d torn=%d): recover: %v", i, k.surviving, k.torn, err)
+		}
+		if info.Records != k.surviving {
+			t.Fatalf("kill %d: recovered %d records, want %d (torn=%d)", i, info.Records, k.surviving, k.torn)
+		}
+		if got := fingerprint(rec); got != refPrint {
+			t.Fatalf("kill %d (surviving=%d torn=%d): recovered state differs from serial reference",
+				i, k.surviving, k.torn)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

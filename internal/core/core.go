@@ -173,12 +173,19 @@ type System struct {
 	recovery   RecoveryInfo
 
 	submissions atomic.Int64
-	reruns      atomic.Int64
-	rerunErrs   atomic.Int64
-	ckpts       atomic.Int64
-	ckptErrs    atomic.Int64
-	snaps       atomic.Int64
-	snapErrs    atomic.Int64
+	// batches / batchAnswers count SubmitBatch calls and the answers they
+	// accepted (replayed KindBatch records included, so the counters survive
+	// recovery like submissions does). Neither enters the fingerprint:
+	// batched and one-by-one traffic producing the same answer stream are
+	// the same campaign.
+	batches      atomic.Int64
+	batchAnswers atomic.Int64
+	reruns       atomic.Int64
+	rerunErrs    atomic.Int64
+	ckpts        atomic.Int64
+	ckptErrs     atomic.Int64
+	snaps        atomic.Int64
+	snapErrs     atomic.Int64
 
 	// snapSeq is the WAL sequence covered by the newest state snapshot this
 	// process wrote or booted from.
@@ -608,6 +615,23 @@ func (s *System) assignScan(as *assign.Assigner, tasks []*model.Task, golden map
 // inference, with a periodic full iterative re-run every RerunEvery
 // submissions (inline, or on the background worker with AsyncRerun).
 func (s *System) Submit(workerID string, taskID, choice int) error {
+	return s.submitOne(workerID, taskID, choice, nil)
+}
+
+// submitOne is the one answer-application path, shared by Submit and
+// SubmitBatch. With g nil the answer reserves and commits its own WAL
+// record (the single-submit behavior). With g non-nil, a regular answer
+// defers durability into the group — its record joins g instead of being
+// reserved, and the caller commits the whole group as ONE KindBatch frame —
+// while a golden answer first flushes the group (group record ahead of the
+// golden record in the durable order) and then commits individually, so the
+// answer-durable-before-profiling-merge invariant documented below holds
+// unchanged under batching. Everything else — validation, ingest, the
+// chronological log append under logMu, the rerun/checkpoint/snapshot
+// cadence — is identical in both modes, which is what makes a batched
+// stream's state bit-identical to the same answers submitted one by one
+// (TestBatchSubmitEquivalence).
+func (s *System) submitOne(workerID string, taskID, choice int, g *batchGroup) error {
 	if workerID == "" {
 		return fmt.Errorf("core: empty worker ID")
 	}
@@ -625,6 +649,14 @@ func (s *System) Submit(workerID string, taskID, choice int) error {
 	a := model.Answer{Worker: workerID, Task: taskID, Choice: choice}
 
 	if isGolden {
+		// The group must be durable before (or with) anything that follows
+		// it: flush it now so the golden record's reservation lands after
+		// the group's, and the fsync wait happens before the shard lock.
+		if g != nil {
+			if err := g.flush(s); err != nil {
+				return err
+			}
+		}
 		sh := s.shard(workerID)
 		sh.mu.Lock()
 		ws := sh.state(workerID)
@@ -693,13 +725,21 @@ func (s *System) Submit(workerID string, taskID, choice int) error {
 			}
 		}
 	}
+	var p wal.Pending
+	var walErr error
 	s.logMu.Lock()
 	s.log = append(s.log, a)
 	// The WAL reservation shares logMu, so durable replay order is exactly
 	// the chronological answer-log order the serial-replay equivalence is
 	// proven against. The wait for the group-commit batch happens below,
-	// outside the lock, so concurrent submits still share one write.
-	p, walErr := s.walReserve(wal.Record{Kind: wal.KindAnswer, Worker: workerID, Task: taskID, Choice: choice})
+	// outside the lock, so concurrent submits still share one write. A
+	// batched answer defers even the reservation: it joins the group under
+	// the same lock, and the group is reserved as one record at flush.
+	if g != nil {
+		g.recs = append(g.recs, wal.Record{Kind: wal.KindAnswer, Worker: workerID, Task: taskID, Choice: choice})
+	} else {
+		p, walErr = s.walReserve(wal.Record{Kind: wal.KindAnswer, Worker: workerID, Task: taskID, Choice: choice})
+	}
 	s.logMu.Unlock()
 	if walErr != nil {
 		return walErr

@@ -228,6 +228,25 @@ func (s *System) applyRecord(rec wal.Record, mirror bool) error {
 		if err := s.Submit(rec.Worker, rec.Task, rec.Choice); err != nil {
 			return fmt.Errorf("answer record %d: %w", rec.Seq, err)
 		}
+	case wal.KindBatch:
+		// A batched submit: expand the group and replay every item through
+		// the ordinary Submit path. Items were each accepted when logged
+		// (rejected items never enter the record), so a rejection here means
+		// the log is corrupt and must fail loudly. Per-item Submit keeps the
+		// rerun/checkpoint cadence identical to the live batched run — and,
+		// because this is the single replay entry, checkpoint replay and the
+		// snapshot shadow replica handle batches with no further code.
+		items, extra, err := wal.DecodeBatch(rec.Blob, 0)
+		if err != nil || extra != 0 {
+			return fmt.Errorf("batch record %d: bad body: %v", rec.Seq, err)
+		}
+		for i, it := range items {
+			if err := s.Submit(it.Worker, it.Task, it.Choice); err != nil {
+				return fmt.Errorf("batch record %d item %d: %w", rec.Seq, i+1, err)
+			}
+		}
+		s.batches.Add(1)
+		s.batchAnswers.Add(int64(len(items)))
 	default:
 		return fmt.Errorf("record %d has unknown kind %d", rec.Seq, rec.Kind)
 	}

@@ -1,0 +1,307 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"docs"
+	"docs/internal/wal"
+)
+
+// postBatch posts a body to /submit-batch and decodes the typed batch
+// response (in-package, so the unexported response type is available).
+func postBatch(t *testing.T, url, contentType string, body []byte) (*http.Response, batchResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/submit-batch", contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out batchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("decoding batch response %q: %v", raw, err)
+		}
+	}
+	return resp, out
+}
+
+func jsonBatch(t *testing.T, answers []batchAnswerJSON) []byte {
+	t.Helper()
+	blob, err := json.Marshal(batchRequest{Answers: answers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func binBatch(answers []batchAnswerJSON) []byte {
+	recs := make([]wal.Record, len(answers))
+	for i, a := range answers {
+		recs[i] = wal.Record{Worker: a.Worker, Task: a.Task, Choice: a.Choice}
+	}
+	return wal.EncodeBatch(nil, recs)
+}
+
+// TestBatchSubmitJSONAndBinary drives the same answers through both wire
+// encodings and checks the per-item statuses plus the /stats counters.
+func TestBatchSubmitJSONAndBinary(t *testing.T) {
+	ts, _ := testServer(t)
+	if resp, out := doJSON(t, "POST", ts.URL+"/publish", publishBody()); resp.StatusCode != 200 {
+		t.Fatalf("publish = %d: %s", resp.StatusCode, out["error"])
+	}
+
+	jsonAnswers := []batchAnswerJSON{
+		{Worker: "wj", Task: 0, Choice: 0}, {Worker: "wj", Task: 1, Choice: 1}, {Worker: "wj", Task: 2, Choice: 0},
+	}
+	resp, out := postBatch(t, ts.URL, "application/json", jsonBatch(t, jsonAnswers))
+	if resp.StatusCode != 200 {
+		t.Fatalf("json batch = %d", resp.StatusCode)
+	}
+	if out.Accepted != 3 || out.Rejected != 0 || len(out.Statuses) != 3 {
+		t.Fatalf("json batch response = %+v", out)
+	}
+	if out.Campaign != defaultCampaign {
+		t.Fatalf("batch campaign = %q", out.Campaign)
+	}
+
+	binAnswers := []batchAnswerJSON{
+		{Worker: "wb", Task: 0, Choice: 1}, {Worker: "wb", Task: 1, Choice: 0}, {Worker: "wb", Task: 2, Choice: 1},
+	}
+	resp, out = postBatch(t, ts.URL, BatchContentType, binBatch(binAnswers))
+	if resp.StatusCode != 200 {
+		t.Fatalf("binary batch = %d", resp.StatusCode)
+	}
+	if out.Accepted != 3 || out.Rejected != 0 {
+		t.Fatalf("binary batch response = %+v", out)
+	}
+
+	// Both batches (and all six answers) show up in the campaign's stats.
+	var st statsJSON
+	mustGetJSON(t, ts.URL+"/stats", &st)
+	if st.Answers != 6 {
+		t.Fatalf("answers = %d, want 6", st.Answers)
+	}
+	if st.BatchesTotal != 2 || st.BatchAnswersTotal != 6 || st.BatchAnswersMean != 3 {
+		t.Fatalf("batch stats = %d/%d/%.1f, want 2/6/3.0",
+			st.BatchesTotal, st.BatchAnswersTotal, st.BatchAnswersMean)
+	}
+}
+
+// TestBatchSubmitEmptyAndMalformed: a body with no decodable items is the
+// one case the per-item contract does not cover — it must 400.
+func TestBatchSubmitEmptyAndMalformed(t *testing.T) {
+	ts, _ := testServer(t)
+	if resp, out := doJSON(t, "POST", ts.URL+"/publish", publishBody()); resp.StatusCode != 200 {
+		t.Fatalf("publish = %d: %s", resp.StatusCode, out["error"])
+	}
+	cases := []struct {
+		name, contentType string
+		body              []byte
+	}{
+		{"empty json answers", "application/json", []byte(`{"answers":[]}`)},
+		{"missing answers key", "application/json", []byte(`{}`)},
+		{"invalid json", "application/json", []byte(`{"answers":`)},
+		{"binary magic only", BatchContentType, []byte("DBB1")},
+		{"binary bad magic", BatchContentType, []byte("NOPE")},
+		{"binary torn frame", BatchContentType, binBatch([]batchAnswerJSON{{Worker: "w", Task: 0}})[:8]},
+	}
+	for _, tc := range cases {
+		resp, _ := postBatch(t, ts.URL, tc.contentType, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+
+	// Unpublished campaign: a decodable batch still gets the 409 the
+	// single-submit path answers.
+	resp, _ := postBatch(t, ts.URL+"/c/ghostless", "application/json",
+		jsonBatch(t, []batchAnswerJSON{{Worker: "w", Task: 0, Choice: 0}}))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown campaign batch = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestBatchSubmitClamp pins the DoS guard: a batch longer than -max-batch
+// is truncated to the clamp — mirroring ?k= — with the overflow rejected
+// per-item, on both wire encodings.
+func TestBatchSubmitClamp(t *testing.T) {
+	srv, err := New(docs.Config{GoldenCount: -1, HITSize: 3}, Options{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	if resp, out := doJSON(t, "POST", ts.URL+"/publish", publishBody()); resp.StatusCode != 200 {
+		t.Fatalf("publish = %d: %s", resp.StatusCode, out["error"])
+	}
+
+	// Distinct workers per encoding: both passes run against one campaign,
+	// and a repeated (worker, task) pair would be rejected as a duplicate.
+	mkAnswers := func(enc string) []batchAnswerJSON {
+		answers := make([]batchAnswerJSON, 10)
+		for i := range answers {
+			answers[i] = batchAnswerJSON{Worker: fmt.Sprintf("%s-w%d", enc, i), Task: i % 3, Choice: 0}
+		}
+		return answers
+	}
+	for _, enc := range []struct {
+		name, contentType string
+		body              []byte
+	}{
+		{"json", "application/json", jsonBatch(t, mkAnswers("json"))},
+		{"binary", BatchContentType, binBatch(mkAnswers("bin"))},
+	} {
+		resp, out := postBatch(t, ts.URL, enc.contentType, enc.body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", enc.name, resp.StatusCode)
+		}
+		if out.Accepted != 4 || out.Rejected != 6 || len(out.Statuses) != 10 {
+			t.Fatalf("%s: accepted/rejected/statuses = %d/%d/%d, want 4/6/10",
+				enc.name, out.Accepted, out.Rejected, len(out.Statuses))
+		}
+		for i, st := range out.Statuses {
+			if i < 4 && !st.OK {
+				t.Fatalf("%s: item %d rejected: %s", enc.name, i, st.Error)
+			}
+			if i >= 4 && (st.OK || !strings.Contains(st.Error, "clamped to 4")) {
+				t.Fatalf("%s: item %d = %+v, want clamp rejection", enc.name, i, st)
+			}
+		}
+	}
+	var st statsJSON
+	mustGetJSON(t, ts.URL+"/stats", &st)
+	if st.BatchAnswersTotal != 8 {
+		t.Fatalf("batch_answers_total = %d, want 8 (two clamped batches of 4)", st.BatchAnswersTotal)
+	}
+}
+
+// TestBatchSubmitMixedValidity: invalid items are rejected in place with
+// a reason while their neighbours commit — and the accepted subset is
+// durable: a restart recovers exactly those answers (with the batch
+// counters rebuilt from the logged group).
+func TestBatchSubmitMixedValidity(t *testing.T) {
+	dir := t.TempDir()
+	cfg := docs.Config{GoldenCount: -1, HITSize: 3, WALDir: dir}
+	srv, err := New(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	if resp, out := doJSON(t, "POST", ts.URL+"/publish", publishBody()); resp.StatusCode != 200 {
+		t.Fatalf("publish = %d: %s", resp.StatusCode, out["error"])
+	}
+
+	resp, out := postBatch(t, ts.URL, "application/json", jsonBatch(t, []batchAnswerJSON{
+		{Worker: "w1", Task: 0, Choice: 0},
+		{Worker: "w1", Task: 99, Choice: 0}, // unknown task
+		{Worker: "w1", Task: 1, Choice: 1},
+		{Worker: "", Task: 2, Choice: 0},   // empty worker
+		{Worker: "w1", Task: 2, Choice: 9}, // choice out of range
+		{Worker: "w1", Task: 2, Choice: 1},
+	}))
+	if resp.StatusCode != 200 {
+		t.Fatalf("mixed batch = %d", resp.StatusCode)
+	}
+	wantOK := []bool{true, false, true, false, false, true}
+	if len(out.Statuses) != len(wantOK) {
+		t.Fatalf("%d statuses, want %d", len(out.Statuses), len(wantOK))
+	}
+	for i, st := range out.Statuses {
+		if st.OK != wantOK[i] {
+			t.Fatalf("item %d: ok=%v (%s), want ok=%v", i, st.OK, st.Error, wantOK[i])
+		}
+		if !st.OK && st.Error == "" {
+			t.Fatalf("item %d rejected without a reason", i)
+		}
+	}
+	if out.Accepted != 3 || out.Rejected != 3 {
+		t.Fatalf("accepted/rejected = %d/%d, want 3/3", out.Accepted, out.Rejected)
+	}
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: exactly the accepted subset was in the WAL group.
+	srv2, err := New(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(ts2.Close)
+	var st statsJSON
+	mustGetJSON(t, ts2.URL+"/stats", &st)
+	if st.Answers != 3 {
+		t.Fatalf("recovered answers = %d, want 3", st.Answers)
+	}
+	if st.BatchesTotal != 1 || st.BatchAnswersTotal != 3 {
+		t.Fatalf("recovered batch counters = %d/%d, want 1/3", st.BatchesTotal, st.BatchAnswersTotal)
+	}
+}
+
+// TestLegacySubmitUnchanged pins the pre-batch protocol byte for byte:
+// the single-submit response body must be exactly what it was before the
+// batch endpoint existed, and single-submit traffic must leave every
+// batch counter at zero.
+func TestLegacySubmitUnchanged(t *testing.T) {
+	ts, _ := testServer(t)
+	if resp, out := doJSON(t, "POST", ts.URL+"/publish", publishBody()); resp.StatusCode != 200 {
+		t.Fatalf("publish = %d: %s", resp.StatusCode, out["error"])
+	}
+	resp, err := http.Post(ts.URL+"/submit", "application/json",
+		strings.NewReader(`{"worker":"w1","task":0,"choice":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	if want := "{\"status\":\"accepted\"}\n"; string(body) != want {
+		t.Fatalf("submit response = %q, want %q (legacy byte-identical)", body, want)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("submit content-type = %q", ct)
+	}
+	var st statsJSON
+	mustGetJSON(t, ts.URL+"/stats", &st)
+	if st.Answers != 1 {
+		t.Fatalf("answers = %d, want 1", st.Answers)
+	}
+	if st.BatchesTotal != 0 || st.BatchAnswersTotal != 0 || st.BatchAnswersMean != 0 {
+		t.Fatalf("single-submit traffic moved batch counters: %d/%d/%.1f",
+			st.BatchesTotal, st.BatchAnswersTotal, st.BatchAnswersMean)
+	}
+}
+
+func mustGetJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"encoding/json"
@@ -19,11 +19,11 @@ func TestServerWALRestart(t *testing.T) {
 	dir := t.TempDir()
 	cfg := docs.Config{GoldenCount: -1, HITSize: 3, WALDir: dir, RerunEvery: 5}
 
-	srv1, err := newServer(cfg)
+	srv1, err := New(cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts1 := httptest.NewServer(srv1.handler())
+	ts1 := httptest.NewServer(srv1.Handler())
 	resp, _ := doJSON(t, "POST", ts1.URL+"/publish", publishBody())
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("publish: %d", resp.StatusCode)
@@ -62,15 +62,15 @@ func TestServerWALRestart(t *testing.T) {
 		wantResults[id] = sys1.CurrentResult(id)
 	}
 	ts1.Close()
-	if err := srv1.close(); err != nil { // graceful shutdown: flush + fsync
+	if err := srv1.Close(); err != nil { // graceful shutdown: flush + fsync
 		t.Fatal(err)
 	}
 
-	srv2, err := newServer(cfg)
+	srv2, err := New(cfg, Options{})
 	if err != nil {
 		t.Fatalf("reboot over WAL dir: %v", err)
 	}
-	t.Cleanup(func() { srv2.close() })
+	t.Cleanup(func() { srv2.Close() })
 	sys2, err := srv2.reg.Campaign(defaultCampaign)
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ func TestServerWALRestart(t *testing.T) {
 	if !sys2.Published() {
 		t.Fatal("recovered server does not know the campaign is published")
 	}
-	ts2 := httptest.NewServer(srv2.handler())
+	ts2 := httptest.NewServer(srv2.Handler())
 	defer ts2.Close()
 
 	if got := sys2.Stats(); got.Answers != live.Answers {
@@ -127,11 +127,11 @@ func TestServerMultiCampaignRestart(t *testing.T) {
 	dir := t.TempDir()
 	cfg := docs.Config{GoldenCount: -1, HITSize: 3, WALDir: dir, RerunEvery: 5}
 
-	srv1, err := newServer(cfg)
+	srv1, err := New(cfg, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts1 := httptest.NewServer(srv1.handler())
+	ts1 := httptest.NewServer(srv1.Handler())
 	names := []string{"a1", "a2", "a3"}
 	answers := map[string]int64{}
 	for i, name := range names {
@@ -150,16 +150,16 @@ func TestServerMultiCampaignRestart(t *testing.T) {
 		t.Fatal("archive failed")
 	}
 	ts1.Close()
-	if err := srv1.close(); err != nil {
+	if err := srv1.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	srv2, err := newServer(cfg)
+	srv2, err := New(cfg, Options{})
 	if err != nil {
 		t.Fatalf("reboot: %v", err)
 	}
-	t.Cleanup(func() { srv2.close() })
-	ts2 := httptest.NewServer(srv2.handler())
+	t.Cleanup(func() { srv2.Close() })
+	ts2 := httptest.NewServer(srv2.Handler())
 	defer ts2.Close()
 
 	resp, out := doJSON(t, "GET", ts2.URL+"/campaigns", nil)

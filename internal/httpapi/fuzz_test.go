@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"net/http"
@@ -18,11 +18,11 @@ import (
 // input reached deeper than the decode layer. Seed corpus under
 // testdata/fuzz/FuzzSubmitJSON (checked in).
 func FuzzSubmitJSON(f *testing.F) {
-	srv, err := newServer(docs.Config{GoldenCount: -1, HITSize: 3, RerunEvery: -1})
+	srv, err := New(docs.Config{GoldenCount: -1, HITSize: 3, RerunEvery: -1}, Options{})
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Cleanup(func() { srv.close() })
+	f.Cleanup(func() { srv.Close() })
 	// Publish a minimal campaign so valid submits exercise the accept path.
 	tasks := []docs.Task{
 		{ID: 0, Text: "a or b", Choices: []string{"a", "b"}, GoldenTruth: docs.NoTruth},
@@ -35,7 +35,7 @@ func FuzzSubmitJSON(f *testing.F) {
 	if err := sys.Publish(tasks); err != nil {
 		f.Fatal(err)
 	}
-	handler := srv.handler()
+	handler := srv.Handler()
 
 	f.Add(`{"worker":"w1","task":0,"choice":1}`)
 	f.Add(`{"worker":"","task":0,"choice":0}`)
@@ -72,12 +72,12 @@ func FuzzSubmitJSON(f *testing.F) {
 // root's directory namespace). Seed corpus under
 // testdata/fuzz/FuzzCampaignPath (checked in).
 func FuzzCampaignPath(f *testing.F) {
-	srv, err := newServer(docs.Config{GoldenCount: -1, HITSize: 3, RerunEvery: -1})
+	srv, err := New(docs.Config{GoldenCount: -1, HITSize: 3, RerunEvery: -1}, Options{})
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Cleanup(func() { srv.close() })
-	handler := srv.handler()
+	f.Cleanup(func() { srv.Close() })
+	handler := srv.Handler()
 
 	f.Add("GET", "/c/default/stats", "")
 	f.Add("POST", "/c/new-camp/publish", `{"tasks":[{"id":0,"text":"a","choices":["a","b"],"golden_truth":-1}]}`)

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"encoding/json"
@@ -14,7 +14,12 @@ import (
 	"docs"
 )
 
-// server exposes a campaign registry over a JSON HTTP API: one process
+// Package httpapi implements the docs-server HTTP API as an importable
+// handler, so the real server (cmd/docs-server), the end-to-end tests and
+// the open-loop load harness (docs-bench -exp http) all drive the exact
+// same routing, decoding and stats code.
+//
+// Server exposes a campaign registry over a JSON HTTP API: one process
 // hosts many named DOCS campaigns (each a full serving core with its own
 // WAL namespace) over one shared worker store, so a worker profiled in one
 // campaign keeps their domain-quality profile in every other.
@@ -24,6 +29,7 @@ import (
 //	POST /c/{campaign}/publish  {"tasks":[...]}   (creates the campaign if absent)
 //	GET  /c/{campaign}/request?worker=W&k=20      → {"tasks":[...]}
 //	POST /c/{campaign}/submit   {"worker":"W","task":0,"choice":1}
+//	POST /c/{campaign}/submit-batch  {"answers":[...]} or binary (docs/protocol.md)
 //	GET  /c/{campaign}/result?task=0              → current inferred truth
 //	GET  /c/{campaign}/results                    → final inference
 //	GET  /c/{campaign}/worker?id=W                → quality vector
@@ -41,10 +47,11 @@ import (
 // from the serving core itself — the server caches no publish flag, so
 // /stats, /request and the recovery-restore path can never disagree about
 // a half-applied publish.
-type server struct {
-	reg   *docs.Registry
-	cfg   docs.Config
-	start time.Time
+type Server struct {
+	reg      *docs.Registry
+	cfg      docs.Config
+	maxBatch int
+	start    time.Time
 
 	// rateMu guards the per-campaign observations behind the /stats recent
 	// answer rate; it is touched only by /stats calls, never the hot path.
@@ -61,7 +68,16 @@ type rateObs struct {
 // defaultCampaign backs the legacy single-campaign paths.
 const defaultCampaign = "default"
 
-func newServer(cfg docs.Config) (*server, error) {
+// Options tunes the handler independently of the campaign Config.
+type Options struct {
+	// MaxBatch clamps how many items one POST /submit-batch materializes
+	// (0 = DefaultMaxBatch). Items past the clamp are rejected per-item.
+	MaxBatch int
+}
+
+// New opens the campaign registry and returns the server. Close it when
+// done.
+func New(cfg docs.Config, opts Options) (*Server, error) {
 	reg, err := docs.OpenRegistry(cfg)
 	if err != nil {
 		return nil, err
@@ -76,14 +92,22 @@ func newServer(cfg docs.Config) (*server, error) {
 			return nil, err
 		}
 	}
-	return &server{reg: reg, cfg: cfg, start: time.Now(), rates: make(map[string]rateObs)}, nil
+	maxBatch := opts.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	return &Server{reg: reg, cfg: cfg, maxBatch: maxBatch, start: time.Now(), rates: make(map[string]rateObs)}, nil
 }
 
-// close shuts the registry down gracefully (drain workers, flush + fsync
+// Close shuts the registry down gracefully (drain workers, flush + fsync
 // every campaign's WAL, release the shared store).
-func (s *server) close() error { return s.reg.Close() }
+func (s *Server) Close() error { return s.reg.Close() }
 
-func (s *server) handler() http.Handler {
+// Registry exposes the underlying campaign registry (the server's own
+// handle — callers must not Close it).
+func (s *Server) Registry() *docs.Registry { return s.reg }
+
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /campaigns", s.handleCampaigns)
 	mux.HandleFunc("POST /campaigns", s.handleCreate)
@@ -94,6 +118,7 @@ func (s *server) handler() http.Handler {
 		{"POST /publish", s.handlePublish},
 		{"GET /request", s.handleRequest},
 		{"POST /submit", s.handleSubmit},
+		{"POST /submit-batch", s.handleSubmitBatch},
 		{"GET /result", s.handleResult},
 		{"GET /results", s.handleResults},
 		{"GET /worker", s.handleWorker},
@@ -124,7 +149,7 @@ func campaignName(r *http.Request) string {
 
 // campaign resolves the request's campaign, writing the error response
 // (404 unknown, 410 archived) when it cannot.
-func (s *server) campaign(w http.ResponseWriter, r *http.Request) (*docs.System, string, bool) {
+func (s *Server) campaign(w http.ResponseWriter, r *http.Request) (*docs.System, string, bool) {
 	name := campaignName(r)
 	sys, err := s.reg.Campaign(name)
 	switch {
@@ -159,7 +184,7 @@ type campaignJSON struct {
 	RecoveredRecords int    `json:"recovered_records"`
 }
 
-func (s *server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	infos := s.reg.Campaigns()
 	out := make([]campaignJSON, len(infos))
 	for i, in := range infos {
@@ -169,7 +194,7 @@ func (s *server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
 }
 
-func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Name string `json:"name"`
 	}
@@ -188,7 +213,7 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"created": req.Name})
 }
 
-func (s *server) handleArchive(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
 	name := campaignName(r)
 	if err := s.reg.Archive(name); err != nil {
 		code := http.StatusBadRequest
@@ -211,7 +236,7 @@ func (s *server) handleArchive(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"archived": name})
 }
 
-func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	var req publishRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
@@ -269,7 +294,7 @@ func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleRequest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 	worker := r.URL.Query().Get("worker")
 	if worker == "" {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing worker"))
@@ -310,7 +335,7 @@ type submitRequest struct {
 	Choice int    `json:"choice"`
 }
 
-func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
@@ -331,7 +356,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
 }
 
-func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.URL.Query().Get("task"))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid task: %w", err))
@@ -344,7 +369,7 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sys.CurrentResult(id))
 }
 
-func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	sys, _, ok := s.campaign(w, r)
 	if !ok {
 		return
@@ -359,7 +384,7 @@ func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
-func (s *server) handleWorker(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleWorker(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("id")
 	if id == "" {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing id"))
@@ -376,7 +401,7 @@ func (s *server) handleWorker(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleDomains(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
 	// The domain taxonomy is a property of the knowledge base, shared by
 	// every campaign, so the endpoint stays registry-wide.
 	names, err := docs.DomainNames()
@@ -407,6 +432,14 @@ type statsJSON struct {
 	Goroutines          int     `json:"goroutines"`
 	Campaigns           int     `json:"campaigns"`
 
+	// Batched-submit counters: batches_total accepted POST /submit-batch
+	// calls, batch_answers_total the answers they carried,
+	// batch_answers_mean their ratio (0 until the first batch). Single
+	// submits leave all three at zero.
+	BatchesTotal      int64   `json:"batches_total"`
+	BatchAnswersTotal int64   `json:"batch_answers_total"`
+	BatchAnswersMean  float64 `json:"batch_answers_mean"`
+
 	// Durability counters, all zero when the server runs without -wal-dir.
 	WALEnabled            bool   `json:"wal_enabled"`
 	WALLastSeq            uint64 `json:"wal_last_seq"`
@@ -425,7 +458,7 @@ type statsJSON struct {
 	RecoverySeconds          float64 `json:"recovery_seconds"`
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sys, name, ok := s.campaign(w, r)
 	if !ok {
 		return
@@ -456,6 +489,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:            uptime,
 		Goroutines:               runtime.NumGoroutine(),
 		Campaigns:                liveCampaigns,
+		BatchesTotal:             st.BatchesTotal,
+		BatchAnswersTotal:        st.BatchAnswersTotal,
 		WALEnabled:               st.WALEnabled,
 		WALLastSeq:               st.WALLastSeq,
 		CheckpointsCompleted:     st.CheckpointsCompleted,
@@ -472,6 +507,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if uptime > 0 {
 		out.AnswersPerSec = float64(st.Answers) / uptime
+	}
+	if st.BatchesTotal > 0 {
+		out.BatchAnswersMean = float64(st.BatchAnswersTotal) / float64(st.BatchesTotal)
 	}
 	prev, seen := s.rates[name]
 	if !seen {

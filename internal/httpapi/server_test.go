@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -13,14 +13,14 @@ import (
 	"docs"
 )
 
-func testServer(t *testing.T) (*httptest.Server, *server) {
+func testServer(t *testing.T) (*httptest.Server, *Server) {
 	t.Helper()
-	srv, err := newServer(docs.Config{GoldenCount: -1, HITSize: 3})
+	srv, err := New(docs.Config{GoldenCount: -1, HITSize: 3}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { srv.close() })
-	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts, srv
 }
@@ -416,12 +416,12 @@ func TestServerMultiCampaign(t *testing.T) {
 // across two campaigns; with -race it verifies the lock-free server plus
 // the concurrent cores end to end over real HTTP.
 func TestServerConcurrentTraffic(t *testing.T) {
-	srv, err := newServer(docs.Config{GoldenCount: -1, HITSize: 3, AnswersPerTask: 4, AsyncRerun: true, RerunEvery: 10})
+	srv, err := New(docs.Config{GoldenCount: -1, HITSize: 3, AnswersPerTask: 4, AsyncRerun: true, RerunEvery: 10}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { srv.close() })
-	hts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() { srv.Close() })
+	hts := httptest.NewServer(srv.Handler())
 	t.Cleanup(hts.Close)
 
 	tasks := make([]map[string]any, 40)
@@ -520,12 +520,12 @@ func TestServerConcurrentTraffic(t *testing.T) {
 // pool drains to empty, and /stats exposes the candidate-index and lease
 // gauges (open_tasks, index_epoch, leases_active).
 func TestLeasedRequestsOverHTTP(t *testing.T) {
-	srv, err := newServer(docs.Config{GoldenCount: -1, HITSize: 2, LeaseTTL: time.Minute})
+	srv, err := New(docs.Config{GoldenCount: -1, HITSize: 2, LeaseTTL: time.Minute}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { srv.close() })
-	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 
 	if resp, out := doJSON(t, "POST", ts.URL+"/publish", publishBody()); resp.StatusCode != 200 {

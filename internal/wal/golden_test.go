@@ -22,6 +22,13 @@ func goldenRecords() []Record {
 		{Seq: 128, Kind: KindAnswer, Worker: "", Task: 128, Choice: 2},
 		{Seq: 300, Kind: KindAnswer, Worker: "wörker-ünïcode", Task: 16384, Choice: 0},
 		{Seq: 301, Kind: KindPublish, Blob: nil},
+		// A batched-submit group: the blob is itself a wire batch body
+		// (magic + framed position-tagged answers), pinning both layers of
+		// the format at once.
+		{Seq: 302, Kind: KindBatch, Blob: EncodeBatch(nil, []Record{
+			{Worker: "w0", Task: 1, Choice: 1},
+			{Worker: "w1", Task: 2, Choice: 0},
+		})},
 	}
 }
 

@@ -18,6 +18,11 @@ const (
 	// tasks, including the domain vectors DVE computed, so recovery does
 	// not depend on the knowledge base being byte-identical across builds.
 	KindPublish Kind = 2
+	// KindBatch is one batched-submit group: the blob is the wire batch
+	// body (EncodeBatch) holding N accepted answers. The whole group lives
+	// in one frame, so under the torn-tail crash rule it is durable
+	// all-or-nothing; replay expands it back into per-answer submits.
+	KindBatch Kind = 3
 )
 
 // Record is one durable event. Seq is assigned by Log.Append and is
@@ -46,6 +51,7 @@ const maxStringLen = MaxPayload
 //
 // KindAnswer:  len(worker) uvarint | worker bytes | task uvarint | choice uvarint
 // KindPublish: len(blob) uvarint | blob bytes
+// KindBatch:   len(blob) uvarint | blob bytes (a wire batch body, see wire.go)
 func (r Record) Encode() []byte {
 	return r.encode(nil)
 }
@@ -59,7 +65,7 @@ func (r Record) encode(dst []byte) []byte {
 		dst = append(dst, r.Worker...)
 		dst = binary.AppendUvarint(dst, uint64(r.Task))
 		dst = binary.AppendUvarint(dst, uint64(r.Choice))
-	case KindPublish:
+	case KindPublish, KindBatch:
 		dst = binary.AppendUvarint(dst, uint64(len(r.Blob)))
 		dst = append(dst, r.Blob...)
 	}
@@ -114,7 +120,7 @@ func Decode(payload []byte) (Record, error) {
 			return r, fmt.Errorf("wal: task/choice out of int range")
 		}
 		r.Task, r.Choice = int(task), int(choice)
-	case KindPublish:
+	case KindPublish, KindBatch:
 		r.Blob, rest, err = readBytes(rest)
 		if err != nil {
 			return r, fmt.Errorf("wal: blob: %w", err)

@@ -61,3 +61,47 @@ go run ./cmd/docs-bench -exp assign -quick
 # artifact).
 echo "check_bench: smoke-running docs-bench -exp recover (run-only, no threshold)"
 go run ./cmd/docs-bench -exp recover -quick -json bench/BENCH_recover.json
+
+# HTTP load guard: drive the real server (real TCP, WAL + fsync) with the
+# open-loop harness and gate BATCHED throughput two ways against the
+# committed bench/BENCH_http.json (quick-mode shape, reference machine):
+#  1. relative — best batched answers/sec must not regress more than the
+#     threshold (default 25%, override with BENCH_HTTP_THRESHOLD, a
+#     multiplier like 1.50 for slower runner classes);
+#  2. structural — batched must stay >= 3x single-submit in the SAME
+#     fresh run (machine-independent: it is the protocol's whole point).
+# The fresh rows overwrite bench/BENCH_http.json in the workspace so CI
+# uploads what this run measured; the committed copy stays the baseline.
+http_json=bench/BENCH_http.json
+http_threshold=${BENCH_HTTP_THRESHOLD:-1.25}
+parse_http() { # $1=file $2=mode-regex -> best answers_per_sec among matching rows
+    awk -v want="$2" '
+        /"mode":/    { m = $2; gsub(/[",]/, "", m) }
+        /"answers_per_sec":/ {
+            v = $2; gsub(/,/, "", v)
+            if (m ~ want && v + 0 > best) best = v + 0
+        }
+        END { print best + 0 }' "$1"
+}
+base_batched=$(parse_http "$http_json" "^batch-")
+if [ "$base_batched" = "0" ]; then
+    echo "check_bench: no batched rows in committed $http_json" >&2
+    exit 2
+fi
+echo "check_bench: running docs-bench -exp http (batched throughput guard)"
+go run ./cmd/docs-bench -exp http -quick -http-json "$http_json"
+new_batched=$(parse_http "$http_json" "^batch-")
+new_single=$(parse_http "$http_json" "^single$")
+awk -v new="$new_batched" -v base="$base_batched" -v single="$new_single" -v thr="$http_threshold" 'BEGIN {
+    floor = base / thr
+    printf "check_bench: batched %.0f answers/sec, baseline %.0f, floor %.0f (/%.2f); single %.0f\n", new, base, floor, thr, single
+    if (new < floor) {
+        printf "check_bench: FAIL — batched HTTP throughput regressed %.1f%% below the baseline\n", (1 - new / base) * 100
+        exit 1
+    }
+    if (new < 3 * single) {
+        printf "check_bench: FAIL — batched throughput %.1fx single, need >= 3x\n", new / single
+        exit 1
+    }
+    printf "check_bench: OK (batched %+.1f%% vs baseline, %.1fx single)\n", (new / base - 1) * 100, new / single
+}'
