@@ -1,0 +1,35 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"docs/internal/experiment"
+)
+
+// accuracyRunner wires the adversarial accuracy experiment: DOCS vs
+// MV/IC/FC (shared answer set) and vs Baseline/D-Max (Fig.8 campaigns)
+// across the population mixes of docs/experiments.md. With -accuracy-json
+// the deterministic artifact is written for scripts/check_bench.sh, which
+// gates the DOCS−MV margin at every spammer fraction against the committed
+// bench/BENCH_accuracy.json.
+func accuracyRunner(jsonPath *string) func(seed uint64, quick bool) (*experiment.Table, error) {
+	return func(seed uint64, quick bool) (*experiment.Table, error) {
+		tb, res, err := experiment.AccuracyExperiment(seed, quick)
+		if err != nil {
+			return nil, err
+		}
+		if *jsonPath != "" {
+			b, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			b = append(b, '\n')
+			if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+				return nil, err
+			}
+			tb.Notes = append(tb.Notes, "artifact written to "+*jsonPath)
+		}
+		return tb, nil
+	}
+}

@@ -72,6 +72,7 @@ func main() {
 	httpClients := flag.Int("http-workers", 0, "http experiment concurrent client goroutines (0 = default 128, quick 32)")
 	httpBatch := flag.Int("http-batch", 64, "http experiment answers per batch")
 	httpJSON := flag.String("http-json", "", "write the http experiment's rows as JSON to this path (the BENCH_http.json CI artifact)")
+	accuracyJSON := flag.String("accuracy-json", "", "write the accuracy experiment's rows as JSON to this path (the BENCH_accuracy.json CI artifact)")
 	flag.Parse()
 
 	runners := append(runners,
@@ -79,7 +80,8 @@ func main() {
 		runner{"multicampaign", multiCampaign, "registry serving N campaigns, shared vs isolated worker store"},
 		runner{"assign", assignLatency, "per-request assignment latency: indexed candidate set vs full scan"},
 		runner{"recover", recoverBoot(*recoverAnswers, jsonOut), "boot lag: full WAL replay vs state-snapshot restore"},
-		runner{"http", httpLoad(httpRate, httpClients, httpBatch, httpJSON), "open-loop HTTP load: single vs batched submission over the real server"})
+		runner{"http", httpLoad(httpRate, httpClients, httpBatch, httpJSON), "open-loop HTTP load: single vs batched submission over the real server"},
+		runner{"accuracy", accuracyRunner(accuracyJSON), "adversarial crowds: DOCS vs MV/IC/FC/D-Max accuracy per population mix"})
 	ran := 0
 	for _, r := range runners {
 		if *exp != "all" && *exp != r.id {

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"docs/internal/crowd"
+	"docs/internal/truth"
+)
+
+// parseAdversarial turns the -adversarial spec string into a population
+// config. The spec is a comma-separated list of key=value fields:
+//
+//	spam=0.2          fraction of workers answering uniformly at random
+//	sleep=0.1         fraction of sleepers (honest on golden, then degraded)
+//	sleep-honest=20   answers a sleeper stays honest for
+//	sleep-quality=0.3 sleeper accuracy after waking
+//	cliques=2x3       C colluding cliques of S workers each (S defaults to 3)
+//	clique-rate=1.0   probability a colluder follows the clique vote
+//	drift=-0.002      per-answer quality drift applied to every worker
+//	drift-floor=0.25  drift clamp
+//
+// Example: -adversarial "spam=0.2,sleep=0.1,cliques=2x3,drift=-0.002"
+func parseAdversarial(spec string) (crowd.Adversarial, error) {
+	var adv crowd.Adversarial
+	if strings.TrimSpace(spec) == "" {
+		return adv, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return adv, fmt.Errorf("bad field %q (want key=value)", part)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		f := func() (float64, error) { return strconv.ParseFloat(val, 64) }
+		var err error
+		switch key {
+		case "spam":
+			adv.SpammerFraction, err = f()
+		case "sleep":
+			adv.SleeperFraction, err = f()
+		case "sleep-honest":
+			adv.SleeperHonest, err = strconv.Atoi(val)
+		case "sleep-quality":
+			adv.SleeperQuality, err = f()
+		case "cliques":
+			c, s, sized := strings.Cut(val, "x")
+			if adv.Cliques, err = strconv.Atoi(c); err == nil && sized {
+				adv.CliqueSize, err = strconv.Atoi(s)
+			}
+		case "clique-rate":
+			adv.CliqueRate, err = f()
+		case "drift":
+			adv.DriftPerAnswer, err = f()
+		case "drift-floor":
+			adv.DriftFloor, err = f()
+		default:
+			return adv, fmt.Errorf("unknown adversarial key %q", key)
+		}
+		if err != nil {
+			return adv, fmt.Errorf("field %q: %v", part, err)
+		}
+	}
+	return adv, nil
+}
+
+var archetypeOrder = []crowd.Archetype{crowd.Honest, crowd.Spammer, crowd.Sleeper, crowd.Colluder}
+
+// printComposition reports how the population was dealt across archetypes.
+func printComposition(pop *crowd.Population) {
+	comp := pop.Composition()
+	parts := make([]string, 0, len(comp))
+	for _, at := range archetypeOrder {
+		if n := comp[at]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %v", n, at))
+		}
+	}
+	fmt.Printf("population: %d workers (%s)\n", len(pop.Workers), strings.Join(parts, ", "))
+}
+
+// printAdversarialReport shows whether the campaign's quality estimates
+// separated the archetypes: the mean estimated quality per archetype should
+// put spammers and woken sleepers in the bottom tiers.
+func printAdversarialReport(pop *crowd.Population, res *truth.Result) {
+	type agg struct {
+		n   int
+		sum float64
+	}
+	stats := map[crowd.Archetype]*agg{}
+	for _, w := range pop.Workers {
+		eq, ok := res.Quality[w.ID]
+		if !ok || len(eq) == 0 {
+			continue
+		}
+		var mean float64
+		for _, q := range eq {
+			mean += q
+		}
+		mean /= float64(len(eq))
+		a := stats[w.Archetype]
+		if a == nil {
+			a = &agg{}
+			stats[w.Archetype] = a
+		}
+		a.n++
+		a.sum += mean
+	}
+	fmt.Println("adversarial detection (mean estimated quality by archetype):")
+	for _, at := range archetypeOrder {
+		if a := stats[at]; a != nil && a.n > 0 {
+			fmt.Printf("  %-9v %3d workers  est quality %.3f\n", at, a.n, a.sum/float64(a.n))
+		}
+	}
+}

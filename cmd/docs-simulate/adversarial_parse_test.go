@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"docs/internal/crowd"
+)
+
+func TestParseAdversarial(t *testing.T) {
+	adv, err := parseAdversarial("spam=0.2, sleep=0.1, cliques=2x4, drift=-0.002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.SpammerFraction != 0.2 || adv.SleeperFraction != 0.1 {
+		t.Errorf("fractions: got spam=%v sleep=%v", adv.SpammerFraction, adv.SleeperFraction)
+	}
+	if adv.Cliques != 2 || adv.CliqueSize != 4 {
+		t.Errorf("cliques: got %dx%d, want 2x4", adv.Cliques, adv.CliqueSize)
+	}
+	if adv.DriftPerAnswer != -0.002 {
+		t.Errorf("drift: got %v", adv.DriftPerAnswer)
+	}
+
+	adv, err = parseAdversarial("cliques=3,sleep-honest=10,sleep-quality=0.4,clique-rate=0.9,drift-floor=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Cliques != 3 || adv.CliqueSize != 0 {
+		t.Errorf("bare clique count: got %dx%d, want 3 with default size", adv.Cliques, adv.CliqueSize)
+	}
+	if adv.SleeperHonest != 10 || adv.SleeperQuality != 0.4 || adv.CliqueRate != 0.9 || adv.DriftFloor != 0.2 {
+		t.Errorf("tuning keys misparsed: %+v", adv)
+	}
+
+	if adv, err := parseAdversarial(""); err != nil || adv != (crowd.Adversarial{}) {
+		t.Errorf("empty spec: got %+v, %v", adv, err)
+	}
+	for _, bad := range []string{"spam", "spam=x", "bogus=1", "cliques=2xq"} {
+		if _, err := parseAdversarial(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}

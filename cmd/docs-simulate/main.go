@@ -54,7 +54,13 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "answers between WAL checkpoints (0 = default, negative = never)")
 	server := flag.String("server", "", "drive a running docs-server at this base URL over HTTP instead of an in-process registry; all workers share one keep-alive connection pool")
 	batch := flag.Int("batch", 0, "submit answers in batches of up to N per call (POST /submit-batch over HTTP, the batched core entry locally); 0 or 1 = one answer per submit")
+	adversarial := flag.String("adversarial", "", `adversarial population spec, e.g. "spam=0.2,sleep=0.1,cliques=2x3,drift=-0.002" (empty = honest crowd)`)
 	flag.Parse()
+
+	adv, err := parseAdversarial(*adversarial)
+	if err != nil {
+		log.Fatalf("docs-simulate: -adversarial: %v", err)
+	}
 
 	if *server != "" {
 		client := newSimClient()
@@ -67,9 +73,13 @@ func main() {
 			M:               kb.MustDefault().Domains().Size(),
 			RelevantDomains: base.YahooIndex,
 			Seed:            *seed,
+			Adversarial:     adv,
 		})
 		if err != nil {
 			log.Fatalf("docs-simulate: %v", err)
+		}
+		if *adversarial != "" {
+			printComposition(pop)
 		}
 		for ci := 0; ci < *campaigns; ci++ {
 			ds := base
@@ -113,9 +123,13 @@ func main() {
 		M:               kb.MustDefault().Domains().Size(),
 		RelevantDomains: base.YahooIndex,
 		Seed:            *seed,
+		Adversarial:     adv,
 	})
 	if err != nil {
 		log.Fatalf("docs-simulate: %v", err)
+	}
+	if *adversarial != "" {
+		printComposition(pop)
 	}
 
 	for ci := 0; ci < *campaigns; ci++ {
@@ -250,6 +264,9 @@ func runCampaign(reg *registry.Registry, cname string, ds *dataset.Dataset, pop 
 
 	if verbose {
 		printWorkerCalibration(sys, pop, ds, res)
+	}
+	if comp := pop.Composition(); len(comp) > 1 || comp[crowd.Honest] != len(pop.Workers) {
+		printAdversarialReport(pop, res)
 	}
 }
 

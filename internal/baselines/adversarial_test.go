@@ -1,0 +1,86 @@
+package baselines
+
+import (
+	"testing"
+
+	"docs/internal/crowd"
+	"docs/internal/mathx"
+	"docs/internal/model"
+	"docs/internal/truth"
+)
+
+// Spammers (uniform-random answers) must hurt naive majority vote
+// measurably, and the reliability-aware DS baseline — seeded from golden
+// profiling — must claw a margin back by downweighting them. This pins the
+// qualitative robustness ordering the accuracy benchmark tracks.
+func TestAdversarialSpamRobustnessMVvsDS(t *testing.T) {
+	const (
+		m      = 6
+		nTasks = 150
+		seed   = 99
+	)
+	r := mathx.NewRand(seed)
+	mk := func(id int) *model.Task {
+		dom := make(model.DomainVector, m)
+		dom[r.Intn(m)] = 1
+		return &model.Task{
+			ID: id, Choices: []string{"a", "b", "c", "d"},
+			Domain: dom, Truth: r.Intn(4), TrueDomain: model.NoTruth,
+		}
+	}
+	tasks := make([]*model.Task, nTasks)
+	for i := range tasks {
+		tasks[i] = mk(i)
+	}
+	golden := make([]*model.Task, 24)
+	for i := range golden {
+		golden[i] = mk(nTasks + i)
+	}
+
+	run := func(spam float64) (mvAcc, dsAcc float64) {
+		pop, err := crowd.NewPopulation(crowd.Config{
+			NumWorkers: 40, M: m, Seed: seed,
+			Adversarial: crowd.Adversarial{SpammerFraction: spam},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		init := make(map[string]float64, len(pop.Workers))
+		for w, as := range crowd.AnswerGolden(golden, pop) {
+			st := truth.EstimateFromGolden(golden, as, m)
+			var num, den float64
+			for k, q := range st.Q {
+				num += q * st.U[k]
+				den += st.U[k]
+			}
+			init[w] = num / den
+		}
+		answers, err := crowd.Collect(tasks, pop, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inf := range []TruthInferrer{MV{}, &DS{InitReliability: init}} {
+			got, err := inf.InferTruth(tasks, answers)
+			if err != nil {
+				t.Fatalf("%s: %v", inf.Name(), err)
+			}
+			acc := accuracy(tasks, got)
+			if inf.Name() == "MV" {
+				mvAcc = acc
+			} else {
+				dsAcc = acc
+			}
+		}
+		return mvAcc, dsAcc
+	}
+
+	mvClean, _ := run(0)
+	mvSpam, dsSpam := run(0.4)
+	t.Logf("MV clean %.3f, MV 40%% spam %.3f, DS 40%% spam %.3f", mvClean, mvSpam, dsSpam)
+	if mvClean-mvSpam < 0.05 {
+		t.Errorf("40%% spam barely hurt MV: clean %.3f vs spam %.3f", mvClean, mvSpam)
+	}
+	if dsSpam < mvSpam+0.02 {
+		t.Errorf("reliability-aware DS (%.3f) should beat MV (%.3f) under 40%% spam", dsSpam, mvSpam)
+	}
+}

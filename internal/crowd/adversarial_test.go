@@ -1,0 +1,272 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+func advTask(id, truth, ell int) *model.Task {
+	choices := []string{"a", "b", "c", "d", "e"}[:ell]
+	return &model.Task{
+		ID: id, Choices: choices,
+		Domain: model.DomainVector{1, 0, 0, 0}, Truth: truth, TrueDomain: model.NoTruth,
+	}
+}
+
+// Enabling the zero-value Adversarial section must not change anything:
+// same quality draws, all workers honest, identical answer streams.
+func TestAdversarialZeroValueNoOp(t *testing.T) {
+	plain, _ := NewPopulation(testConfig(25, 21))
+	cfg := testConfig(25, 21)
+	cfg.Adversarial = Adversarial{}
+	adv, err := NewPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := advTask(0, 1, 3)
+	ra, rb := mathx.NewRand(9), mathx.NewRand(9)
+	for i := range plain.Workers {
+		wa, wb := plain.Workers[i], adv.Workers[i]
+		if wb.Archetype != Honest {
+			t.Fatalf("worker %s archetype %v, want honest", wb.ID, wb.Archetype)
+		}
+		for k := range wa.TrueQ {
+			if wa.TrueQ[k] != wb.TrueQ[k] {
+				t.Fatal("zero-value Adversarial changed quality draws")
+			}
+		}
+		for j := 0; j < 50; j++ {
+			if wa.Answer(task, ra) != wb.Answer(task, rb) {
+				t.Fatal("zero-value Adversarial changed the answer stream")
+			}
+		}
+	}
+}
+
+// Two same-seed populations must match in archetypes, cliques, qualities
+// AND answer sequences — the bit-identical reproduction contract.
+func TestAdversarialDeterministic(t *testing.T) {
+	mk := func() *Population {
+		cfg := testConfig(40, 33)
+		cfg.Adversarial = Adversarial{
+			SpammerFraction: 0.2, SleeperFraction: 0.15,
+			Cliques: 2, CliqueSize: 3, DriftPerAnswer: -0.002,
+		}
+		pop, err := NewPopulation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pop
+	}
+	a, b := mk(), mk()
+	tasks := []*model.Task{advTask(0, 0, 4), advTask(1, 2, 4), advTask(2, 1, 2)}
+	ra, rb := mathx.NewRand(1), mathx.NewRand(1)
+	for i := range a.Workers {
+		wa, wb := a.Workers[i], b.Workers[i]
+		if wa.Archetype != wb.Archetype || wa.Clique != wb.Clique {
+			t.Fatalf("worker %s role differs across same-seed draws", wa.ID)
+		}
+		for _, tk := range tasks {
+			for j := 0; j < 30; j++ {
+				if wa.Answer(tk, ra) != wb.Answer(tk, rb) {
+					t.Fatalf("worker %s (%v) answer stream differs", wa.ID, wa.Archetype)
+				}
+			}
+		}
+	}
+}
+
+func TestCompositionCounts(t *testing.T) {
+	cfg := testConfig(40, 5)
+	cfg.Adversarial = Adversarial{
+		SpammerFraction: 0.25, SleeperFraction: 0.1, Cliques: 2, CliqueSize: 4,
+	}
+	pop, err := NewPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := pop.Composition()
+	if comp[Spammer] != 10 || comp[Sleeper] != 4 || comp[Colluder] != 8 {
+		t.Fatalf("composition %v, want 10 spammers / 4 sleepers / 8 colluders", comp)
+	}
+	if comp[Honest] != 40-10-4-8 {
+		t.Fatalf("honest count %d, want %d", comp[Honest], 40-10-4-8)
+	}
+	cliques := map[int]int{}
+	for _, w := range pop.Workers {
+		if w.Archetype == Colluder {
+			cliques[w.Clique]++
+		}
+	}
+	if len(cliques) != 2 || cliques[0] != 4 || cliques[1] != 4 {
+		t.Fatalf("clique sizes %v, want two cliques of 4", cliques)
+	}
+}
+
+// Spammers answer uniformly over ALL choices: accuracy ≈ 1/ℓ and every
+// choice (including the truth) equally likely.
+func TestSpammerUniform(t *testing.T) {
+	cfg := testConfig(4, 51)
+	cfg.Adversarial = Adversarial{SpammerFraction: 1}
+	pop, _ := NewPopulation(cfg)
+	w := pop.Workers[0]
+	task := advTask(0, 2, 4)
+	r := mathx.NewRand(3)
+	counts := map[int]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[w.Answer(task, r)]++
+	}
+	for c := 0; c < 4; c++ {
+		got := float64(counts[c]) / n
+		if math.Abs(got-0.25) > 0.01 {
+			t.Errorf("choice %d frequency %.3f, want 0.25", c, got)
+		}
+	}
+}
+
+// Sleepers are perfect for their first SleeperHonest answers (the golden
+// gauntlet), then collapse to SleeperQuality.
+func TestSleeperPhaseSwitch(t *testing.T) {
+	cfg := testConfig(4, 52)
+	cfg.Adversarial = Adversarial{SleeperFraction: 1, SleeperHonest: 25, SleeperQuality: 0.3}
+	pop, _ := NewPopulation(cfg)
+	w := pop.Workers[0]
+	task := advTask(0, 1, 4)
+	r := mathx.NewRand(4)
+	for i := 0; i < 25; i++ {
+		if w.Answer(task, r) != task.Truth {
+			t.Fatalf("sleeper wrong during honest phase (answer %d)", i)
+		}
+	}
+	correct := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if w.Answer(task, r) == task.Truth {
+			correct++
+		}
+	}
+	got := float64(correct) / n
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("post-profiling accuracy %.3f, want ≈0.30", got)
+	}
+}
+
+// Clique members cast the identical wrong vote on shared tasks with no
+// runtime coordination; distinct cliques disagree on at least some tasks.
+func TestCliqueCorrelatedVotes(t *testing.T) {
+	cfg := testConfig(12, 53)
+	cfg.Adversarial = Adversarial{Cliques: 2, CliqueSize: 5}
+	pop, _ := NewPopulation(cfg)
+	byClique := map[int][]*Worker{}
+	for _, w := range pop.Workers {
+		if w.Archetype == Colluder {
+			byClique[w.Clique] = append(byClique[w.Clique], w)
+		}
+	}
+	r := mathx.NewRand(5)
+	votes := map[int][]int{} // clique -> vote per task
+	for id := 0; id < 40; id++ {
+		task := advTask(id, id%4, 4)
+		for c, members := range byClique {
+			first := members[0].Answer(task, r)
+			if first == task.Truth {
+				t.Fatalf("clique %d voted the truth on task %d", c, id)
+			}
+			if first != CliqueChoice(members[0].beh.cliqueSeed, task) {
+				t.Fatalf("clique vote disagrees with CliqueChoice on task %d", id)
+			}
+			for _, m := range members[1:] {
+				if got := m.Answer(task, r); got != first {
+					t.Fatalf("clique %d split its vote on task %d: %d vs %d", c, id, got, first)
+				}
+			}
+			votes[c] = append(votes[c], first)
+		}
+	}
+	differ := 0
+	for i := range votes[0] {
+		if votes[0][i] != votes[1][i] {
+			differ++
+		}
+	}
+	if differ == 0 {
+		t.Error("two distinct cliques agreed on every task — seeds not independent")
+	}
+}
+
+// Negative drift degrades honest accuracy over a worker's answer history,
+// clamped at the floor.
+func TestQualityDrift(t *testing.T) {
+	cfg := testConfig(4, 54)
+	cfg.Adversarial = Adversarial{DriftPerAnswer: -0.0005, DriftFloor: 0.3}
+	pop, _ := NewPopulation(cfg)
+	w := pop.Workers[0]
+	w.TrueQ = model.QualityVector{0.9, 0.9, 0.9, 0.9} // pin p0 = 0.9
+	task := advTask(0, 0, 2)
+	r := mathx.NewRand(6)
+	phase := func(n int) float64 {
+		correct := 0
+		for i := 0; i < n; i++ {
+			if w.Answer(task, r) == task.Truth {
+				correct++
+			}
+		}
+		return float64(correct) / float64(n)
+	}
+	early := phase(400)           // mean p ≈ 0.9 − 0.0005·200 = 0.8
+	for i := 0; i < 100000; i++ { // deep into the floor regime
+		w.Answer(task, r)
+	}
+	late := phase(2000)
+	if early-late < 0.1 {
+		t.Errorf("drift did not degrade accuracy: early %.3f, late %.3f", early, late)
+	}
+	if math.Abs(late-0.3) > 0.03 {
+		t.Errorf("late accuracy %.3f, want floor ≈0.30", late)
+	}
+}
+
+func TestAdversarialValidation(t *testing.T) {
+	bad := []Adversarial{
+		{SpammerFraction: 1.5},
+		{SpammerFraction: -0.1},
+		{SleeperFraction: 2},
+		{SleeperFraction: 0.1, SleeperQuality: 1.5},
+		{Cliques: -1},
+		{Cliques: 1, CliqueSize: 1},
+		{Cliques: 1, CliqueRate: 2},
+		{DriftPerAnswer: -0.01, DriftFloor: 2},
+		{SpammerFraction: 0.6, SleeperFraction: 0.6}, // roles exceed population
+	}
+	for i, adv := range bad {
+		cfg := testConfig(10, 1)
+		cfg.Adversarial = adv
+		if _, err := NewPopulation(cfg); err == nil {
+			t.Errorf("case %d: invalid Adversarial %+v accepted", i, adv)
+		}
+	}
+}
+
+// CliqueChoice is a pure function: never the truth, stable across calls,
+// in range for any choice count.
+func TestCliqueChoicePure(t *testing.T) {
+	for id := 0; id < 200; id++ {
+		for ell := 2; ell <= 5; ell++ {
+			task := advTask(id, id%ell, ell)
+			got := CliqueChoice(77, task)
+			if got == task.Truth {
+				t.Fatalf("CliqueChoice returned the truth (task %d, ell %d)", id, ell)
+			}
+			if got < 0 || got >= ell {
+				t.Fatalf("CliqueChoice out of range: %d (ell %d)", got, ell)
+			}
+			if got != CliqueChoice(77, task) {
+				t.Fatal("CliqueChoice not stable")
+			}
+		}
+	}
+}

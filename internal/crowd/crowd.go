@@ -14,6 +14,7 @@ package crowd
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"docs/internal/mathx"
 	"docs/internal/model"
@@ -27,13 +28,61 @@ const DefaultAnswersPerTask = 10
 type Worker struct {
 	ID    string
 	TrueQ model.QualityVector
+	// Archetype is the worker's behavioral class; the zero value (Honest)
+	// follows the paper's answer model. Set by NewPopulation when the
+	// config carries an Adversarial section.
+	Archetype Archetype
+	// Clique groups colluders (0-based); meaningful only when Archetype is
+	// Colluder.
+	Clique int
+
+	// beh holds the archetype's fixed parameters; answered counts the
+	// answers this worker has given (drives sleeper phase switches and
+	// quality drift). Atomic: stress tests answer from many goroutines.
+	beh      behavior
+	answered atomic.Int64
 }
 
-// Answer simulates the worker answering the task: correct with probability
-// q̃·r, otherwise a uniformly random wrong choice. The caller supplies the
-// random source so collection order is reproducible.
+// Answered reports how many answers the worker has given so far.
+func (w *Worker) Answered() int { return int(w.answered.Load()) }
+
+// Answer simulates the worker answering the task. Honest workers are
+// correct with probability q̃·r and otherwise pick a uniformly random wrong
+// choice; adversarial archetypes override that model (see Archetype). The
+// caller supplies the random source so collection order is reproducible.
 func (w *Worker) Answer(t *model.Task, r *mathx.Rand) int {
+	n := w.answered.Add(1) - 1 // answers given before this one
+	switch w.Archetype {
+	case Spammer:
+		return r.Intn(t.NumChoices())
+	case Sleeper:
+		if n < int64(w.beh.sleeperHonest) {
+			return t.Truth
+		}
+		return w.answerWithProb(t, w.beh.sleeperQuality, r)
+	case Colluder:
+		if r.Float64() < w.beh.cliqueRate {
+			return CliqueChoice(w.beh.cliqueSeed, t)
+		}
+	}
+	// Honest model (also the colluder's fallback), optionally drifted.
 	p := w.TrueQ.Expected(t.Domain)
+	if d := w.beh.driftPerAnswer; d != 0 {
+		p += d * float64(n)
+		if p < w.beh.driftFloor {
+			p = w.beh.driftFloor
+		}
+		if p > 1 {
+			p = 1
+		}
+	}
+	return w.answerWithProb(t, p, r)
+}
+
+// answerWithProb draws Float64 then (on a miss) Intn(ℓ-1) — the exact
+// stream order the pre-adversarial Answer used, so honest populations
+// reproduce bit-identical answer sequences.
+func (w *Worker) answerWithProb(t *model.Task, p float64, r *mathx.Rand) int {
 	if r.Float64() < p {
 		return t.Truth
 	}
@@ -68,7 +117,15 @@ type Config struct {
 	DomainBias []float64
 	// AdversarialFraction of workers answer at uniform-random quality 1/ℓ
 	// regardless of domain (spammers). Default 0.
+	//
+	// Deprecated-ish: this legacy knob only flattens TrueQ to 0.5 coin
+	// flips. The Adversarial section below configures the real archetypes
+	// (spammers, sleepers, cliques, drift); both may coexist.
 	AdversarialFraction float64
+	// Adversarial configures spammer/sleeper/colluder/drift archetypes.
+	// The zero value is a no-op: populations are bit-identical to ones
+	// drawn before the field existed.
+	Adversarial Adversarial
 	// Seed drives the population draw.
 	Seed uint64
 }
@@ -149,6 +206,11 @@ func NewPopulation(cfg Config) (*Population, error) {
 			}
 		}
 		pop.Workers = append(pop.Workers, w)
+	}
+	// Archetypes are dealt after the full draw, from a separately-derived
+	// rand: enabling adversaries never shifts the honest quality stream.
+	if err := applyAdversarial(pop, c.Adversarial, c.Seed); err != nil {
+		return nil, err
 	}
 	return pop, nil
 }

@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"encoding/json"
+	"testing"
+
+	"docs/internal/crowd"
+	"docs/internal/mathx"
+	"docs/internal/model"
+	"docs/internal/truth"
+)
+
+// smallAccSizes keeps the property tests fast while staying far enough
+// from saturation that quality weighting matters.
+func smallAccSizes() accSizes {
+	return accSizes{tasks: 120, workers: 40, redundancy: 5, golden: 16, m: 8, choices: 4, budgetPerTask: 4}
+}
+
+// DOCS accuracy must degrade monotonically (within tolerance) as the
+// spammer fraction rises — more spam can never help.
+func TestAccuracyMonotoneSpammerDegradation(t *testing.T) {
+	sz := smallAccSizes()
+	const tol = 0.05
+	for _, seed := range []uint64{testSeed, testSeed + 1} {
+		fractions := []float64{0, 0.15, 0.30, 0.45}
+		var docs []float64
+		for _, f := range fractions {
+			cells, err := accuracyInference(seed, sz, crowd.Adversarial{SpammerFraction: f})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range cells {
+				if c.method == "DOCS" {
+					docs = append(docs, c.acc)
+				}
+			}
+		}
+		for i := 1; i < len(docs); i++ {
+			if docs[i] > docs[i-1]+tol {
+				t.Errorf("seed %d: DOCS accuracy rose with more spam: %.3f at %.0f%% vs %.3f at %.0f%%",
+					seed, docs[i], fractions[i]*100, docs[i-1], fractions[i-1]*100)
+			}
+		}
+		if docs[len(docs)-1] >= docs[0] {
+			t.Errorf("seed %d: 45%% spam did not degrade DOCS at all (%.3f vs clean %.3f)",
+				seed, docs[len(docs)-1], docs[0])
+		}
+	}
+}
+
+// Golden-task profiling must detect spammers: every spammer's mean
+// estimated quality lands strictly below every honest worker's (the bottom
+// tier), across seeds.
+func TestGoldenProfilingDetectsSpammers(t *testing.T) {
+	sz := smallAccSizes()
+	sz.golden = 32 // enough golden exposure per domain to overcome smoothing
+	for _, seed := range []uint64{testSeed, testSeed + 7, testSeed + 13} {
+		_, golden := accuracyTasks(seed, sz)
+		pop, err := accuracyPop(seed, sz, crowd.Adversarial{SpammerFraction: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats := goldenProfile(pop, golden, sz.m)
+		// Exposure-weighted mean: domains the golden set never exercised sit
+		// at the smoothing prior for everyone and would only blur the tiers.
+		mean := func(w *crowd.Worker) float64 {
+			st := stats[w.ID]
+			var num, den float64
+			for k, q := range st.Q {
+				num += q * st.U[k]
+				den += st.U[k]
+			}
+			return num / den
+		}
+		worstHonest, bestSpammer := 2.0, -1.0
+		var honestID, spamID string
+		for _, w := range pop.Workers {
+			m := mean(w)
+			switch w.Archetype {
+			case crowd.Spammer:
+				if m > bestSpammer {
+					bestSpammer, spamID = m, w.ID
+				}
+			case crowd.Honest:
+				if m < worstHonest {
+					worstHonest, honestID = m, w.ID
+				}
+			}
+		}
+		if bestSpammer >= worstHonest {
+			t.Errorf("seed %d: spammer %s profiled at %.3f, above honest %s at %.3f",
+				seed, spamID, bestSpammer, honestID, worstHonest)
+		}
+	}
+}
+
+// Profiling must never demote an always-right worker below an always-wrong
+// one, whatever the golden set looks like: per-domain estimates must order
+// right ≥ wrong everywhere, strictly wherever the domain saw answers.
+func TestGoldenProfilingOrdersRightAboveWrong(t *testing.T) {
+	r := mathx.NewRand(testSeed ^ 0x0bde)
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + r.Intn(6)
+		nGolden := 1 + r.Intn(24)
+		golden := make([]*model.Task, nGolden)
+		var right, wrong []model.Answer
+		for i := range golden {
+			ell := 2 + r.Intn(3)
+			dom := make(model.DomainVector, m)
+			if r.Float64() < 0.5 {
+				dom[r.Intn(m)] = 1 // one-hot
+			} else {
+				dom = model.DomainVector(r.Dirichlet(m, 0.8)) // mixed
+			}
+			truthChoice := r.Intn(ell)
+			golden[i] = &model.Task{
+				ID: i, Choices: []string{"a", "b", "c", "d"}[:ell],
+				Domain: dom, Truth: truthChoice, TrueDomain: model.NoTruth,
+			}
+			right = append(right, model.Answer{Worker: "right", Task: i, Choice: truthChoice})
+			w := r.Intn(ell - 1)
+			if w >= truthChoice {
+				w++
+			}
+			wrong = append(wrong, model.Answer{Worker: "wrong", Task: i, Choice: w})
+		}
+		qr := truth.EstimateFromGolden(golden, right, m)
+		qw := truth.EstimateFromGolden(golden, wrong, m)
+		for k := 0; k < m; k++ {
+			if qr.Q[k] < qw.Q[k] {
+				t.Fatalf("trial %d: domain %d ranks always-right (%.3f) below always-wrong (%.3f)",
+					trial, k, qr.Q[k], qw.Q[k])
+			}
+			if qr.U[k] > 0 && qr.Q[k] <= qw.Q[k] {
+				t.Fatalf("trial %d: domain %d (weight %.2f) does not strictly prefer always-right: %.3f vs %.3f",
+					trial, k, qr.U[k], qr.Q[k], qw.Q[k])
+			}
+		}
+	}
+}
+
+// The committed artifact's contract: two same-seed runs serialize
+// byte-identically, and the guard's margins hold — DOCS ≥ MV at every
+// gated mix and strictly above at the top spammer fraction.
+func TestAccuracyArtifactDeterministicAndMargins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick-mode accuracy sweep twice")
+	}
+	run := func() ([]byte, *AccuracyResult) {
+		_, res, err := AccuracyExperiment(testSeed, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, res
+	}
+	b1, res := run()
+	b2, _ := run()
+	if string(b1) != string(b2) {
+		t.Fatal("two same-seed accuracy runs serialized differently")
+	}
+	if len(res.Margins) < 4 {
+		t.Fatalf("only %d gated mixes, want clean + >=3 spammer fractions", len(res.Margins))
+	}
+	var top AccuracyMargin
+	for _, mg := range res.Margins {
+		if mg.DOCSMinusMV < 0 {
+			t.Errorf("mix %s: DOCS %.3f below MV %.3f", mg.Mix, mg.DOCS, mg.MV)
+		}
+		if mg.SpammerFraction > top.SpammerFraction {
+			top = mg
+		}
+	}
+	if top.DOCSMinusMV <= 0 {
+		t.Errorf("at the top spammer fraction (%.0f%%) DOCS does not strictly beat MV (margin %.3f)",
+			top.SpammerFraction*100, top.DOCSMinusMV)
+	}
+}

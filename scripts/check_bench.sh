@@ -105,3 +105,54 @@ awk -v new="$new_batched" -v base="$base_batched" -v single="$new_single" -v thr
     }
     printf "check_bench: OK (batched %+.1f%% vs baseline, %.1fx single)\n", (new / base - 1) * 100, new / single
 }'
+
+# Accuracy guard: adversarial crowds must not erase DOCS's edge. The
+# committed bench/BENCH_accuracy.json carries the DOCS(TI) − MV margin per
+# gated spammer fraction; a fresh quick run (seeded, deterministic — the
+# numbers are machine-independent) must reproduce every margin within
+# BENCH_ACCURACY_TOLERANCE (absolute accuracy points, default 0.05) and
+# must keep DOCS strictly above majority vote at the top spammer fraction.
+# The fresh rows overwrite bench/BENCH_accuracy.json in the workspace so
+# CI uploads what this run measured; the committed copy stays the baseline.
+acc_json=bench/BENCH_accuracy.json
+acc_tol=${BENCH_ACCURACY_TOLERANCE:-0.05}
+parse_margins() { # $1=file -> lines "spammer_fraction docs_minus_mv" from the margins array
+    awk '
+        /"margins":/ { inm = 1 }
+        inm && /"spammer_fraction":/ { f = $2; gsub(/,/, "", f) }
+        inm && /"docs_minus_mv":/    { v = $2; gsub(/,/, "", v); print f + 0, v + 0 }
+    ' "$1"
+}
+committed_margins=$(parse_margins "$acc_json")
+if [ -z "$committed_margins" ]; then
+    echo "check_bench: no margins in committed $acc_json" >&2
+    exit 2
+fi
+echo "check_bench: running docs-bench -exp accuracy (DOCS vs MV margin guard)"
+go run ./cmd/docs-bench -exp accuracy -quick -accuracy-json "$acc_json"
+fresh_margins=$(parse_margins "$acc_json")
+awk -v tol="$acc_tol" '
+    NR == FNR { base[$1] = $2; next }
+    { fresh[$1] = $2; if ($1 + 0 > top) top = $1 + 0 }
+    END {
+        fail = 0
+        for (f in base) {
+            if (!(f in fresh)) {
+                printf "check_bench: FAIL — spammer fraction %s missing from fresh accuracy run\n", f
+                fail = 1
+                continue
+            }
+            printf "check_bench: spam %.0f%%: DOCS-MV margin %+.3f (committed %+.3f, floor %+.3f)\n",
+                f * 100, fresh[f], base[f], base[f] - tol
+            if (fresh[f] < base[f] - tol) {
+                printf "check_bench: FAIL — DOCS-MV margin at spam %.0f%% regressed past tolerance\n", f * 100
+                fail = 1
+            }
+        }
+        if (fresh[top] <= 0) {
+            printf "check_bench: FAIL — DOCS does not strictly beat MV at the top spammer fraction (%+.3f)\n", fresh[top]
+            fail = 1
+        }
+        if (fail) exit 1
+        printf "check_bench: OK — DOCS holds its margin over MV at every gated mix, strictly above at spam %.0f%%\n", top * 100
+    }' <(echo "$committed_margins") <(echo "$fresh_margins")
