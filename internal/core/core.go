@@ -109,18 +109,33 @@ type Config struct {
 	// assignments; the scan survives as the equivalence oracle and the
 	// benchmark baseline (docs-bench -exp assign).
 	ScanAssign bool
+	// ProfileScope namespaces this campaign's golden-profiling merges in
+	// the shared long-run store: each worker's profiling merge is recorded
+	// under ProfileScope+"/"+worker and applied exactly once no matter how
+	// often the campaign's log replays (crash recovery, snapshot shadow).
+	// The registry passes the campaign name; a standalone System may leave
+	// it empty (the bare "/" namespace). Campaigns sharing one persistent
+	// store MUST use distinct scopes, or one campaign's replay would treat
+	// another campaign's profiling of the same worker as its own.
+	ProfileScope string
 }
 
 // workerShardCount shards per-worker serving state.
 const workerShardCount = shard.Count
 
 // workerState is everything the orchestrator tracks per worker: her golden
-// answers and profiling status, and the set of regular tasks she answered
-// (T(w), used to exclude tasks from her next assignment).
+// answers and profiling status, the set of regular tasks she answered
+// (T(w), used to exclude tasks from her next assignment), and her anchor —
+// the long-run statistics pinned when she was profiled or first seeded
+// from the store. Rerun initialization reads the anchor instead of the
+// live store (initQuality): the store keeps evolving under concurrent
+// campaigns, and a time-of-rerun store read is exactly the kind of
+// unlogged float input that made recovered state drift from live state.
 type workerState struct {
 	goldenAnswers []model.Answer
 	profiled      bool
 	answered      map[int]bool
+	anchor        *truth.Stats
 }
 
 type workerShard struct {
@@ -492,7 +507,14 @@ func (s *System) Request(workerID string, k int) ([]*model.Task, error) {
 		k = s.cfg.HITSize
 	}
 
-	if !s.workerReady(workerID, goldenList) {
+	ready, err := s.workerReady(workerID, goldenList)
+	if err != nil {
+		// The worker's store-seed could not be promised durable; surface it
+		// like any other durability failure instead of serving tasks whose
+		// assignment depended on state recovery would not reconstruct.
+		return nil, err
+	}
+	if !ready {
 		// Serve unanswered golden tasks first.
 		answered := s.goldenAnswered(workerID)
 		var out []*model.Task
@@ -677,14 +699,14 @@ func (s *System) submitOne(workerID string, taskID, choice int, g *batchGroup) e
 		if err != nil {
 			return err
 		}
-		// The answer becomes durable BEFORE the profiling merge: recovery
-		// skips persistent-store merges on the premise the store already
-		// absorbed them, so a crash in the merge-then-log order would leave
-		// a durable merge whose golden answer never replays — the worker
-		// re-answers and the merge double-counts, compounding per restart.
-		// In this order the worst crash loses one profiling merge (the
-		// worker just starts from the default prior next campaign), which
-		// is bounded and self-correcting.
+		// The answer becomes durable BEFORE the profiling merge. The merge
+		// is recorded under a campaign-scoped profile ID (MergeProfile), so
+		// both crash orders are safe: a crash after the merge replays the
+		// completing answer and finds the recorded ID (no double-count), and
+		// a crash before the merge replays the completing answer into an
+		// ID-less store and re-applies the merge bit-exactly (no loss). The
+		// old "one bounded profiling merge can die with the process" window
+		// is closed — TestCrashRecoversUnmergedProfiling pins the repair.
 		if err := s.walCommit(p); err != nil {
 			return err
 		}
@@ -701,8 +723,11 @@ func (s *System) submitOne(workerID string, taskID, choice int, g *batchGroup) e
 	}
 
 	// Seed the worker's quality from the long-run store before her first
-	// answer enters the incremental engine.
-	s.ensureWorker(workerID)
+	// answer enters the incremental engine (logged, so replay re-seeds the
+	// same bits rather than re-reading the store).
+	if err := s.ensureWorker(workerID); err != nil {
+		return err
+	}
 	// The truth engine's per-task lock is the authority on duplicate
 	// answers; ingest updates only that task's state plus the touched
 	// workers' shards, so submits to different tasks run in parallel.
@@ -1012,63 +1037,113 @@ func (s *System) answeredSnapshot(workerID string) map[int]bool {
 
 // workerReady reports whether the worker can receive regular tasks: either
 // profiled this session, known to the store, or there are no golden tasks
-// to profile with.
-func (s *System) workerReady(workerID string, goldenList []*model.Task) bool {
+// to profile with. Adopting a store profile is a durable event: the exact
+// statistics read (and the profiled-flag flip) are logged as a KindSeed
+// record under logMu, so replay restores the same bits at the same point
+// in the answer order instead of re-reading a store that may have moved on.
+func (s *System) workerReady(workerID string, goldenList []*model.Task) (bool, error) {
 	if len(goldenList) == 0 {
-		return true
+		return true, nil
 	}
 	sh := s.shard(workerID)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	// Lookup without creating: bare Request traffic (including unknown or
 	// scanning worker IDs) must not grow the shard maps — per-worker state
 	// is materialized only when there is something to record.
 	if ws, ok := sh.workers[workerID]; ok && ws.profiled {
-		return true
+		sh.mu.Unlock()
+		return true, nil
 	}
-	if st, ok := s.store.Worker(workerID); ok {
-		sh.state(workerID).profiled = true
-		_, _ = s.inc.SeedWorker(workerID, st)
-		return true
+	st, ok := s.store.Worker(workerID)
+	if !ok {
+		sh.mu.Unlock()
+		return false, nil
 	}
-	return false
+	// The seed record is forced even when the incremental engine already
+	// knew the worker (her regular answers preceded this request): the
+	// profiled-flag flip below must replay at this exact sequence, and the
+	// set-if-absent install loses identically on both sides.
+	s.logMu.Lock()
+	_, p, err := s.logSeed(workerID, st, true, true)
+	s.logMu.Unlock()
+	ws := sh.state(workerID)
+	ws.profiled = true
+	if ws.anchor == nil {
+		ws.anchor = st.Clone()
+	}
+	sh.mu.Unlock()
+	if err != nil {
+		return true, err
+	}
+	return true, s.walCommit(p)
 }
 
 // profileWorker initializes the worker's quality from her golden-task
 // answers and registers it with the incremental engine and the store.
 // Callers hold the worker's shard lock.
 //
-// During WAL recovery the merge into a persistent store is skipped: the
-// previous process already merged (and durably logged) this exact
-// profiling result when the golden answers first arrived, so replaying it
-// would double-count the worker's statistics — compounding on every
-// restart. A memory-only store is derived state and is rebuilt by the
-// replay as usual.
+// The store merge is idempotent by profile ID (store.MergeProfile): the
+// live system applies it and fsyncs the delta; every replay of the same
+// gauntlet completion — crash recovery, the snapshot shadow replica —
+// finds the recorded ID and adopts the recorded post-merge anchor without
+// double-counting. When a crash lost the merge delta after the completing
+// answer became WAL-durable, the replay's MergeProfile finds no ID and
+// repairs the store bit-exactly (the worker's stored record is exactly as
+// it was before the lost merge, so the re-applied Theorem-1 fold produces
+// the same bits). EstimateFromGolden is a pure function of the replayed
+// golden answers, so no part of the profile depends on boot-time store
+// contents.
 func (s *System) profileWorker(workerID string, ws *workerState, goldenList []*model.Task) error {
 	st := truth.EstimateFromGolden(goldenList, ws.goldenAnswers, s.m)
-	// The durable merge goes first: recovery assumes a logged merge is on
-	// disk and never re-applies it, so a failure here must abort profiling
-	// (the caller unwinds the triggering answer) rather than be dropped.
-	if !(s.recovering && s.store.Persistent()) {
-		if err := s.store.Merge(workerID, st); err != nil {
-			return err
-		}
+	anchor, _, err := s.store.MergeProfile(s.profileID(workerID), workerID, st)
+	if err != nil {
+		// The durable merge failed; abort profiling (the caller unwinds the
+		// triggering answer) rather than continue with an unrecorded merge.
+		return err
 	}
 	_ = s.inc.SetWorker(workerID, st)
 	ws.profiled = true
+	// Profiling pins (or re-pins) the anchor: the recorded post-merge value
+	// is what rerun initialization must use from now on, live and replayed
+	// alike — all replicas receive the same recorded bits.
+	ws.anchor = anchor
 	return nil
 }
 
 // ensureWorker makes sure the incremental engine knows the worker, seeding
 // from the store when possible. The set-if-absent seed keeps a racing pair
-// of the worker's first submits from clobbering each other's updates.
-func (s *System) ensureWorker(workerID string) {
+// of the worker's first submits from clobbering each other's updates. An
+// installed seed is logged (KindSeed) under logMu before the answer that
+// triggered it reserves its own slot, so replay re-installs the exact
+// seeded bits in the exact order; during recovery the store is never read
+// — seeds replay from their own records.
+func (s *System) ensureWorker(workerID string) error {
 	if s.inc.HasWorker(workerID) {
-		return
+		return nil
 	}
-	if st, ok := s.store.Worker(workerID); ok {
-		_, _ = s.inc.SeedWorker(workerID, st)
+	if s.recovering {
+		return nil
 	}
+	st, ok := s.store.Worker(workerID)
+	if !ok {
+		return nil
+	}
+	s.logMu.Lock()
+	installed, p, err := s.logSeed(workerID, st, false, false)
+	s.logMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if installed {
+		sh := s.shard(workerID)
+		sh.mu.Lock()
+		ws := sh.state(workerID)
+		if ws.anchor == nil {
+			ws.anchor = st.Clone()
+		}
+		sh.mu.Unlock()
+	}
+	return s.walCommit(p)
 }
 
 // runRerun runs the full iterative TI (with pinned golden evidence) over a
@@ -1132,16 +1207,21 @@ func (s *System) rerunLocked() error {
 	return nil
 }
 
-// initQuality gathers the initial quality per answering worker. The
-// long-run store is preferred: its estimates are anchored by golden tasks
-// and past sessions (Theorem 1), whereas the incremental engine's estimates
-// drift between batch reruns and, used as initialization, can place the EM
-// in a label-flipped basin.
+// initQuality gathers the initial quality per answering worker. A worker's
+// pinned anchor is preferred: it is the long-run store value adopted when
+// she was profiled or first seeded — anchored by golden tasks and past
+// sessions (Theorem 1) — whereas the incremental engine's estimates drift
+// between batch reruns and, used as initialization, can place the EM in a
+// label-flipped basin. The anchor is read instead of the LIVE store on
+// purpose: the store evolves under concurrent campaigns, and a
+// time-of-rerun store read is an unlogged float input that recovery could
+// not reproduce (the root cause of the old ~1e-7 live-vs-recovered
+// divergence — see docs/persistence.md).
 func (s *System) initQuality(answers *model.AnswerSet) map[string]model.QualityVector {
 	init := make(map[string]model.QualityVector)
 	for _, w := range answers.Workers() {
-		if st, ok := s.store.Worker(w); ok {
-			init[w] = st.Q
+		if a := s.anchorStats(w); a != nil {
+			init[w] = a.Q
 			continue
 		}
 		if st := s.inc.Worker(w); st != nil {

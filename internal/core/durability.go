@@ -1,7 +1,8 @@
 // Durability: the orchestrator's write-ahead logging and crash recovery.
 //
 // When a WAL is armed (Recover), every accepted mutation — the campaign
-// publication and each golden or regular answer — is reserved in the log
+// publication, each golden or regular answer, and each worker-profile
+// seed adopted from the long-run store — is reserved in the log
 // under the same lock that orders the in-memory answer log, so the durable
 // order equals the order the serial-replay equivalence proofs are anchored
 // to. Submit acknowledges only after the record's group-commit batch is
@@ -247,6 +248,19 @@ func (s *System) applyRecord(rec wal.Record, mirror bool) error {
 		}
 		s.batches.Add(1)
 		s.batchAnswers.Add(int64(len(items)))
+	case wal.KindSeed:
+		// A worker-profile seed: re-install the exact float64 bits the live
+		// system adopted from the long-run store, at the same point in the
+		// record order. The store itself is not consulted — its boot-time
+		// contents may postdate this read.
+		if rec.Worker == "" {
+			return fmt.Errorf("seed record %d has no worker", rec.Seq)
+		}
+		st, profiled, err := decodeSeed(rec.Blob, s.m)
+		if err != nil {
+			return fmt.Errorf("seed record %d: %w", rec.Seq, err)
+		}
+		s.applySeed(rec.Worker, st, profiled)
 	default:
 		return fmt.Errorf("record %d has unknown kind %d", rec.Seq, rec.Kind)
 	}

@@ -5,20 +5,26 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"docs/internal/truth"
 )
 
 // Fingerprint renders every piece of campaign state the durability contract
 // covers, with float64s written as raw bits so "close" never passes for
 // "equal": published tasks and golden selection, per-task truth state
 // (truth, answer count, S and M), the chronological answer log, the golden
-// answers and profiling flags per worker, per-worker incremental stats, and
-// the long-run store. Two Systems with equal fingerprints are in the same
-// serving state down to the last ulp.
+// answers and profiling flags per worker, per-worker incremental stats,
+// per-worker profile anchors and answered sets, and the long-run store
+// (worker records AND recorded profiling merges). Two Systems with equal
+// fingerprints are in the same serving state down to the last ulp —
+// /result responses are a pure function of the per-task views included
+// here, so fingerprint equality implies byte-equal /result output.
 //
 // It is a diagnostic: the crash-injection suites (here and in the campaign
-// registry) compare recovered systems against serial references with it.
-// It takes the internal locks briefly, so it is safe — but not free — to
-// call on a serving system.
+// registry) compare recovered systems against serial references — and,
+// since the live-vs-recovered suite, against the LIVE pre-kill system —
+// with it. It takes the internal locks briefly, so it is safe — but not
+// free — to call on a serving system.
 func (s *System) Fingerprint() string {
 	var b strings.Builder
 	bits := func(f float64) { fmt.Fprintf(&b, "%016x,", math.Float64bits(f)) }
@@ -100,6 +106,59 @@ func (s *System) Fingerprint() string {
 		b.WriteString(";")
 	}
 
+	// Worker-store-visible serving state: the pinned profile anchors (the
+	// exact store bits each worker's rerun initialization uses) and the
+	// answered sets. Included so EVERY crash suite — not just the dedicated
+	// live-vs-recovered one — fails loudly on a future profile divergence.
+	b.WriteString(";anchors:")
+	type servingFP struct {
+		anchor   *truth.Stats
+		answered []int
+	}
+	serving := make(map[string]*servingFP)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for w, ws := range sh.workers {
+			fp := &servingFP{}
+			if ws.anchor != nil {
+				fp.anchor = ws.anchor.Clone()
+			}
+			for id := range ws.answered {
+				fp.answered = append(fp.answered, id)
+			}
+			sort.Ints(fp.answered)
+			serving[w] = fp
+		}
+		sh.mu.Unlock()
+	}
+	names := make([]string, 0, len(serving))
+	for w := range serving {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	for _, w := range names {
+		if a := serving[w].anchor; a != nil {
+			fmt.Fprintf(&b, "%s:q", w)
+			for _, q := range a.Q {
+				bits(q)
+			}
+			b.WriteString("u")
+			for _, u := range a.U {
+				bits(u)
+			}
+			b.WriteString(";")
+		}
+	}
+	b.WriteString(";answered:")
+	for _, w := range names {
+		fmt.Fprintf(&b, "%s(", w)
+		for _, id := range serving[w].answered {
+			fmt.Fprintf(&b, "%d,", id)
+		}
+		b.WriteString(")")
+	}
+
 	b.WriteString(";store:")
 	for _, w := range s.store.Workers() {
 		st, _ := s.store.Worker(w)
@@ -113,5 +172,70 @@ func (s *System) Fingerprint() string {
 		}
 		b.WriteString(";")
 	}
+	b.WriteString(";profiles:")
+	for _, pid := range s.store.ProfileIDs() {
+		a, _ := s.store.ProfileAnchor(pid)
+		fmt.Fprintf(&b, "%s:q", pid)
+		for _, q := range a.Q {
+			bits(q)
+		}
+		b.WriteString("u")
+		for _, u := range a.U {
+			bits(u)
+		}
+		b.WriteString(";")
+	}
 	return b.String()
+}
+
+// DiffFingerprints renders a human-readable bit-level diff of two
+// fingerprints: the first maxSegments ";"-separated segments that differ,
+// each shown as got/want. The crash suites attach it to failures (and CI
+// uploads it as an artifact) so a divergence report names the exact
+// drifting component — a worker's q/u bits, a view's S entry — instead of
+// two multi-megabyte strings.
+func DiffFingerprints(got, want string, maxSegments int) string {
+	if got == want {
+		return ""
+	}
+	if maxSegments <= 0 {
+		maxSegments = 16
+	}
+	gs := strings.Split(got, ";")
+	ws := strings.Split(want, ";")
+	var b strings.Builder
+	fmt.Fprintf(&b, "fingerprints differ: %d vs %d segments\n", len(gs), len(ws))
+	n := len(gs)
+	if len(ws) > n {
+		n = len(ws)
+	}
+	shown := 0
+	for i := 0; i < n && shown < maxSegments; i++ {
+		var g, w string
+		if i < len(gs) {
+			g = gs[i]
+		}
+		if i < len(ws) {
+			w = ws[i]
+		}
+		if g == w {
+			continue
+		}
+		shown++
+		fmt.Fprintf(&b, "segment %d:\n  got:  %s\n  want: %s\n", i, clip(g), clip(w))
+	}
+	if shown == maxSegments {
+		b.WriteString("(further divergent segments elided)\n")
+	}
+	return b.String()
+}
+
+// clip bounds one diff line so a huge segment (the answer log) cannot
+// drown the report.
+func clip(s string) string {
+	const max = 512
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + fmt.Sprintf("… (%d bytes)", len(s))
 }

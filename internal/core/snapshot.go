@@ -116,6 +116,7 @@ func (s *System) exportState(seq uint64) (*snapshot.State, error) {
 		golden   []model.Answer
 		profiled bool
 		answered []int
+		anchor   *truth.Stats
 	}
 	serving := make(map[string]*servingCopy)
 	for i := range s.shards {
@@ -128,6 +129,9 @@ func (s *System) exportState(seq uint64) (*snapshot.State, error) {
 				sc.answered = append(sc.answered, id)
 			}
 			sort.Ints(sc.answered)
+			if ws.anchor != nil {
+				sc.anchor = ws.anchor.Clone()
+			}
 			serving[w] = sc
 		}
 		sh.mu.Unlock()
@@ -143,6 +147,10 @@ func (s *System) exportState(seq uint64) (*snapshot.State, error) {
 		for _, a := range sc.golden {
 			ws.GoldenTasks = append(ws.GoldenTasks, a.Task)
 			ws.GoldenChoices = append(ws.GoldenChoices, a.Choice)
+		}
+		if sc.anchor != nil {
+			ws.AnchorQ = snapshot.Bits(sc.anchor.Q)
+			ws.AnchorU = snapshot.Bits(sc.anchor.U)
 		}
 		st.Serving = append(st.Serving, ws)
 	}
@@ -171,6 +179,11 @@ func (s *System) exportState(seq uint64) (*snapshot.State, error) {
 		for _, w := range s.store.Workers() {
 			ws, _ := s.store.Worker(w)
 			st.Store = append(st.Store, snapshot.WorkerStats{ID: w, Q: snapshot.Bits(ws.Q), U: snapshot.Bits(ws.U)})
+		}
+		for _, pid := range s.store.ProfileIDs() {
+			a, _ := s.store.ProfileAnchor(pid)
+			st.StoreProfiles = append(st.StoreProfiles,
+				snapshot.WorkerStats{ID: pid, Q: snapshot.Bits(a.Q), U: snapshot.Bits(a.U)})
 		}
 	}
 	return st, nil
@@ -302,9 +315,17 @@ func (s *System) restoreSnapshot(snap *snapshot.State) error {
 		}
 		workerStats[ws.ID] = st
 	}
+	anchors := make(map[string]*truth.Stats)
 	for _, ws := range snap.Serving {
 		if len(ws.GoldenTasks) != len(ws.GoldenChoices) {
 			return fmt.Errorf("core: snapshot serving state for %q has mismatched golden columns", ws.ID)
+		}
+		if len(ws.AnchorQ) > 0 || len(ws.AnchorU) > 0 {
+			a, err := statsFromBits(snapshot.WorkerStats{ID: ws.ID, Q: ws.AnchorQ, U: ws.AnchorU}, s.m)
+			if err != nil {
+				return fmt.Errorf("core: snapshot anchor: %w", err)
+			}
+			anchors[ws.ID] = a
 		}
 		for i, tid := range ws.GoldenTasks {
 			t, ok := byID[tid]
@@ -329,7 +350,18 @@ func (s *System) restoreSnapshot(snap *snapshot.State) error {
 		}
 		storeStats = append(storeStats, storeEntry{id: ws.ID, st: st})
 	}
-	if len(storeStats) > 0 && s.store.Persistent() {
+	storeProfiles := make([]storeEntry, 0, len(snap.StoreProfiles))
+	for _, ws := range snap.StoreProfiles {
+		st, err := statsFromBits(ws, s.m)
+		if err != nil {
+			return err
+		}
+		if ws.ID == "" {
+			return fmt.Errorf("core: snapshot store profile with empty ID")
+		}
+		storeProfiles = append(storeProfiles, storeEntry{id: ws.ID, st: st})
+	}
+	if (len(storeStats) > 0 || len(storeProfiles) > 0) && s.store.Persistent() {
 		// A snapshot taken over a memory-only store cannot restore into a
 		// persistent one: the persistent store is its own source of truth.
 		return fmt.Errorf("core: snapshot carries store state but the store is persistent")
@@ -366,6 +398,7 @@ func (s *System) restoreSnapshot(snap *snapshot.State) error {
 		sh.mu.Lock()
 		state := sh.state(ws.ID)
 		state.profiled = ws.Profiled
+		state.anchor = anchors[ws.ID]
 		for i, tid := range ws.GoldenTasks {
 			state.goldenAnswers = append(state.goldenAnswers,
 				model.Answer{Worker: ws.ID, Task: tid, Choice: ws.GoldenChoices[i]})
@@ -377,6 +410,9 @@ func (s *System) restoreSnapshot(snap *snapshot.State) error {
 	}
 	for _, e := range storeStats {
 		_ = s.store.Put(e.id, e.st)
+	}
+	for _, e := range storeProfiles {
+		_ = s.store.SetProfile(e.id, e.st)
 	}
 	s.logMu.Lock()
 	s.log = log

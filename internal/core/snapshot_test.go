@@ -311,8 +311,8 @@ func TestCrashInjectionSnapshotBothWays(t *testing.T) {
 					i, info.Records, k.surviving-best)
 			}
 			if got := snapped.Fingerprint(); got != fpFull {
-				t.Fatalf("kill %d (surviving=%d torn=%d snapshot=%d): snapshot boot differs from full replay",
-					i, k.surviving, k.torn, best)
+				t.Fatalf("kill %d (surviving=%d torn=%d snapshot=%d): snapshot boot differs from full replay\n%s",
+					i, k.surviving, k.torn, best, DiffFingerprints(got, fpFull, 4))
 			}
 			if err := snapped.Close(); err != nil {
 				t.Fatal(err)
@@ -393,7 +393,8 @@ func TestSnapshotCheckpointInterleaving(t *testing.T) {
 			t.Fatalf("%s: snapshot not used as expected (%+v)", tc.name, info)
 		}
 		if got := s.Fingerprint(); got != want {
-			t.Fatalf("%s: recovered state differs from full replay", tc.name)
+			t.Fatalf("%s: recovered state differs from full replay\n%s",
+				tc.name, DiffFingerprints(got, want, 4))
 		}
 		// Run a checkpoint pass on the booted system: it must append
 		// exactly the un-checkpointed records — including any the snapshot
@@ -492,7 +493,8 @@ func TestSnapshotWorkerIntegration(t *testing.T) {
 
 	fpSnap, fpFull, fpRef := snapped.Fingerprint(), full.Fingerprint(), ref.Fingerprint()
 	if fpSnap != fpFull {
-		t.Fatal("snapshot boot differs from full-replay boot")
+		t.Fatalf("snapshot boot differs from full-replay boot\n%s",
+			DiffFingerprints(fpSnap, fpFull, 4))
 	}
 	if fpSnap != fpRef {
 		t.Fatal("recovered state differs from serial reference")

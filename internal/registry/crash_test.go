@@ -237,7 +237,8 @@ func copyFileIfExists(t *testing.T, src, dst string) {
 	}
 }
 
-// storePrint fingerprints a store's full contents with float64 bits.
+// storePrint fingerprints a store's full contents — worker records and the
+// merge-once profile ledger — with float64 bits.
 func storePrint(st *store.Store) string {
 	var b strings.Builder
 	for _, w := range st.Workers() {
@@ -252,6 +253,19 @@ func storePrint(st *store.Store) string {
 		}
 		b.WriteString(";")
 	}
+	b.WriteString("|profiles:")
+	for _, pid := range st.ProfileIDs() {
+		a, _ := st.ProfileAnchor(pid)
+		fmt.Fprintf(&b, "%s:q", pid)
+		for _, q := range a.Q {
+			fmt.Fprintf(&b, "%016x,", math.Float64bits(q))
+		}
+		b.WriteString("u")
+		for _, u := range a.U {
+			fmt.Fprintf(&b, "%016x,", math.Float64bits(u))
+		}
+		b.WriteString(";")
+	}
 	return b.String()
 }
 
@@ -261,7 +275,7 @@ func storePrint(st *store.Store) string {
 // records. Recovery of a checkpoint replays the records through the
 // ordinary serial Publish/Submit path — the exact definition of the
 // campaign's canonical state.
-func referenceSystem(t *testing.T, recs []wal.Record, storeSrc string, m int) (*core.System, *store.Store) {
+func referenceSystem(t *testing.T, scope string, recs []wal.Record, storeSrc string, m int) (*core.System, *store.Store) {
 	t.Helper()
 	refRoot := t.TempDir()
 	storePath := filepath.Join(refRoot, "store.json")
@@ -273,6 +287,7 @@ func referenceSystem(t *testing.T, recs []wal.Record, storeSrc string, m int) (*
 	}
 	sys, err := core.New(core.Config{
 		Store:           st,
+		ProfileScope:    scope,
 		GoldenCount:     crashKnobs.golden,
 		HITSize:         crashKnobs.hit,
 		AnswersPerTask:  crashKnobs.perTask,
@@ -393,7 +408,7 @@ func TestMultiCampaignCrashRecoveryExact(t *testing.T) {
 			if c.torn > 0 && !info.TornTail {
 				t.Errorf("kill %d: campaign %s: torn cut not reported as torn tail", kill, name)
 			}
-			ref, refStore := referenceSystem(t, recs[name][:c.surviving], storeSrc, m)
+			ref, refStore := referenceSystem(t, name, recs[name][:c.surviving], storeSrc, m)
 			if got, want := sys.Fingerprint(), ref.Fingerprint(); got != want {
 				t.Fatalf("kill %d: campaign %s (surviving=%d torn=%d): recovered state differs from serial reference\nrecovered: %.300s\nreference: %.300s",
 					kill, name, c.surviving, c.torn, got, want)
@@ -423,14 +438,16 @@ func TestMultiCampaignCrashRecoveryExact(t *testing.T) {
 	}
 }
 
-// TestCrashLosesUnmergedProfilingBounded pins the documented crash window:
-// a worker's golden answers are durable before their profiling merge
-// reaches the store, so a crash in between loses exactly that one merge.
-// Recovery must still profile the worker in memory (no golden re-serving
-// in the recovered campaign), the store simply does not know them — and a
-// LATER campaign therefore runs their gauntlet again, which is the
-// bounded, self-correcting loss the durability contract promises.
-func TestCrashLosesUnmergedProfilingBounded(t *testing.T) {
+// TestCrashRecoversUnmergedProfiling pins the closed crash window: a
+// worker's golden answers are durable before their profiling merge reaches
+// the store, and a crash in between used to lose exactly that one merge
+// (the old "bounded loss" carve-out). Since the merge-once profile ledger,
+// replaying the gauntlet REPAIRS the store: the profile ID is absent from
+// the truncated delta log, so replay re-applies the identical merge onto
+// the identical prior record and the repaired store is bit-equal to the
+// live pre-crash store. A later campaign sees the worker and serves them
+// regular tasks — no gauntlet re-run, no loss at all.
+func TestCrashRecoversUnmergedProfiling(t *testing.T) {
 	root := t.TempDir()
 	cfg := crashConfig(root)
 	reg, err := Open(cfg)
@@ -459,6 +476,7 @@ func TestCrashLosesUnmergedProfilingBounded(t *testing.T) {
 		}
 	}
 	answers := sys.AnswerCount()
+	liveStore := storePrint(reg.Store())
 	if err := reg.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -512,8 +530,11 @@ func TestCrashLosesUnmergedProfilingBounded(t *testing.T) {
 	if got := rec.AnswerCount(); got != answers {
 		t.Fatalf("recovered %d answers, want %d", got, answers)
 	}
-	if _, ok := booted.Store().Worker("w"); ok {
-		t.Fatal("store knows the worker despite the dropped merge delta")
+	if _, ok := booted.Store().Worker("w"); !ok {
+		t.Fatal("store forgot the worker — replay did not repair the dropped merge delta")
+	}
+	if got := storePrint(booted.Store()); got != liveStore {
+		t.Fatalf("repaired store differs from live pre-crash store\nrepaired: %.300s\nlive:     %.300s", got, liveStore)
 	}
 	// In the recovered campaign the worker IS profiled (replay reran the
 	// golden estimate in memory): real tasks, no gauntlet.
@@ -533,8 +554,8 @@ func TestCrashLosesUnmergedProfilingBounded(t *testing.T) {
 			t.Fatalf("recovered campaign re-served golden task %d to a replay-profiled worker", tk.ID)
 		}
 	}
-	// A brand-new campaign starts the worker from scratch — the lost merge
-	// costs one re-profiling, nothing compounds.
+	// A brand-new campaign sees the repaired record and skips the gauntlet
+	// — the crash cost nothing.
 	next, err := booted.Create("next")
 	if err != nil {
 		t.Fatal(err)
@@ -554,8 +575,8 @@ func TestCrashLosesUnmergedProfilingBounded(t *testing.T) {
 		t.Fatal("new campaign served nothing")
 	}
 	for _, tk := range fresh {
-		if !nextGolden[tk.ID] {
-			t.Fatalf("new campaign served regular task %d to a worker the store forgot", tk.ID)
+		if nextGolden[tk.ID] {
+			t.Fatalf("new campaign re-ran the gauntlet (golden task %d) for a worker the repaired store knows", tk.ID)
 		}
 	}
 }

@@ -18,12 +18,16 @@
 //
 // Open enumerates <root>/campaigns and recovers every non-archived
 // campaign through core.Recover before serving. Replay order across
-// campaigns is irrelevant by construction: with a persistent shared store,
-// recovery never mutates the store (profiling merges are already durable
-// and are skipped on replay), so each campaign's recovered state is a pure
+// campaigns is irrelevant by construction: the only store writes replay
+// can perform are merge-once profiling repairs (store.MergeProfile, keyed
+// by campaign-scoped profile IDs — each campaign's ProfileScope is its
+// name), which are idempotent and campaign-local, and every other store
+// read a campaign ever made is restored from its own log's seed records
+// rather than re-read. Each campaign's recovered state is therefore a pure
 // function of its own log plus the store file — the multi-campaign crash
 // suite asserts exactly that, campaign by campaign, against serial
-// references.
+// references, and the live-vs-recovered suite asserts it against the
+// pre-kill live system.
 //
 // # Lifecycle
 //
@@ -219,13 +223,18 @@ func Open(cfg Config) (*Registry, error) {
 
 // recoverAll enumerates <WALDir>/campaigns and boots every namespace
 // found: archived ones are listed, the rest replayed — CONCURRENTLY, up to
-// one replay per CPU. Concurrent boot is provably safe: replay never
-// writes the shared store (profiling merges are already durable and are
-// skipped), so each campaign's recovered state is a pure function of its
-// own log plus the store file and boot order cannot affect the outcome —
-// the multi-campaign crash suite asserts exactly that, campaign by
-// campaign. For a registry hosting many campaigns this turns boot lag from
-// the sum of the replays into roughly the longest one.
+// one replay per CPU. Concurrent boot is safe: replay's only store writes
+// are idempotent merge-once profiling repairs under campaign-scoped
+// profile IDs (disjoint across campaigns), and seeds replay from each
+// campaign's own log instead of reading the store — so each campaign's
+// recovered state is a pure function of its own log plus the store file
+// and boot order cannot affect it. The one residual cross-campaign write
+// interaction is documented in docs/multi-campaign.md: two campaigns
+// repairing lost merges for the SAME worker concurrently can apply them
+// in either order, which perturbs only the worker's combined store record
+// (each campaign's own state is anchored and unaffected). For a registry
+// hosting many campaigns this turns boot lag from the sum of the replays
+// into roughly the longest one.
 func (r *Registry) recoverAll() error {
 	root := filepath.Join(r.cfg.WALDir, campaignsDir)
 	if err := os.MkdirAll(root, 0o755); err != nil {
@@ -268,7 +277,7 @@ func (r *Registry) recoverAll() error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			c, err := r.openCampaign(dir)
+			c, err := r.openCampaign(name, dir)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -289,11 +298,14 @@ func (r *Registry) recoverAll() error {
 }
 
 // openCampaign builds one campaign's core.System over the shared store and,
-// when the registry is durable, arms (and replays) its WAL namespace.
-func (r *Registry) openCampaign(dir string) (*campaign, error) {
+// when the registry is durable, arms (and replays) its WAL namespace. The
+// campaign name becomes its ProfileScope, so profiling merges from
+// different campaigns never alias in the shared store's merge-once ledger.
+func (r *Registry) openCampaign(name, dir string) (*campaign, error) {
 	sys, err := core.New(core.Config{
 		KB:              r.kb,
 		Store:           r.store,
+		ProfileScope:    name,
 		GoldenCount:     r.cfg.GoldenCount,
 		HITSize:         r.cfg.HITSize,
 		AnswersPerTask:  r.cfg.AnswersPerTask,
@@ -354,7 +366,7 @@ func (r *Registry) Create(name string) (*core.System, error) {
 			return nil, fmt.Errorf("registry: %w", err)
 		}
 	}
-	c, err := r.openCampaign(dir)
+	c, err := r.openCampaign(name, dir)
 	if err != nil {
 		return nil, err
 	}

@@ -22,7 +22,13 @@
 //
 // # File format
 //
-//	magic "DOCSSNP1" | one frame: length (u32le) | CRC32-C (u32le) | JSON
+//	magic "DOCSSNP2" | one frame: length (u32le) | CRC32-C (u32le) | JSON
+//
+// The magic doubles as the format version: "DOCSSNP2" added the per-worker
+// profile anchors (AnchorQ/AnchorU). A "DOCSSNP1" snapshot is rejected as
+// unreadable and the boot falls back to a full log replay, which
+// reconstructs the anchors from the WAL — an automatic, lossless
+// migration paid once in boot time.
 //
 // The frame is the WAL's frame encoding (wal.EncodeFrame), so torn-write
 // discrimination follows the WAL's rule: a frame cut short by EOF is a
@@ -50,7 +56,7 @@ import (
 // FileName is the snapshot's name inside a campaign's WAL directory.
 const FileName = "snapshot"
 
-const magic = "DOCSSNP1"
+const magic = "DOCSSNP2"
 
 // ErrCorrupt marks a snapshot file that exists but cannot be trusted —
 // torn, CRC-mismatched, undecodable, or structurally invalid. Boots treat
@@ -81,8 +87,14 @@ type State struct {
 	Serving []WorkerServing `json:"serving,omitempty"`
 	// Store holds the long-run worker store's contents — present only when
 	// the campaign runs over a memory-only store (a persistent store is
-	// durable on its own and recovery never writes it).
+	// durable on its own; recovery's only writes to it are idempotent
+	// merge-once profile repairs).
 	Store []WorkerStats `json:"store,omitempty"`
+	// StoreProfiles is the memory-only store's merge-once profile ledger:
+	// each recorded profile ID with its post-merge anchor bits (WorkerStats
+	// with ID holding the profile ID). Empty for persistent stores, whose
+	// ledger lives in their own file.
+	StoreProfiles []WorkerStats `json:"store_profiles,omitempty"`
 	// Log is the chronological non-golden answer log, column-packed.
 	Log Log `json:"log"`
 }
@@ -132,6 +144,11 @@ type WorkerServing struct {
 	GoldenChoices []int `json:"golden_choices,omitempty"`
 	// Answered are the regular tasks the worker answered (T(w)), sorted.
 	Answered []int `json:"answered,omitempty"`
+	// AnchorQ/AnchorU are the worker's pinned profile anchor — the
+	// long-run store statistics adopted when she was profiled or first
+	// seeded — as float64 bits. Both empty when no anchor is pinned.
+	AnchorQ []uint64 `json:"anchor_q,omitempty"`
+	AnchorU []uint64 `json:"anchor_u,omitempty"`
 }
 
 // Bits converts floats to their raw IEEE-754 bits.

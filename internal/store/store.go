@@ -22,6 +22,14 @@
 // deltas carry a generation number: Save bumps it, and Open skips deltas
 // older than the checkpoint's generation — which is exactly the crash
 // window between the checkpoint rename and the delta-log reset.
+//
+// Golden-profiling merges go through MergeProfile, which additionally
+// records each merge under a caller-chosen profile ID (one per
+// campaign×worker) together with the post-merge statistics. The record
+// makes the merge idempotent across campaign-log replays — crash
+// recovery and the snapshot shadow replica re-drive the same gauntlet
+// completion through the same code path — and lets a merge whose delta
+// died with the process be repaired bit-exactly from the replay.
 package store
 
 import (
@@ -43,23 +51,36 @@ type Store struct {
 	mu      sync.RWMutex
 	m       int
 	workers map[string]*truth.Stats
-	path    string
-	gen     uint64   // bumped by every Save; tags delta records
-	deltaF  *os.File // append-only delta log, nil for memory-only stores
+	// profiles records every profiling merge that was ever applied, keyed
+	// by a caller-chosen profile ID (one per campaign×worker), mapping to
+	// the post-merge statistics the merge produced. MergeProfile consults
+	// it to apply each profiling merge exactly once no matter how many
+	// times the same campaign event is replayed (live, crash recovery,
+	// snapshot shadow), and returns the recorded value so every replica
+	// anchors on identical bits.
+	profiles map[string]*truth.Stats
+	path     string
+	gen      uint64   // bumped by every Save; tags delta records
+	deltaF   *os.File // append-only delta log, nil for memory-only stores
 }
 
 // snapshot is the checkpoint JSON wire format.
 type snapshot struct {
-	M       int                     `json:"m"`
-	Gen     uint64                  `json:"gen,omitempty"`
-	Workers map[string]*truth.Stats `json:"workers"`
+	M        int                     `json:"m"`
+	Gen      uint64                  `json:"gen,omitempty"`
+	Workers  map[string]*truth.Stats `json:"workers"`
+	Profiles map[string]*truth.Stats `json:"profiles,omitempty"`
 }
 
-// delta is one logged update.
+// delta is one logged update. A "profile" delta carries the merged session
+// stats plus the profile ID; the recorded post-merge anchor is recomputed
+// on replay (deltas re-apply in order onto the checkpointed state, so the
+// recomputation is bit-identical to the original).
 type delta struct {
 	Gen   uint64       `json:"gen"`
-	Op    string       `json:"op"` // "merge" or "put"
+	Op    string       `json:"op"` // "merge", "put" or "profile"
 	ID    string       `json:"id"`
+	PID   string       `json:"pid,omitempty"` // profile ID, op "profile" only
 	Stats *truth.Stats `json:"stats"`
 }
 
@@ -70,7 +91,7 @@ func Open(path string, m int) (*Store, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("store: m = %d, want > 0", m)
 	}
-	s := &Store{m: m, workers: make(map[string]*truth.Stats), path: path}
+	s := &Store{m: m, workers: make(map[string]*truth.Stats), profiles: make(map[string]*truth.Stats), path: path}
 	if path == "" {
 		return s, nil
 	}
@@ -93,6 +114,12 @@ func Open(path string, m int) (*Store, error) {
 				return nil, fmt.Errorf("store: worker %q: %w", w, err)
 			}
 			s.workers[w] = st
+		}
+		for pid, st := range snap.Profiles {
+			if err := st.Validate(m); err != nil {
+				return nil, fmt.Errorf("store: profile %q: %w", pid, err)
+			}
+			s.profiles[pid] = st
 		}
 		s.gen = snap.Gen
 	}
@@ -146,6 +173,12 @@ func (s *Store) replayDeltas() error {
 			s.mergeLocked(d.ID, d.Stats)
 		case "put":
 			s.workers[d.ID] = d.Stats.Clone()
+		case "profile":
+			if d.PID == "" {
+				return fmt.Errorf("store: profile delta for %q has no profile ID", d.ID)
+			}
+			s.mergeLocked(d.ID, d.Stats)
+			s.profiles[d.PID] = s.workers[d.ID].Clone()
 		default:
 			return fmt.Errorf("store: delta op %q", d.Op)
 		}
@@ -164,11 +197,11 @@ func (s *Store) replayDeltas() error {
 // a silent loss under power failure. Deltas are rare — one per worker
 // profiling plus one per worker per Results call — so the fsync is off
 // every hot path. Callers hold s.mu.
-func (s *Store) appendDelta(op, id string, st *truth.Stats) error {
+func (s *Store) appendDelta(op, id, pid string, st *truth.Stats) error {
 	if s.deltaF == nil {
 		return nil
 	}
-	payload, err := json.Marshal(delta{Gen: s.gen, Op: op, ID: id, Stats: st})
+	payload, err := json.Marshal(delta{Gen: s.gen, Op: op, ID: id, PID: pid, Stats: st})
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -209,7 +242,7 @@ func (s *Store) Put(id string, st *truth.Stats) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.workers[id] = st.Clone()
-	return s.appendDelta("put", id, st)
+	return s.appendDelta("put", id, "", st)
 }
 
 // Merge folds a session's statistics into the stored ones per Theorem 1,
@@ -221,7 +254,86 @@ func (s *Store) Merge(id string, session *truth.Stats) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mergeLocked(id, session)
-	return s.appendDelta("merge", id, session)
+	return s.appendDelta("merge", id, "", session)
+}
+
+// MergeProfile applies a golden-profiling merge exactly once per profile
+// ID. The first call with a given pid merges the session statistics into
+// the worker's stored record (durably, when file-backed: the delta is
+// fsynced before returning) and records the post-merge value under pid;
+// every later call — a crash-recovery replay of the same gauntlet
+// completion, the snapshot shadow replica re-applying it, a double boot —
+// finds the pid and returns the recorded value WITHOUT touching the
+// worker's record, so replay cannot double-count and a merge whose delta
+// died with the process is repaired from the replayed campaign log (the
+// pid is then absent, and the merge re-applies identically because the
+// worker's stored record is exactly as it was before the lost merge).
+//
+// The returned anchor is the post-merge statistics as first recorded; all
+// replicas of the campaign see identical bits, which is what lets reruns
+// initialize worker quality reproducibly across live serving and
+// recovery (see core's profiling path).
+func (s *Store) MergeProfile(pid, id string, session *truth.Stats) (anchor *truth.Stats, applied bool, err error) {
+	if pid == "" {
+		return nil, false, fmt.Errorf("store: empty profile ID for worker %q", id)
+	}
+	if err := session.Validate(s.m); err != nil {
+		return nil, false, fmt.Errorf("store: worker %q: %w", id, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a, ok := s.profiles[pid]; ok {
+		return a.Clone(), false, nil
+	}
+	s.mergeLocked(id, session)
+	anchor = s.workers[id].Clone()
+	s.profiles[pid] = anchor.Clone()
+	if err := s.appendDelta("profile", id, pid, session); err != nil {
+		return nil, false, err
+	}
+	return anchor, true, nil
+}
+
+// SetProfile installs a recorded anchor under a profile ID without merging
+// anything — the snapshot-restore path for memory-only stores, whose
+// profile ledger (like their worker records) is derived state the snapshot
+// must carry. It does not write a delta; persistent stores restore their
+// ledger from their own file and must never take this path.
+func (s *Store) SetProfile(pid string, anchor *truth.Stats) error {
+	if pid == "" {
+		return fmt.Errorf("store: empty profile ID")
+	}
+	if err := anchor.Validate(s.m); err != nil {
+		return fmt.Errorf("store: profile %q: %w", pid, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.profiles[pid] = anchor.Clone()
+	return nil
+}
+
+// ProfileIDs returns the recorded profile IDs in sorted order.
+func (s *Store) ProfileIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.profiles))
+	for pid := range s.profiles {
+		ids = append(ids, pid)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ProfileAnchor returns a copy of the post-merge statistics recorded under
+// the profile ID, and whether the ID is known.
+func (s *Store) ProfileAnchor(pid string) (*truth.Stats, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.profiles[pid]
+	if !ok {
+		return nil, false
+	}
+	return a.Clone(), true
 }
 
 func (s *Store) mergeLocked(id string, session *truth.Stats) {
@@ -266,7 +378,7 @@ func (s *Store) Save() error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	snap := snapshot{M: s.m, Gen: s.gen + 1, Workers: s.workers}
+	snap := snapshot{M: s.m, Gen: s.gen + 1, Workers: s.workers, Profiles: s.profiles}
 	data, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)

@@ -166,3 +166,120 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("merged weight = %g, want 100", got.U[0])
 	}
 }
+
+func TestMergeProfileOnce(t *testing.T) {
+	s, _ := Open("", 2)
+	session := &truth.Stats{Q: []float64{0.9, 0.8}, U: []float64{4, 4}}
+	anchor, applied, err := s.MergeProfile("camp/alice", "alice", session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Fatal("first MergeProfile not applied")
+	}
+	got, _ := s.Worker("alice")
+	if got.Q[0] != anchor.Q[0] || got.U[0] != anchor.U[0] {
+		t.Errorf("anchor %+v differs from post-merge record %+v", anchor, got)
+	}
+
+	// Re-applying under the same profile ID is a no-op that returns the
+	// ORIGINAL anchor — even with different session stats.
+	other := &truth.Stats{Q: []float64{0.1, 0.1}, U: []float64{9, 9}}
+	again, applied, err := s.MergeProfile("camp/alice", "alice", other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Error("second MergeProfile applied")
+	}
+	for k := range again.Q {
+		if again.Q[k] != anchor.Q[k] || again.U[k] != anchor.U[k] {
+			t.Fatalf("replayed anchor %+v differs from recorded %+v", again, anchor)
+		}
+	}
+	unchanged, _ := s.Worker("alice")
+	if unchanged.U[0] != got.U[0] {
+		t.Error("duplicate MergeProfile mutated the worker record")
+	}
+
+	// A different scope for the same worker is a distinct profile.
+	_, applied, err = s.MergeProfile("other/alice", "alice", session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied {
+		t.Error("distinct profile ID not applied")
+	}
+
+	if _, _, err := s.MergeProfile("", "alice", session); err == nil {
+		t.Error("empty profile ID accepted")
+	}
+}
+
+func TestProfileDeltaReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "workers.json")
+	s, err := Open(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := &truth.Stats{Q: []float64{0.9, 0.8}, U: []float64{4, 4}}
+	anchor, _, err := s.MergeProfile("camp/alice", "alice", session)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No Save: the profile merge must survive on the delta log alone.
+	reloaded, err := Open(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reloaded.ProfileAnchor("camp/alice")
+	if !ok {
+		t.Fatal("profile ledger lost across delta replay")
+	}
+	for k := range got.Q {
+		if got.Q[k] != anchor.Q[k] || got.U[k] != anchor.U[k] {
+			t.Fatalf("replayed anchor %+v, want %+v", got, anchor)
+		}
+	}
+	w, _ := reloaded.Worker("alice")
+	if w.Q[0] != anchor.Q[0] || w.U[0] != anchor.U[0] {
+		t.Errorf("replayed worker record %+v, want anchor %+v", w, anchor)
+	}
+
+	// After a Save the ledger must survive via the checkpoint (generation
+	// guard skips the stale delta).
+	if err := reloaded.Save(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Open(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := again.ProfileAnchor("camp/alice"); !ok {
+		t.Fatal("profile ledger lost across Save checkpoint")
+	}
+	if ids := again.ProfileIDs(); len(ids) != 1 || ids[0] != "camp/alice" {
+		t.Errorf("ProfileIDs = %v", ids)
+	}
+}
+
+func TestSetProfileRestore(t *testing.T) {
+	s, _ := Open("", 2)
+	anchor := &truth.Stats{Q: []float64{0.7, 0.6}, U: []float64{3, 3}}
+	if err := s.SetProfile("camp/bob", anchor); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.ProfileAnchor("camp/bob")
+	if !ok || got.Q[0] != 0.7 {
+		t.Fatalf("SetProfile round trip = %+v, %v", got, ok)
+	}
+	// Installed anchors block later MergeProfile under the same ID.
+	if _, applied, _ := s.MergeProfile("camp/bob", "bob", anchor); applied {
+		t.Error("MergeProfile applied over a restored profile")
+	}
+	if err := s.SetProfile("", anchor); err == nil {
+		t.Error("empty profile ID accepted")
+	}
+}

@@ -29,6 +29,18 @@ func goldenRecords() []Record {
 			{Worker: "w0", Task: 1, Choice: 1},
 			{Worker: "w1", Task: 2, Choice: 0},
 		})},
+		// A worker-seed record: the blob is the core's seed codec (uvarint
+		// domain count, Q and U as raw float64 bits, profiled flag) but the
+		// WAL layer treats it as opaque bytes keyed to the worker.
+		{Seq: 303, Kind: KindSeed, Worker: "w-seeded", Blob: []byte{
+			0x02,
+			0x9a, 0x99, 0x99, 0x99, 0x99, 0x99, 0xe9, 0x3f,
+			0x33, 0x33, 0x33, 0x33, 0x33, 0x33, 0xeb, 0x3f,
+			0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf0, 0x3f,
+			0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x40,
+			0x01,
+		}},
+		{Seq: 304, Kind: KindSeed, Worker: "w-empty-seed", Blob: []byte{0x00, 0x00}},
 	}
 }
 

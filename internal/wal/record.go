@@ -23,6 +23,13 @@ const (
 	// in one frame, so under the torn-tail crash rule it is durable
 	// all-or-nothing; replay expands it back into per-answer submits.
 	KindBatch Kind = 3
+	// KindSeed records a worker-profile seed: the exact statistics (and
+	// profiled flag) the orchestrator adopted from the long-run store the
+	// moment the worker first became visible to the campaign. The blob is
+	// an opaque core-layer payload (float64 bits); logging the bits lets
+	// replay RESTORE the seed instead of re-reading the store, whose
+	// contents at boot time may postdate the original read.
+	KindSeed Kind = 4
 )
 
 // Record is one durable event. Seq is assigned by Log.Append and is
@@ -31,12 +38,13 @@ type Record struct {
 	Seq  uint64
 	Kind Kind
 
-	// KindAnswer fields.
+	// KindAnswer fields; Worker is also set for KindSeed.
 	Worker string
 	Task   int
 	Choice int
 
-	// KindPublish payload (JSON-encoded tasks).
+	// KindPublish payload (JSON-encoded tasks); KindBatch wire body;
+	// KindSeed stats payload.
 	Blob []byte
 }
 
@@ -52,6 +60,7 @@ const maxStringLen = MaxPayload
 // KindAnswer:  len(worker) uvarint | worker bytes | task uvarint | choice uvarint
 // KindPublish: len(blob) uvarint | blob bytes
 // KindBatch:   len(blob) uvarint | blob bytes (a wire batch body, see wire.go)
+// KindSeed:    len(worker) uvarint | worker bytes | len(blob) uvarint | blob bytes
 func (r Record) Encode() []byte {
 	return r.encode(nil)
 }
@@ -66,6 +75,11 @@ func (r Record) encode(dst []byte) []byte {
 		dst = binary.AppendUvarint(dst, uint64(r.Task))
 		dst = binary.AppendUvarint(dst, uint64(r.Choice))
 	case KindPublish, KindBatch:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Blob)))
+		dst = append(dst, r.Blob...)
+	case KindSeed:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Worker)))
+		dst = append(dst, r.Worker...)
 		dst = binary.AppendUvarint(dst, uint64(len(r.Blob)))
 		dst = append(dst, r.Blob...)
 	}
@@ -121,6 +135,17 @@ func Decode(payload []byte) (Record, error) {
 		}
 		r.Task, r.Choice = int(task), int(choice)
 	case KindPublish, KindBatch:
+		r.Blob, rest, err = readBytes(rest)
+		if err != nil {
+			return r, fmt.Errorf("wal: blob: %w", err)
+		}
+	case KindSeed:
+		var worker []byte
+		worker, rest, err = readBytes(rest)
+		if err != nil {
+			return r, fmt.Errorf("wal: worker: %w", err)
+		}
+		r.Worker = string(worker)
 		r.Blob, rest, err = readBytes(rest)
 		if err != nil {
 			return r, fmt.Errorf("wal: blob: %w", err)

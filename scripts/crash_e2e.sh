@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Live-vs-recovered kill -9 end-to-end: build the real server, drive a
+# contested campaign over HTTP (WAL + per-batch fsync, synchronous rerun),
+# capture the LIVE /result and /results bytes, kill -9 the process, restart
+# it over the same directory, and assert the recovered responses are
+# byte-identical to the live ones. This is the black-box face of the
+# bit-exact recovery contract the internal live-vs-recovered suites prove
+# at float64-bit granularity; it exists so a regression that somehow slips
+# past the fingerprint suites still fails loudly at the API surface.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'kill -9 $server_pid 2>/dev/null || true; rm -rf "$workdir"' EXIT
+server_pid=""
+
+echo "crash_e2e: building docs-server"
+go build -o "$workdir/docs-server" ./cmd/docs-server
+
+addr=127.0.0.1:18080
+base="http://$addr"
+start_server() {
+    "$workdir/docs-server" -addr "$addr" -wal-dir "$workdir/data" -wal-fsync \
+        -sync-rerun -golden 3 -hit 3 -redundancy 3 \
+        -checkpoint-every -1 -snapshot-every -1 &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+        if curl -sf "$base/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "crash_e2e: server did not come up" >&2
+    exit 2
+}
+
+start_server
+echo "crash_e2e: driving contested campaign (pid $server_pid)"
+python3 - "$base" <<'PYEOF'
+import json, sys, urllib.request
+
+base = sys.argv[1]
+
+def call(method, path, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(base + path, data=data, method=method)
+    if data:
+        req.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(req) as resp:
+        return json.loads(resp.read())
+
+# A contested task mix: sports questions with golden truths for the
+# gauntlet plus open tasks the workers will split on.
+sports = [
+    "Does Michael Jordan win more NBA championships than Kobe Bryant?",
+    "Did the Chicago Bulls win more championships than the Boston Celtics in the 1990s NBA?",
+    "Compare the height of LeBron James and Stephen Curry.",
+    "Is Tim Duncan a power forward in the NBA?",
+    "Did Magic Johnson play for the Los Angeles Lakers?",
+    "Is Shaquille O'Neal a center in the NBA?",
+    "Did Larry Bird play for the Boston Celtics?",
+    "Does Kareem Abdul-Jabbar score more points than Karl Malone in the NBA?",
+    "Is Scottie Pippen a teammate of Michael Jordan on the Chicago Bulls?",
+    "Did Hakeem Olajuwon win the NBA championship with the Houston Rockets?",
+]
+tasks = []
+for i, text in enumerate(sports):
+    golden = 0 if i < 4 else -1  # first four carry ground truth -> gauntlet pool
+    tasks.append({"id": i, "text": text, "choices": ["yes", "no"], "golden_truth": golden})
+out = call("POST", "/publish", {"tasks": tasks})
+print("published:", out["published"], "golden:", out["golden"])
+
+# Deterministic contested answering: worker w{i} answers by a fixed hash of
+# (worker, task) so reruns of this script reproduce the same campaign.
+for round_ in range(40):
+    w = f"w{round_ % 5}"
+    got = call("GET", f"/request?worker={w}&k=3")["tasks"]
+    if not got:
+        continue
+    for t in got:
+        choice = (hash_ := (len(w) * 31 + t["id"] * 7 + round_ // 5)) % 2
+        call("POST", "/submit", {"worker": w, "task": t["id"], "choice": choice})
+print("campaign driven")
+PYEOF
+
+echo "crash_e2e: capturing live responses"
+curl -sf "$base/results" > "$workdir/live_results.json"
+for task in 0 4 5 6; do
+    curl -sf "$base/result?task=$task" > "$workdir/live_result_$task.json"
+done
+
+echo "crash_e2e: kill -9 $server_pid"
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+
+start_server
+echo "crash_e2e: comparing recovered responses (pid $server_pid)"
+curl -sf "$base/results" > "$workdir/recovered_results.json"
+for task in 0 4 5 6; do
+    curl -sf "$base/result?task=$task" > "$workdir/recovered_result_$task.json"
+done
+
+fail=0
+if ! cmp -s "$workdir/live_results.json" "$workdir/recovered_results.json"; then
+    echo "crash_e2e: FAIL — /results diverged after kill -9" >&2
+    diff <(head -c 2000 "$workdir/live_results.json") \
+         <(head -c 2000 "$workdir/recovered_results.json") >&2 || true
+    fail=1
+fi
+for task in 0 4 5 6; do
+    if ! cmp -s "$workdir/live_result_$task.json" "$workdir/recovered_result_$task.json"; then
+        echo "crash_e2e: FAIL — /result?task=$task diverged after kill -9" >&2
+        diff "$workdir/live_result_$task.json" "$workdir/recovered_result_$task.json" >&2 || true
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+
+kill -9 "$server_pid" 2>/dev/null || true
+echo "crash_e2e: OK — live and recovered /result bytes identical"
