@@ -10,7 +10,7 @@
 //
 // Experiments: table3, fig3, fig4a, fig4b, fig4c, fig4d, fig4e, fig5,
 // fig6, fig7a, fig7b, fig8, fig8c, wal, multicampaign, assign, recover,
-// http, all.
+// http, density, all.
 //
 // The wal experiment measures the durable ingest path added on top of the
 // paper (answer WAL with group commit); -wal-dir points it at a real
@@ -73,6 +73,9 @@ func main() {
 	httpBatch := flag.Int("http-batch", 64, "http experiment answers per batch")
 	httpJSON := flag.String("http-json", "", "write the http experiment's rows as JSON to this path (the BENCH_http.json CI artifact)")
 	accuracyJSON := flag.String("accuracy-json", "", "write the accuracy experiment's rows as JSON to this path (the BENCH_accuracy.json CI artifact)")
+	densityCampaigns := flag.Int("density-campaigns", 0, "density experiment campaign count (0 = default 10000, quick 1200)")
+	densityLive := flag.Int("density-live", 0, "density experiment MaxLiveCampaigns cap (0 = default 64, quick 16)")
+	densityJSON := flag.String("density-json", "", "write the density experiment's report as JSON to this path (the BENCH_density.json CI artifact)")
 	flag.Parse()
 
 	runners := append(runners,
@@ -81,7 +84,8 @@ func main() {
 		runner{"assign", assignLatency, "per-request assignment latency: indexed candidate set vs full scan"},
 		runner{"recover", recoverBoot(*recoverAnswers, jsonOut), "boot lag: full WAL replay vs state-snapshot restore"},
 		runner{"http", httpLoad(httpRate, httpClients, httpBatch, httpJSON), "open-loop HTTP load: single vs batched submission over the real server"},
-		runner{"accuracy", accuracyRunner(accuracyJSON), "adversarial crowds: DOCS vs MV/IC/FC/D-Max accuracy per population mix"})
+		runner{"accuracy", accuracyRunner(accuracyJSON), "adversarial crowds: DOCS vs MV/IC/FC/D-Max accuracy per population mix"},
+		runner{"density", densityRun(densityCampaigns, densityLive, densityJSON), "campaign density: hibernating LRU cap vs all-live baseline, cold-wake latency"})
 	ran := 0
 	for _, r := range runners {
 		if *exp != "all" && *exp != r.id {

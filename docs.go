@@ -218,6 +218,18 @@ type Config struct {
 	// re-assignment is briefly possible — bounded and safe, see
 	// docs/assignment.md.
 	LeaseTTL time.Duration
+
+	// MaxLiveCampaigns (registry only) caps how many campaigns are
+	// resident in memory at once; past the cap the least-recently-used
+	// live campaign hibernates (final snapshot + fsync, memory released)
+	// and wakes on its next request. Also makes boot lazy: campaign logs
+	// replay on first touch, not at open. Requires WALDir. Zero keeps
+	// every campaign live forever (the pre-hibernation behavior).
+	MaxLiveCampaigns int
+	// HibernateAfter (registry only) hibernates any campaign idle for
+	// this long. Requires WALDir. Zero disables idle hibernation. See
+	// docs/multi-campaign.md for the lifecycle and wake contract.
+	HibernateAfter time.Duration
 }
 
 // System is a running DOCS campaign.

@@ -96,7 +96,18 @@ func New(cfg docs.Config, opts Options) (*Server, error) {
 	if maxBatch <= 0 {
 		maxBatch = DefaultMaxBatch
 	}
-	return &Server{reg: reg, cfg: cfg, maxBatch: maxBatch, start: time.Now(), rates: make(map[string]rateObs)}, nil
+	s := &Server{reg: reg, cfg: cfg, maxBatch: maxBatch, start: time.Now(), rates: make(map[string]rateObs)}
+	// Prune the per-campaign /stats rate observation whenever a campaign
+	// leaves memory, so the map is bounded by the resident set even when
+	// an LRU cap or idle sweeps cycle thousands of campaigns through. The
+	// callback only touches s.rates (never the registry): it runs with
+	// the campaign's transition lock held.
+	reg.OnHibernate(func(name string) {
+		s.rateMu.Lock()
+		delete(s.rates, name)
+		s.rateMu.Unlock()
+	})
+	return s, nil
 }
 
 // Close shuts the registry down gracefully (drain workers, flush + fsync
@@ -430,7 +441,17 @@ type statsJSON struct {
 	AnswersPerSec       float64 `json:"answers_per_sec"`
 	AnswersPerSecRecent float64 `json:"answers_per_sec_recent"`
 	Goroutines          int     `json:"goroutines"`
+	// Campaigns is the serveable census (live + hibernated, excluding
+	// archived), kept for compatibility; the three fields after it split
+	// it by lifecycle state, and the wake fields describe hibernated-
+	// campaign reactivations (see docs/multi-campaign.md).
 	Campaigns           int     `json:"campaigns"`
+	CampaignsLive       int     `json:"campaigns_live"`
+	CampaignsHibernated int     `json:"campaigns_hibernated"`
+	CampaignsArchived   int     `json:"campaigns_archived"`
+	WakesTotal          int64   `json:"wakes_total"`
+	WakeP50Ms           float64 `json:"wake_p50_ms"`
+	WakeP99Ms           float64 `json:"wake_p99_ms"`
 
 	// Batched-submit counters: batches_total accepted POST /submit-batch
 	// calls, batch_answers_total the answers they carried,
@@ -463,7 +484,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	liveCampaigns := s.reg.CampaignCount()
+	liveC, hibC, archC := s.reg.CampaignCounts()
+	wakesTotal, wakeP50, wakeP99 := s.reg.WakeStats()
 	// The whole observation happens under rateMu so concurrent /stats
 	// calls on one campaign see monotone (time, answers) pairs and the
 	// recent rate can never go negative.
@@ -488,7 +510,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RerunsFailed:             st.RerunsFailed,
 		UptimeSeconds:            uptime,
 		Goroutines:               runtime.NumGoroutine(),
-		Campaigns:                liveCampaigns,
+		Campaigns:                liveC + hibC,
+		CampaignsLive:            liveC,
+		CampaignsHibernated:      hibC,
+		CampaignsArchived:        archC,
+		WakesTotal:               wakesTotal,
+		WakeP50Ms:                float64(wakeP50) / float64(time.Millisecond),
+		WakeP99Ms:                float64(wakeP99) / float64(time.Millisecond),
 		BatchesTotal:             st.BatchesTotal,
 		BatchAnswersTotal:        st.BatchAnswersTotal,
 		WALEnabled:               st.WALEnabled,
@@ -519,14 +547,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	// Observations are recorded only for campaigns that resolved above —
 	// /stats probes against unknown names 404 before reaching this point
-	// and must never grow the map — and handleArchive deletes a campaign's
-	// entry when it is retired, so the map is bounded by live campaigns.
-	// The liveness re-check runs under rateMu to close the archive race:
-	// if the campaign was archived after this handler resolved it, either
-	// the re-check sees the flip and skips the write, or the write lands
-	// first and the archive's delete (which takes rateMu after the flip)
-	// removes it — an archived campaign's entry can never survive.
-	if _, err := s.reg.Campaign(name); err == nil {
+	// and must never grow the map — and handleArchive plus the registry's
+	// hibernation hook delete a campaign's entry when it leaves memory, so
+	// the map is bounded by RESIDENT campaigns. The residency re-check
+	// runs under rateMu to close the retirement race: if the campaign was
+	// archived or hibernated after this handler resolved it, either the
+	// re-check sees the flip and skips the write, or the write lands first
+	// and the retirement's delete (which takes rateMu after the flip)
+	// removes it — a non-resident campaign's entry can never survive. The
+	// check must be CampaignResident, not Campaign: a Campaign call here
+	// would wake a hibernated campaign right back up (and deadlock against
+	// the hibernation hook, which takes rateMu while holding the
+	// campaign's transition lock).
+	if s.reg.CampaignResident(name) {
 		s.rates[name] = rateObs{at: now, answers: st.Answers}
 	}
 	s.rateMu.Unlock()

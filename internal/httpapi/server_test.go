@@ -637,3 +637,78 @@ func TestStatsRateMapPruned(t *testing.T) {
 		t.Fatal("archived campaign's rate observation leaked")
 	}
 }
+
+// TestStatsHibernation is the hibernation face of the rate-map regression
+// plus the /stats census split: hibernating a campaign must prune its rate
+// observation (an LRU churning thousands of campaigns would otherwise grow
+// the map without bound), the next /stats request must wake the campaign
+// and serve normally, and the campaigns_live / campaigns_hibernated /
+// wakes_total fields must track the lifecycle.
+func TestStatsHibernation(t *testing.T) {
+	srv, err := New(docs.Config{GoldenCount: -1, HITSize: 3, WALDir: t.TempDir()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	if resp, _ := doJSON(t, "POST", ts.URL+"/campaigns", map[string]string{"name": "nap"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	statField := func(out map[string]json.RawMessage, key string) int64 {
+		t.Helper()
+		var v int64
+		if err := json.Unmarshal(out[key], &v); err != nil {
+			t.Fatalf("stats %s: %v", key, err)
+		}
+		return v
+	}
+	resp, out := doJSON(t, "GET", ts.URL+"/c/nap/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+	// "default" + "nap", both resident, none hibernated, no wakes yet.
+	if got := statField(out, "campaigns_live"); got != 2 {
+		t.Fatalf("campaigns_live = %d, want 2", got)
+	}
+	if got := statField(out, "campaigns_hibernated"); got != 0 {
+		t.Fatalf("campaigns_hibernated = %d, want 0", got)
+	}
+	if got := statField(out, "wakes_total"); got != 0 {
+		t.Fatalf("wakes_total = %d, want 0", got)
+	}
+	srv.rateMu.Lock()
+	_, present := srv.rates["nap"]
+	srv.rateMu.Unlock()
+	if !present {
+		t.Fatal("stats call did not record a rate observation")
+	}
+
+	// Hibernation prunes the observation through the registry hook.
+	if err := srv.Registry().Hibernate("nap"); err != nil {
+		t.Fatal(err)
+	}
+	srv.rateMu.Lock()
+	_, present = srv.rates["nap"]
+	srv.rateMu.Unlock()
+	if present {
+		t.Fatal("hibernated campaign's rate observation leaked")
+	}
+
+	// A campaign-addressed request wakes it: /stats serves 200 and the
+	// census plus wake counters move.
+	resp, out = doJSON(t, "GET", ts.URL+"/c/nap/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats after hibernate: status %d (the wake contract says any request wakes)", resp.StatusCode)
+	}
+	if got := statField(out, "campaigns_live"); got != 2 {
+		t.Fatalf("campaigns_live after wake = %d, want 2", got)
+	}
+	if got := statField(out, "wakes_total"); got != 1 {
+		t.Fatalf("wakes_total after wake = %d, want 1", got)
+	}
+	if got := statField(out, "campaigns"); got != 2 {
+		t.Fatalf("campaigns = %d, want 2 (live + hibernated, excluding archived)", got)
+	}
+}

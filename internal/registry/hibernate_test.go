@@ -1,0 +1,598 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"docs/internal/core"
+	"docs/internal/mathx"
+	"docs/internal/model"
+)
+
+// The hibernation lifecycle suite. Hibernate/wake cycles must be invisible
+// at the bit level: a woken campaign's state is its serial-replay state,
+// which must equal a never-hibernated campaign that served the identical
+// traffic. The lockstep harness below runs exactly that experiment — two
+// registries, one interleaving hibernations, one never hibernating, fed
+// the same serial workload — and compares fingerprints (which cover the
+// full inference state AND the shared worker store) at every acknowledged
+// step. TestCampaignDeterminism in internal/core pins the premise that a
+// serial trace is reproducible, so any divergence here is hibernation's.
+
+// lockstep is a pair of campaigns — one in the hibernating registry, one
+// in the reference — driven with identical operations.
+type lockstep struct {
+	name   string
+	reg    *Registry // hibernates
+	ref    *Registry // never hibernates
+	golden map[int]bool
+}
+
+func (l *lockstep) systems(t *testing.T) (*core.System, *core.System) {
+	t.Helper()
+	sysA, err := l.reg.Get(l.name) // wakes if hibernated
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, err := l.ref.Get(l.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sysA, sysB
+}
+
+// step issues one Request/Submit round for one worker against both
+// registries and asserts the assignments and resulting fingerprints are
+// identical. Returns how many answers were submitted (0 = campaign idle).
+func (l *lockstep) step(t *testing.T, w string, flip func() bool) int {
+	t.Helper()
+	sysA, sysB := l.systems(t)
+	gotA, err := sysA.Request(w, crashKnobs.hit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := sysB.Request(w, crashKnobs.hit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotA) != len(gotB) {
+		t.Fatalf("campaign %s worker %s: hibernating registry assigned %d tasks, reference %d",
+			l.name, w, len(gotA), len(gotB))
+	}
+	for i := range gotA {
+		if gotA[i].ID != gotB[i].ID {
+			t.Fatalf("campaign %s worker %s: assignment diverged at slot %d: task %d vs %d",
+				l.name, w, i, gotA[i].ID, gotB[i].ID)
+		}
+	}
+	for _, tk := range gotA {
+		c := tk.Truth
+		if c == model.NoTruth {
+			c = 0
+		} else if !l.golden[tk.ID] && flip() {
+			c = 1 - c
+		}
+		if err := sysA.Submit(w, tk.ID, c); err != nil {
+			t.Fatal(err)
+		}
+		if err := sysB.Submit(w, tk.ID, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fpA, fpB := sysA.Fingerprint(), sysB.Fingerprint(); fpA != fpB {
+		t.Fatalf("campaign %s worker %s: fingerprint diverged after submit round\n%s",
+			l.name, w, core.DiffFingerprints(fpA, fpB, 8))
+	}
+	return len(gotA)
+}
+
+// TestHibernateWakeFingerprintExact is the randomized property test:
+// several campaigns interleave traffic with hibernate/wake cycles at
+// random points, and after EVERY acknowledged submit round the hibernating
+// registry's fingerprint must be bit-identical to the never-hibernated
+// reference's. Wakes after a clean hibernate must also be O(suffix):
+// snapshot restored, zero records replayed.
+func TestHibernateWakeFingerprintExact(t *testing.T) {
+	regRoot, refRoot := t.TempDir(), t.TempDir()
+	reg, err := Open(crashConfig(regRoot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	ref, err := Open(crashConfig(refRoot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	names := []string{"alpha", "beta", "gamma"}
+	steps := make(map[string]*lockstep, len(names))
+	for i, name := range names {
+		sysA, err := reg.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sysB, err := ref.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := sysA.Domains().Size()
+		tasks := synthTasks(m, 20+4*i, 3*i)
+		if err := sysA.Publish(tasks); err != nil {
+			t.Fatal(err)
+		}
+		if err := sysB.Publish(synthTasks(m, 20+4*i, 3*i)); err != nil {
+			t.Fatal(err)
+		}
+		golden := map[int]bool{}
+		for _, id := range sysA.GoldenTasks() {
+			golden[id] = true
+		}
+		// Golden selection is deterministic, so the reference must have
+		// picked the identical set — the lockstep premise.
+		refGolden := sysB.GoldenTasks()
+		if len(refGolden) != len(golden) {
+			t.Fatalf("campaign %s: golden sets differ in size", name)
+		}
+		for _, id := range refGolden {
+			if !golden[id] {
+				t.Fatalf("campaign %s: golden task %d only in reference", name, id)
+			}
+		}
+		steps[name] = &lockstep{name: name, reg: reg, ref: ref, golden: golden}
+	}
+
+	r := mathx.NewRand(2016)
+	flip := func() bool { return r.Float64() >= 0.85 }
+	idle := map[string]int{}
+	hibernations, cleanWakes := 0, 0
+	for op := 0; ; op++ {
+		active := false
+		for _, name := range names {
+			if idle[name] > 40 {
+				continue
+			}
+			active = true
+			w := fmt.Sprintf("w%d", int(r.Float64()*7))
+			if n := steps[name].step(t, w, flip); n == 0 {
+				idle[name]++
+			} else {
+				idle[name] = 0
+			}
+			// Randomly hibernate this campaign mid-workload; the next step
+			// wakes it. Only the hibernating registry transitions — the
+			// reference keeps serving live.
+			if r.Float64() < 0.12 {
+				if err := reg.Hibernate(name); err != nil {
+					t.Fatalf("hibernate %s: %v", name, err)
+				}
+				hibernations++
+				if reg.Resident(name) {
+					t.Fatalf("campaign %s still resident after Hibernate", name)
+				}
+				// A clean hibernate's wake restores the final snapshot and
+				// replays nothing — the O(suffix) contract with suffix 0.
+				sysA, err := reg.Get(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if info := sysA.Recovery(); info.SnapshotUsed && info.Records == 0 {
+					cleanWakes++
+				} else {
+					t.Fatalf("campaign %s: wake after clean hibernate replayed %d records (snapshot used: %v, rejected: %q)",
+						name, info.Records, info.SnapshotUsed, info.SnapshotRejected)
+				}
+				sysB, err := ref.Get(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fpA, fpB := sysA.Fingerprint(), sysB.Fingerprint(); fpA != fpB {
+					t.Fatalf("campaign %s: woken fingerprint differs from never-hibernated reference\n%s",
+						name, core.DiffFingerprints(fpA, fpB, 8))
+				}
+			}
+		}
+		if !active {
+			break
+		}
+	}
+	if hibernations < 5 {
+		t.Fatalf("workload only exercised %d hibernate/wake cycles", hibernations)
+	}
+	if total, _, p99 := reg.WakeStats(); total != int64(cleanWakes) || p99 < 0 {
+		t.Fatalf("WakeStats total = %d, want %d", total, cleanWakes)
+	}
+	// Final census: everything is live again (each hibernate was followed
+	// by a wake) and the reference never hibernated at all.
+	if live, hib, arch := reg.Counts(); live != len(names) || hib != 0 || arch != 0 {
+		t.Fatalf("final counts = %d/%d/%d, want %d/0/0", live, hib, arch, len(names))
+	}
+	if total, _, _ := ref.WakeStats(); total != 0 {
+		t.Fatalf("reference registry woke %d campaigns", total)
+	}
+}
+
+// TestWakeStampedeSingleFlight floods a cold campaign with concurrent
+// requests: exactly one reactivation may run (the rest queue on the
+// single-flight guard and share its core), every request must succeed, and
+// the woken state must be the pre-hibernation state. Run under -race by
+// the registry CI suite.
+func TestWakeStampedeSingleFlight(t *testing.T) {
+	root := t.TempDir()
+	reg, err := Open(crashConfig(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	sys, err := reg.Create("cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sys.Domains().Size()
+	if err := sys.Publish(synthTasks(m, 24, 0)); err != nil {
+		t.Fatal(err)
+	}
+	driveInterleaved(t, reg, []string{"cold"}, 5, 11)
+	before := sys.Fingerprint()
+	answers := sys.AnswerCount()
+	if err := reg.Hibernate("cold"); err != nil {
+		t.Fatal(err)
+	}
+
+	const stampede = 32
+	var (
+		wg   sync.WaitGroup
+		got  [stampede]*core.System
+		errs [stampede]error
+	)
+	start := make(chan struct{})
+	for i := 0; i < stampede; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			got[i], errs[i] = reg.Get("cold")
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 0; i < stampede; i++ {
+		if errs[i] != nil {
+			t.Fatalf("stampede request %d failed: %v", i, errs[i])
+		}
+		if got[i] != got[0] {
+			t.Fatalf("stampede request %d got a different core than request 0 — wake ran more than once", i)
+		}
+	}
+	if total, _, _ := reg.WakeStats(); total != 1 {
+		t.Fatalf("stampede triggered %d reactivations, want exactly 1", total)
+	}
+	if got[0].AnswerCount() != answers {
+		t.Fatalf("woken campaign has %d answers, want %d", got[0].AnswerCount(), answers)
+	}
+	if after := got[0].Fingerprint(); after != before {
+		t.Fatalf("woken fingerprint differs from pre-hibernation state\n%s",
+			core.DiffFingerprints(after, before, 8))
+	}
+}
+
+// TestHibernateRaceNeverDropsAcknowledged races submit traffic against
+// repeated hibernations. The contract: a Submit that returned nil (was
+// acknowledged) is durable before the hibernate's final fsync, so the
+// answer must exist after every wake; a Submit racing the drain may fail,
+// but then it was never acknowledged. Run under -race by the registry CI
+// suite.
+func TestHibernateRaceNeverDropsAcknowledged(t *testing.T) {
+	root := t.TempDir()
+	cfg := crashConfig(root)
+	cfg.AnswersPerTask = 2
+	reg, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	sys, err := reg.Create("racy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sys.Domains().Size()
+	if err := sys.Publish(synthTasks(m, 40, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Profile the workers up front so the raced submits are all regular
+	// answers — the population AnswerCount() counts (golden answers live
+	// in the profiling path, not the answer log).
+	for w := 0; w < 4; w++ {
+		profile(t, sys, fmt.Sprintf("w%d", w))
+	}
+
+	var acked atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		idle := 0
+		for w := 0; idle < 60; w++ {
+			worker := fmt.Sprintf("w%d", w%4)
+			sys, err := reg.Get("racy")
+			if err != nil {
+				idle++
+				continue
+			}
+			got, err := sys.Request(worker, 3)
+			if err != nil || len(got) == 0 {
+				// A closed (mid-hibernate) core or a saturated campaign;
+				// either way, try again on a fresh handle.
+				idle++
+				continue
+			}
+			for _, tk := range got {
+				c := tk.Truth
+				if c == model.NoTruth {
+					c = 0
+				}
+				if err := sys.Submit(worker, tk.ID, c); err != nil {
+					// Raced the drain: the answer was NOT acknowledged, so it
+					// may or may not be durable — both are correct.
+					break
+				}
+				acked.Add(1)
+				idle = 0
+			}
+		}
+	}()
+
+	// Hibernate under fire. Each call drains in-flight WAL commits before
+	// releasing memory, so every acknowledged answer is on disk when the
+	// core goes away.
+	for i := 0; i < 8; i++ {
+		if err := reg.Hibernate("racy"); err != nil {
+			// Snapshot verification can fail when submits race the drain
+			// (documented: the campaign hibernates anyway, the wake replays
+			// a longer suffix). Only config/lifecycle errors are fatal.
+			if errors.Is(err, ErrNotFound) || errors.Is(err, ErrArchived) || errors.Is(err, ErrClosed) {
+				t.Fatal(err)
+			}
+			t.Logf("hibernate %d (racing traffic, tolerated): %v", i, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	<-done
+
+	final, err := reg.Get("racy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := final.AnswerCount(), acked.Load(); got < want {
+		t.Fatalf("woken campaign has %d answers but %d were acknowledged — an acked answer was dropped", got, want)
+	}
+}
+
+// TestLazyBootAndLRUCap covers the density mechanics: a capped registry
+// lists every campaign at boot without replaying any, wakes them on
+// demand bit-identically, and hibernates the least-recently-used campaign
+// when the resident set exceeds the cap.
+func TestLazyBootAndLRUCap(t *testing.T) {
+	root := t.TempDir()
+	reg, err := Open(crashConfig(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"c0", "c1", "c2", "c3", "c4", "c5"}
+	for i, name := range names {
+		sys, err := reg.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Publish(synthTasks(sys.Domains().Size(), 10+2*i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	driveInterleaved(t, reg, names, 6, 5)
+	fps := make(map[string]string, len(names))
+	counts := make(map[string]int64, len(names))
+	for _, name := range names {
+		sys, err := reg.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps[name] = sys.Fingerprint()
+		counts[name] = sys.AnswerCount()
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := crashConfig(root)
+	cfg.MaxLiveCampaigns = 2
+	capped, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer capped.Close()
+	// Lazy boot: everything is listed, nothing is resident, no replay ran.
+	if live, hib, arch := capped.Counts(); live != 0 || hib != len(names) || arch != 0 {
+		t.Fatalf("cold boot counts = %d/%d/%d, want 0/%d/0", live, hib, arch, len(names))
+	}
+	for _, info := range capped.List() {
+		if !info.Hibernated || info.Recovered != 0 {
+			t.Fatalf("cold boot: campaign %s hibernated=%v recovered=%d, want true/0", info.Name, info.Hibernated, info.Recovered)
+		}
+	}
+
+	// Touch campaigns in order: the resident set never exceeds the cap and
+	// the victim is always the least recently used.
+	for i, name := range names {
+		sys, err := capped.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sys.Fingerprint(); got != fps[name] {
+			t.Fatalf("campaign %s: woken fingerprint differs from pre-shutdown live state\n%s",
+				name, core.DiffFingerprints(got, fps[name], 8))
+		}
+		if got := sys.AnswerCount(); got != counts[name] {
+			t.Fatalf("campaign %s: woke with %d answers, want %d", name, got, counts[name])
+		}
+		live, _, _ := capped.Counts()
+		want := i + 1
+		if want > 2 {
+			want = 2
+		}
+		if live != want {
+			t.Fatalf("after %d touches: %d live, want %d (cap 2)", i+1, live, want)
+		}
+		if i >= 2 {
+			// The LRU victim is the campaign touched two steps ago... gone,
+			// while the previous touch is still resident.
+			if capped.Resident(names[i-2]) {
+				t.Fatalf("after touching %s: %s still resident, should have been evicted", name, names[i-2])
+			}
+			if !capped.Resident(names[i-1]) {
+				t.Fatalf("after touching %s: %s was evicted, but it is the MRU survivor", name, names[i-1])
+			}
+		}
+	}
+	if total, _, _ := capped.WakeStats(); total != int64(len(names)) {
+		t.Fatalf("wakes = %d, want %d", total, len(names))
+	}
+}
+
+// TestIdleSweepHibernates drives the HibernateAfter path with an injected
+// clock: campaigns idle past the deadline hibernate on the next sweep,
+// recently-touched ones survive it.
+func TestIdleSweepHibernates(t *testing.T) {
+	root := t.TempDir()
+	var clock atomic.Int64
+	base := time.Unix(1700000000, 0)
+	clock.Store(0)
+	cfg := crashConfig(root)
+	cfg.HibernateAfter = time.Minute
+	cfg.Clock = func() time.Time { return base.Add(time.Duration(clock.Load())) }
+	reg, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	for _, name := range []string{"fresh", "stale"} {
+		sys, err := reg.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Publish(synthTasks(sys.Domains().Size(), 8, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	driveInterleaved(t, reg, []string{"fresh", "stale"}, 3, 9)
+
+	// Both idle 2 minutes; then "fresh" is touched just before the sweep.
+	clock.Add(int64(2 * time.Minute))
+	if _, err := reg.Get("fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.SweepIdle(); n != 1 {
+		t.Fatalf("sweep released %d campaigns, want 1 (only the stale one)", n)
+	}
+	if reg.Resident("stale") {
+		t.Fatal("stale campaign still resident after idle sweep")
+	}
+	if !reg.Resident("fresh") {
+		t.Fatal("freshly-touched campaign was swept")
+	}
+	// A second sweep with nothing idle is a no-op; waking the stale
+	// campaign serves normally.
+	if n := reg.SweepIdle(); n != 0 {
+		t.Fatalf("second sweep released %d campaigns, want 0", n)
+	}
+	sys, err := reg.Get("stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.AnswerCount() == 0 {
+		t.Fatal("woken campaign lost its answers")
+	}
+}
+
+// TestHibernateLifecycleErrors pins the configuration and state-machine
+// edges: hibernation demands durability, terminal states stay terminal,
+// and a hibernated campaign archives without waking.
+func TestHibernateLifecycleErrors(t *testing.T) {
+	// Hibernation config without a WAL root must be refused outright.
+	if _, err := Open(Config{MaxLiveCampaigns: 2}); err == nil {
+		t.Fatal("Open accepted MaxLiveCampaigns without WALDir")
+	}
+	if _, err := Open(Config{HibernateAfter: time.Minute}); err == nil {
+		t.Fatal("Open accepted HibernateAfter without WALDir")
+	}
+
+	// A memory-only registry cannot hibernate a campaign.
+	mem, err := Open(Config{GoldenCount: -1, HITSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	if _, err := mem.Create("m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Hibernate("m"); err == nil {
+		t.Fatal("memory-only registry hibernated a campaign")
+	}
+
+	root := t.TempDir()
+	reg, err := Open(crashConfig(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if err := reg.Hibernate("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("hibernate unknown = %v, want ErrNotFound", err)
+	}
+	sys, err := reg.Create("naps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Publish(synthTasks(sys.Domains().Size(), 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	driveInterleaved(t, reg, []string{"naps"}, 3, 3)
+	if err := reg.Hibernate("naps"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: hibernating a hibernated campaign is a no-op.
+	if err := reg.Hibernate("naps"); err != nil {
+		t.Fatalf("second hibernate = %v, want nil no-op", err)
+	}
+	// Archive without waking: the campaign's state is already durable, so
+	// only the marker is written — and it must NOT come back resident.
+	if err := reg.Archive("naps"); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Resident("naps") {
+		t.Fatal("archiving a hibernated campaign woke it")
+	}
+	if err := reg.Hibernate("naps"); !errors.Is(err, ErrArchived) {
+		t.Fatalf("hibernate archived = %v, want ErrArchived", err)
+	}
+	if _, err := reg.Get("naps"); !errors.Is(err, ErrArchived) {
+		t.Fatalf("get archived = %v, want ErrArchived", err)
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The marker survived: a reboot lists the campaign archived, not live.
+	booted, err := Open(crashConfig(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer booted.Close()
+	if _, err := booted.Get("naps"); !errors.Is(err, ErrArchived) {
+		t.Fatalf("rebooted get archived = %v, want ErrArchived", err)
+	}
+	if live, hib, arch := booted.Counts(); arch != 1 || live+hib != 0 {
+		t.Fatalf("rebooted counts = %d/%d/%d, want 0/0/1", live, hib, arch)
+	}
+}

@@ -1,6 +1,8 @@
 package docs
 
 import (
+	"time"
+
 	"docs/internal/registry"
 	"docs/internal/wal"
 )
@@ -29,14 +31,19 @@ type CampaignInfo struct {
 	Name string
 	// Archived campaigns are closed for good: listed, never served.
 	Archived bool
+	// Hibernated campaigns are durable on disk but not resident in
+	// memory; the next request wakes them (Campaign blocks on the wake).
+	Hibernated bool
 	// Published and Answers are the campaign's serving counters; for a
 	// campaign archived before this process started they are zero (its log
 	// is not replayed).
 	Published bool
 	Answers   int64
-	// RecoveredRecords is how many WAL records boot replayed for this
-	// campaign.
+	// RecoveredRecords is how many WAL records the campaign's most recent
+	// replay (boot or wake) applied, and Wakes how many times it has been
+	// reactivated from hibernation this process.
 	RecoveredRecords int
+	Wakes            int
 }
 
 // OpenRegistry creates a campaign registry. Config fields apply to every
@@ -62,6 +69,9 @@ func OpenRegistry(cfg Config) (*Registry, error) {
 		SnapshotEvery:   cfg.SnapshotEvery,
 		WALSync:         walSync,
 		LeaseTTL:        cfg.LeaseTTL,
+
+		MaxLiveCampaigns: cfg.MaxLiveCampaigns,
+		HibernateAfter:   cfg.HibernateAfter,
 	})
 	if err != nil {
 		return nil, err
@@ -101,17 +111,53 @@ func (r *Registry) Campaigns() []CampaignInfo {
 		out[i] = CampaignInfo{
 			Name:             in.Name,
 			Archived:         in.Archived,
+			Hibernated:       in.Hibernated,
 			Published:        in.Published,
 			Answers:          in.Answers,
 			RecoveredRecords: in.Recovered,
+			Wakes:            in.Wakes,
 		}
 	}
 	return out
 }
 
-// CampaignCount returns the number of live (non-archived) campaigns
-// without querying each one's serving state.
+// CampaignCount returns the number of serveable (non-archived) campaigns
+// — resident plus hibernated — without querying each one's serving state.
 func (r *Registry) CampaignCount() int { return r.reg.Live() }
+
+// CampaignCounts returns the campaign census by lifecycle state: resident
+// in memory, hibernated on disk, and archived.
+func (r *Registry) CampaignCounts() (live, hibernated, archived int) {
+	return r.reg.Counts()
+}
+
+// CampaignResident reports whether the named campaign is resident in
+// memory right now, without waking it (unlike Campaign, which blocks on
+// the wake). False for hibernated, archived and unknown campaigns.
+func (r *Registry) CampaignResident(name string) bool { return r.reg.Resident(name) }
+
+// Hibernate releases the named campaign's memory after writing a final
+// state snapshot covering its whole log and fsyncing its WAL; the next
+// request to the campaign wakes it (snapshot restore + WAL-suffix
+// replay). A no-op on an already-hibernated campaign. Errors only on
+// memory-only registries, unknown or archived campaigns, or when the
+// final snapshot could not be written — in which case the campaign is
+// hibernated anyway and the next wake pays a longer replay; state is
+// never lost. Usually hibernation is automatic (Config.HibernateAfter,
+// Config.MaxLiveCampaigns); this is the explicit handle.
+func (r *Registry) Hibernate(name string) error { return r.reg.Hibernate(name) }
+
+// WakeStats reports how many hibernated campaigns have been reactivated
+// this process and the p50/p99 wake latency over the recent window.
+func (r *Registry) WakeStats() (total int64, p50, p99 time.Duration) {
+	return r.reg.WakeStats()
+}
+
+// OnHibernate registers fn to run after each campaign hibernation with
+// the campaign's name; serving layers use it to prune per-campaign
+// caches. The callback runs with the campaign's transition lock held —
+// keep it quick and do not call back into the registry.
+func (r *Registry) OnHibernate(fn func(name string)) { r.reg.OnHibernate(fn) }
 
 // Archive ends a campaign for good: its serving core is drained and
 // closed (WAL flushed and fsynced), and durable registries mark the

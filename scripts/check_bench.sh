@@ -156,3 +156,34 @@ awk -v tol="$acc_tol" '
         if (fail) exit 1
         printf "check_bench: OK — DOCS holds its margin over MV at every gated mix, strictly above at spam %.0f%%\n", top * 100
     }' <(echo "$committed_margins") <(echo "$fresh_margins")
+
+# Density guard: the hibernating LRU cap must actually bound memory. The
+# experiment itself is the correctness check (every sampled cold wake is
+# fingerprint-verified bit-identical to its pre-hibernation state and the
+# resident set is asserted <= the cap; any violation fails the run), so
+# the shell-level gate is purely structural and machine-independent:
+# capped-serving heap must come in at or below HALF the all-live heap in
+# the SAME fresh run. Absolute heap and wake latencies are machine-
+# dependent and are recorded, not gated. The fresh report overwrites
+# bench/BENCH_density.json in the workspace so CI uploads what this run
+# measured; the committed copy (full-scale, 10k campaigns) stays the
+# reference.
+density_json=bench/BENCH_density.json
+echo "check_bench: running docs-bench -exp density (bounded-RSS structural guard)"
+go run ./cmd/docs-bench -exp density -quick -density-json "$density_json"
+awk '
+    /"heap_all_live_bytes":/ { v = $2; gsub(/,/, "", v); all = v + 0 }
+    /"heap_capped_bytes":/   { v = $2; gsub(/,/, "", v); capped = v + 0 }
+    END {
+        if (all <= 0 || capped <= 0) {
+            printf "check_bench: FAIL — could not parse heap fields from the density report\n"
+            exit 2
+        }
+        printf "check_bench: density heap all-live %d bytes, capped %d bytes (%.1fx reduction)\n",
+            all, capped, all / capped
+        if (capped * 2 > all) {
+            printf "check_bench: FAIL — capped heap is not below half the all-live heap\n"
+            exit 1
+        }
+        printf "check_bench: OK — hibernating cap bounds resident memory\n"
+    }' "$density_json"
