@@ -81,6 +81,7 @@ func (s *System) Recover(dir string) (RecoveryInfo, error) {
 		return info, fmt.Errorf("core: Recover must run once, before serving")
 	}
 
+	//docs:allow clock recovery duration is diagnostic metadata, never replayed or fingerprinted
 	start := time.Now()
 	s.recovering = true
 
@@ -183,6 +184,7 @@ func (s *System) Recover(dir string) (RecoveryInfo, error) {
 	s.wal = log
 	s.walDir = dir
 	info.Enabled = true
+	//docs:allow clock recovery duration is diagnostic metadata, never replayed or fingerprinted
 	info.Duration = time.Since(start)
 	s.recovery = info
 	if s.cfg.CheckpointEvery > 0 || s.cfg.SnapshotEvery > 0 {
@@ -215,6 +217,13 @@ func (s *System) Checkpoints() (completed, failed int64) {
 // mirror set the record enters the un-checkpointed durLog suffix with its
 // original sequence number (false for records the checkpoint file already
 // holds).
+//
+// This is THE replay entry point — recovery, checkpoint replay and the
+// snapshot shadow replica all funnel through it — so docs-lint roots its
+// determinism analysis here: everything it reaches must replay
+// bit-identically.
+//
+//docs:deterministic
 func (s *System) applyRecord(rec wal.Record, mirror bool) error {
 	switch rec.Kind {
 	case wal.KindPublish:

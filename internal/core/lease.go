@@ -71,6 +71,7 @@ func (h *expiryHeap) Pop() any          { old := *h; n := len(old); e := old[n-1
 
 func newLeaseTable(ttl time.Duration, now func() time.Time) *leaseTable {
 	if now == nil {
+		//docs:allow clock injection-point default; tests pass a fake clock, leases never enter durable state
 		now = time.Now
 	}
 	return &leaseTable{

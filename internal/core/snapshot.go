@@ -79,6 +79,12 @@ func (s *System) LastSnapshotSeq() uint64 { return s.snapSeq.Load() }
 // exportState serializes the system's complete recoverable state at the
 // given WAL sequence. The system must be quiescent (the shadow between
 // passes, or a freshly recovered system before serving).
+//
+// A snapshot is compared bit-for-bit across boots, so this is a docs-lint
+// determinism root: map iteration below must stay collect-then-sort (or
+// per-key isolated), and every float must travel as raw bits.
+//
+//docs:deterministic
 func (s *System) exportState(seq uint64) (*snapshot.State, error) {
 	st := &snapshot.State{Seq: seq, Answers: s.submissions.Load()}
 
@@ -195,6 +201,8 @@ func (s *System) exportState(seq uint64) (*snapshot.State, error) {
 // leaves the system untouched and the caller can fall back to a full
 // replay; an error after mutation begins is impossible by construction
 // (every failing check runs in the validation phase).
+//
+//docs:deterministic
 func (s *System) restoreSnapshot(snap *snapshot.State) error {
 	s.mu.RLock()
 	published := len(s.tasks) > 0
@@ -390,8 +398,13 @@ func (s *System) restoreSnapshot(snap *snapshot.State) error {
 			panic(fmt.Sprintf("core: snapshot restore: %v", err)) // dimensions validated above
 		}
 	}
-	for id, st := range workerStats {
-		_ = s.inc.SetWorker(id, st)
+	statIDs := make([]string, 0, len(workerStats))
+	for id := range workerStats {
+		statIDs = append(statIDs, id)
+	}
+	sort.Strings(statIDs)
+	for _, id := range statIDs {
+		_ = s.inc.SetWorker(id, workerStats[id])
 	}
 	for _, ws := range snap.Serving {
 		sh := s.shard(ws.ID)

@@ -58,7 +58,9 @@ func (d *DOCSAssigner) Init(tasks []*model.Task) error {
 
 // Assign implements baselines.Assigner: top-k benefit (Theorems 2–4).
 func (d *DOCSAssigner) Assign(workerID string, candidates []int, k int) []int {
+	//docs:allow clock experiment wall-clock measurement; timings are report output, not state
 	start := time.Now()
+	//docs:allow clock experiment wall-clock measurement; timings are report output, not state
 	defer func() { d.LastAssignTime = time.Since(start) }()
 	if len(candidates) == 0 || k <= 0 {
 		return nil
@@ -201,8 +203,10 @@ func RunCampaign(a baselines.Assigner, tasks []*model.Task, pop *crowd.Populatio
 			stuck++
 			continue
 		}
+		//docs:allow clock experiment wall-clock measurement; timings are report output, not state
 		start := time.Now()
 		got := a.Assign(w.ID, candidates, k)
+		//docs:allow clock experiment wall-clock measurement; timings are report output, not state
 		if d := time.Since(start); d > worst {
 			worst = d
 		}

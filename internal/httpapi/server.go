@@ -55,6 +55,13 @@ type Server struct {
 
 	// rateMu guards the per-campaign observations behind the /stats recent
 	// answer rate; it is touched only by /stats calls, never the hot path.
+	// The hibernation hook deletes rate entries while holding the campaign
+	// transition lock, so the order is c.mu before rateMu — which is why
+	// handleStats must resolve its campaign (a potential wake, taking c.mu)
+	// BEFORE taking rateMu, and use CampaignResident (no wake) under it.
+	// docs-lint enforces the order from the declaration below.
+	//
+	//docs:lockorder c.mu < s.rateMu
 	rateMu sync.Mutex
 	rates  map[string]rateObs
 }
@@ -96,12 +103,15 @@ func New(cfg docs.Config, opts Options) (*Server, error) {
 	if maxBatch <= 0 {
 		maxBatch = DefaultMaxBatch
 	}
+	//docs:allow clock uptime anchor for /stats; reporting only, never durable
 	s := &Server{reg: reg, cfg: cfg, maxBatch: maxBatch, start: time.Now(), rates: make(map[string]rateObs)}
 	// Prune the per-campaign /stats rate observation whenever a campaign
 	// leaves memory, so the map is bounded by the resident set even when
 	// an LRU cap or idle sweeps cycle thousands of campaigns through. The
 	// callback only touches s.rates (never the registry): it runs with
 	// the campaign's transition lock held.
+	//
+	//docs:holds c.mu
 	reg.OnHibernate(func(name string) {
 		s.rateMu.Lock()
 		delete(s.rates, name)
@@ -491,6 +501,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// recent rate can never go negative.
 	s.rateMu.Lock()
 	st := sys.Stats()
+	//docs:allow clock /stats uptime and rate-window timestamps; reporting only, never durable
 	now := time.Now()
 	uptime := now.Sub(s.start).Seconds()
 	rec := sys.Recovery()

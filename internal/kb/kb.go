@@ -162,6 +162,7 @@ func (k *KB) HasAlias(mention string) bool {
 // the linker uses it to bound its longest-match window.
 func (k *KB) MaxAliasWords() int {
 	max := 1
+	//docs:allow determinism max over map keys is order-independent
 	for a := range k.aliases {
 		if n := strings.Count(a, " ") + 1; n > max {
 			max = n

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// clockAnalyzer forbids wall-clock reads — time.Now calls (or taking
+// time.Now as a function value, which is how injectable-clock defaults
+// smuggle it in), time.Since, time.Until — in the library packages, where
+// every behavior must come from an injectable Clock or from logged state.
+// The command binaries (cmd/..., examples/...) are measurement and demo
+// surfaces and are exempt.
+//
+// Every legitimate wall-clock read carries //docs:allow clock <reason>,
+// so the allowlist is a complete, greppable inventory of the system's
+// wall-clock dependencies.
+var clockAnalyzer = &Analyzer{
+	Name: "clock",
+	Doc:  "wall-clock reads (time.Now/Since/Until) outside the explicit allowlist",
+	Run:  runClock,
+}
+
+// clockExempt reports whether a package path is outside the clock
+// contract: binaries and demos measure wall time on purpose.
+func clockExempt(path string) bool {
+	for _, seg := range []string{"/cmd/", "/examples/"} {
+		if strings.Contains(path+"/", seg) {
+			return true
+		}
+	}
+	return false
+}
+
+func runClock(prog *Program) []Finding {
+	var out []Finding
+	for _, pkg := range prog.Packages {
+		if clockExempt(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+					return true
+				}
+				switch obj.Name() {
+				case "Now", "Since", "Until":
+					out = append(out, prog.finding("clock", sel.Pos(),
+						"wall-clock read time.%s — inject a Clock or annotate //docs:allow clock <reason>",
+						obj.Name()))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,326 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directives is the parsed //docs: directive table for a program.
+//
+// Grammar (one directive per comment line, no space after "//"):
+//
+//	//docs:allow <analyzer> <reason...>   suppress <analyzer> findings on
+//	                                      this line or the next; reason
+//	                                      required
+//	//docs:deterministic                  function is a determinism root
+//	//docs:exhaustive                     type's switches must be exhaustive
+//	//docs:lockorder <A> < <B>            lock A is acquired before lock B
+//	//docs:holds <lock>                   function runs with <lock> held
+//	//docs:acquires <lock>                function acquires <lock>
+//
+// Function-attached directives (deterministic, holds, acquires) bind to
+// the function declaration or literal whose `func` keyword is on the
+// directive's line or the line immediately after it — the end-of-doc and
+// line-above positions — or anywhere in a FuncDecl's doc comment.
+type directives struct {
+	// allows: file -> line -> set of analyzer names suppressed there.
+	allows map[string]map[int]map[string]bool
+	// badAllows are //docs:allow lines with no reason (reported as
+	// findings: an unexplained suppression is itself a violation).
+	badAllows []Finding
+	// funcMarks: directive name -> funcKey -> args (one per directive).
+	funcMarks map[string]map[funcKey][]string
+	// exhaustive: "pkgpath.TypeName" set.
+	exhaustive map[string]bool
+	// lockOrder: declared before-pairs; lockOrder[a][b] means a < b (a is
+	// acquired before b). Transitively closed.
+	lockOrder map[string]map[string]bool
+}
+
+// funcKey identifies a function declaration or literal by the position of
+// its `func` keyword.
+type funcKey token.Pos
+
+type rawDirective struct {
+	file string
+	line int
+	pos  token.Pos
+	verb string
+	args string
+}
+
+func scanDirectives(prog *Program) *directives {
+	d := &directives{
+		allows:     map[string]map[int]map[string]bool{},
+		funcMarks:  map[string]map[funcKey][]string{},
+		exhaustive: map[string]bool{},
+		lockOrder:  map[string]map[string]bool{},
+	}
+
+	var raws []rawDirective
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//docs:")
+					if !ok {
+						continue
+					}
+					verb, args, _ := strings.Cut(text, " ")
+					pos := prog.Fset.Position(c.Pos())
+					raws = append(raws, rawDirective{
+						file: pos.Filename,
+						line: pos.Line,
+						pos:  c.Pos(),
+						verb: verb,
+						args: strings.TrimSpace(args),
+					})
+				}
+			}
+		}
+
+		// Type-attached directives: scan type declarations' docs.
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+						if doc == nil {
+							continue
+						}
+						for _, c := range doc.List {
+							if strings.TrimSpace(c.Text) == "//docs:exhaustive" {
+								d.exhaustive[pkg.Path+"."+ts.Name.Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Function binding: map each line to the function whose `func` keyword
+	// starts there.
+	funcAt := map[string]map[int]funcKey{}
+	note := func(pos token.Pos) {
+		p := prog.Fset.Position(pos)
+		if funcAt[p.Filename] == nil {
+			funcAt[p.Filename] = map[int]funcKey{}
+		}
+		// First function on a line wins (one function per line in practice).
+		if _, ok := funcAt[p.Filename][p.Line]; !ok {
+			funcAt[p.Filename][p.Line] = funcKey(pos)
+		}
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					note(fn.Pos())
+				case *ast.FuncLit:
+					note(fn.Pos())
+				}
+				return true
+			})
+		}
+	}
+	// FuncDecl doc comments may carry directives on any doc line; bind them
+	// by scanning decl docs directly, and remember which comment positions
+	// were consumed so the line-proximity pass below does not double-bind
+	// or mis-report them.
+	consumed := map[token.Pos]bool{}
+	bindFunc := func(verb string, key funcKey, args string) {
+		if d.funcMarks[verb] == nil {
+			d.funcMarks[verb] = map[funcKey][]string{}
+		}
+		if !contains(d.funcMarks[verb][key], args) {
+			d.funcMarks[verb][key] = append(d.funcMarks[verb][key], args)
+		}
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					text, ok := strings.CutPrefix(c.Text, "//docs:")
+					if !ok {
+						continue
+					}
+					verb, args, _ := strings.Cut(text, " ")
+					if isFuncVerb(verb) {
+						bindFunc(verb, funcKey(fd.Pos()), strings.TrimSpace(args))
+						consumed[c.Pos()] = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, r := range raws {
+		if consumed[r.pos] {
+			continue
+		}
+		switch r.verb {
+		case "allow":
+			analyzer, reason, _ := strings.Cut(r.args, " ")
+			if analyzer == "" || strings.TrimSpace(reason) == "" {
+				d.badAllows = append(d.badAllows, Finding{
+					Pos:      prog.Fset.Position(r.pos),
+					Analyzer: "allow",
+					Message:  "//docs:allow needs an analyzer name and a non-empty reason",
+				})
+				continue
+			}
+			for _, line := range []int{r.line, r.line + 1} {
+				if d.allows[r.file] == nil {
+					d.allows[r.file] = map[int]map[string]bool{}
+				}
+				if d.allows[r.file][line] == nil {
+					d.allows[r.file][line] = map[string]bool{}
+				}
+				d.allows[r.file][line][analyzer] = true
+			}
+		case "lockorder":
+			before, after, ok := strings.Cut(r.args, "<")
+			before, after = strings.TrimSpace(before), strings.TrimSpace(after)
+			if !ok || before == "" || after == "" {
+				d.badAllows = append(d.badAllows, Finding{
+					Pos:      prog.Fset.Position(r.pos),
+					Analyzer: "lockorder",
+					Message:  "//docs:lockorder wants the form `//docs:lockorder A < B`",
+				})
+				continue
+			}
+			if d.lockOrder[before] == nil {
+				d.lockOrder[before] = map[string]bool{}
+			}
+			d.lockOrder[before][after] = true
+		case "deterministic", "holds", "acquires":
+			// Bind to the function starting on this or the next line (the
+			// doc-comment path above already handled FuncDecl docs; binding
+			// twice is harmless for deterministic and duplicates are fine
+			// for holds/acquires since the sets dedupe).
+			key, ok := funcNear(funcAt, r.file, r.line)
+			if !ok {
+				d.badAllows = append(d.badAllows, Finding{
+					Pos:      prog.Fset.Position(r.pos),
+					Analyzer: r.verb,
+					Message:  "//docs:" + r.verb + " is not attached to a function",
+				})
+				continue
+			}
+			if d.funcMarks[r.verb] == nil {
+				d.funcMarks[r.verb] = map[funcKey][]string{}
+			}
+			if !contains(d.funcMarks[r.verb][key], r.args) {
+				d.funcMarks[r.verb][key] = append(d.funcMarks[r.verb][key], r.args)
+			}
+		case "exhaustive":
+			// Handled via type-doc scan above.
+		default:
+			d.badAllows = append(d.badAllows, Finding{
+				Pos:      prog.Fset.Position(r.pos),
+				Analyzer: "directive",
+				Message:  "unknown directive //docs:" + r.verb,
+			})
+		}
+	}
+
+	// Transitive closure of the declared lock order.
+	for changed := true; changed; {
+		changed = false
+		for a, afters := range d.lockOrder {
+			for b := range afters {
+				for c := range d.lockOrder[b] {
+					if !d.lockOrder[a][c] {
+						d.lockOrder[a][c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+func isFuncVerb(v string) bool {
+	return v == "deterministic" || v == "holds" || v == "acquires"
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// funcNear finds a function starting on line or line+1 in file. A FuncDecl
+// with a doc comment starts at the doc's first line per go/ast, so a
+// directive inside the doc group still binds via the decl-doc scan; this
+// covers literals and bare declarations.
+func funcNear(funcAt map[string]map[int]funcKey, file string, line int) (funcKey, bool) {
+	lines := funcAt[file]
+	if lines == nil {
+		return 0, false
+	}
+	for _, l := range []int{line, line + 1} {
+		if k, ok := lines[l]; ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// allowed reports whether a finding of analyzer at pos is suppressed by an
+// allow directive on its line or the line above.
+func (d *directives) allowed(analyzer string, pos token.Position) bool {
+	lines := d.allows[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	set := lines[pos.Line]
+	return set != nil && set[analyzer]
+}
+
+// marked reports whether fn carries the given function directive, and the
+// directive's arguments.
+func (d *directives) marked(verb string, key funcKey) ([]string, bool) {
+	m := d.funcMarks[verb]
+	if m == nil {
+		return nil, false
+	}
+	args, ok := m[key]
+	return args, ok
+}
+
+// ordered reports whether the declared order says a must be acquired
+// before b.
+func (d *directives) ordered(a, b string) bool {
+	return d.lockOrder[a] != nil && d.lockOrder[a][b]
+}
+
+// lockNames returns every lock name mentioned in any lockorder directive.
+func (d *directives) lockNames() map[string]bool {
+	names := map[string]bool{}
+	for a, afters := range d.lockOrder {
+		names[a] = true
+		for b := range afters {
+			names[b] = true
+		}
+	}
+	return names
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// floatbitsAnalyzer enforces the raw-bits doctrine on digest and encoder
+// paths: a float64 that reaches a fingerprint, snapshot, or WAL encoding
+// must go through math.Float64bits — never through %v/%g/%f formatting,
+// where "close" can pass for "equal" and formatting choices change across
+// Go releases. In every function reachable from a //docs:deterministic
+// root it rejects float-typed arguments to the fmt printing family and
+// any use of strconv.FormatFloat/AppendFloat.
+var floatbitsAnalyzer = &Analyzer{
+	Name: "floatbits",
+	Doc:  "raw floats formatted in fingerprint/digest paths — use math.Float64bits",
+	Run:  runFloatbits,
+}
+
+var fmtPrinters = map[string]bool{
+	"Sprintf": true, "Fprintf": true, "Printf": true,
+	"Sprint": true, "Fprint": true, "Print": true,
+	"Sprintln": true, "Fprintln": true, "Println": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+	"Errorf": true,
+}
+
+func runFloatbits(prog *Program) []Finding {
+	var out []Finding
+	reach := reachableFrom(prog, deterministicRoots(prog))
+	for fi, path := range reach {
+		pkg := fi.Pkg
+		ast.Inspect(fi.body(), func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || f.Pkg() == nil {
+				return true
+			}
+			switch f.Pkg().Path() {
+			case "strconv":
+				if f.Name() == "FormatFloat" || f.Name() == "AppendFloat" {
+					out = append(out, prog.finding("floatbits", call.Pos(),
+						"strconv.%s in deterministic path %s — encode math.Float64bits instead",
+						f.Name(), pathString(path)))
+				}
+			case "fmt":
+				if !fmtPrinters[f.Name()] {
+					return true
+				}
+				// Writers and format strings are never float-typed, so
+				// simply flag any float-typed operand.
+				for _, a := range call.Args {
+					if isFloaty(pkg, a) {
+						out = append(out, prog.finding("floatbits", a.Pos(),
+							"raw float formatted via fmt.%s in deterministic path %s — use math.Float64bits",
+							f.Name(), pathString(path)))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isFloaty reports whether an expression's type is a float or a slice,
+// array or matrix of floats.
+func isFloaty(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return typeHasFloat(tv.Type, 0)
+}
+
+func typeHasFloat(t types.Type, depth int) bool {
+	if depth > 3 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Slice:
+		return typeHasFloat(u.Elem(), depth+1)
+	case *types.Array:
+		return typeHasFloat(u.Elem(), depth+1)
+	}
+	return false
+}

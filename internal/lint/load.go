@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// loader parses and type-checks module packages with a shared FileSet and
+// a shared stdlib importer, so type objects are identical across packages
+// (a *types.Func seen at a call site in package A is the same object the
+// body index recorded when checking package B).
+type loader struct {
+	root    string // module root directory
+	module  string // module path from go.mod
+	fset    *token.FileSet
+	std     types.Importer
+	cache   map[string]*types.Package
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// LoadModule parses and type-checks every non-test package under the
+// module rooted at root (skipping testdata, hidden and underscore
+// directories) and returns the analyzable Program. It is hermetic: no
+// subprocesses, no network — stdlib packages are type-checked from
+// GOROOT/src by the standard source importer.
+func LoadModule(root string) (*Program, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		root:    root,
+		module:  modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   map[string]*types.Package{},
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	dirs, err := ld.moduleDirs()
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		if _, err := ld.Import(ld.pathFor(dir)); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", dir, err)
+		}
+	}
+	return finishProgram(fset, ld.pkgs)
+}
+
+// LoadPackages type-checks the given directories as a standalone program
+// (the fixture-test entry point). Each directory is one package; imports
+// between them are not supported — fixtures import only the stdlib.
+func LoadPackages(dirs ...string) (*Program, error) {
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil)
+	pkgs := map[string]*Package{}
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		path := "fixture/" + filepath.Base(abs)
+		pkg, err := checkDir(fset, std, path, abs)
+		if err != nil {
+			return nil, err
+		}
+		pkgs[path] = pkg
+	}
+	return finishProgram(fset, pkgs)
+}
+
+// finishProgram indexes directives and function bodies over the checked
+// packages.
+func finishProgram(fset *token.FileSet, byPath map[string]*Package) (*Program, error) {
+	prog := &Program{Fset: fset}
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		prog.Packages = append(prog.Packages, byPath[p])
+	}
+	prog.dirs = scanDirectives(prog)
+	prog.funcs = indexFuncs(prog)
+	return prog, nil
+}
+
+// Import satisfies types.Importer: module packages are parsed and checked
+// from source (memoized); everything else defers to the stdlib importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	if path != l.module && !strings.HasPrefix(path, l.module+"/") {
+		return l.std.Import(path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.root
+	if path != l.module {
+		dir = filepath.Join(l.root, strings.TrimPrefix(path, l.module+"/"))
+	}
+	pkg, err := checkDir(l.fset, l, path, dir)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg.Types
+	l.pkgs[path] = pkg
+	return pkg.Types, nil
+}
+
+// checkDir parses every non-test .go file in dir and type-checks them as
+// one package with full Uses/Defs/Types/Selections info.
+func checkDir(fset *token.FileSet, imp types.Importer, path, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	cfg := &types.Config{Importer: imp}
+	tpkg, err := cfg.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// moduleDirs walks the module tree and returns every directory holding at
+// least one non-test .go file, skipping testdata, hidden and underscore
+// directories.
+func (l *loader) moduleDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	// WalkDir visits files in sorted order per directory but appends a dir
+	// once per contiguous run; dedupe after the final sort.
+	out := dirs[:0]
+	for i, d := range dirs {
+		if i == 0 || d != dirs[i-1] {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// pathFor maps a module directory to its import path.
+func (l *loader) pathFor(dir string) string {
+	if dir == l.root {
+		return l.module
+	}
+	rel, _ := filepath.Rel(l.root, dir)
+	return l.module + "/" + filepath.ToSlash(rel)
+}
+
+// modulePath reads the module path from go.mod at root.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: not a module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory holding a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}

@@ -1,0 +1,25 @@
+// Package allow exercises the suppression grammar: a reasoned
+// //docs:allow silences its line and the next, a reason-less allow is
+// itself a finding and silences nothing, and an unknown directive is
+// reported.
+package allow
+
+import "time"
+
+// suppressed documents why it reads the wall clock: clean.
+func suppressed() time.Time {
+	//docs:allow clock fixture: the wall-clock read is the point of this test
+	return time.Now()
+}
+
+// unexplained carries a reason-less allow: the directive is reported and
+// the finding it tried to hide still fires.
+func unexplained() time.Time {
+	/* want allow "non-empty reason" */ //docs:allow clock
+	return time.Now()                   // want clock "wall-clock read time.Now"
+}
+
+// mistyped uses a directive verb that does not exist.
+//
+//docs:frobnicate // want directive "unknown directive"
+func mistyped() {}

@@ -1,0 +1,32 @@
+// Package clock exercises the clock-injection analyzer: direct wall-clock
+// reads are findings, injected clocks are not, and a reasoned allow
+// silences a deliberate site.
+package clock
+
+import "time"
+
+// bad reads the wall clock directly.
+func bad() time.Time {
+	return time.Now() // want clock "wall-clock read time.Now"
+}
+
+// badSince measures wall time.
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want clock "wall-clock read time.Since"
+}
+
+// badValue smuggles the wall clock in as a function value.
+func badValue() func() time.Time {
+	return time.Now // want clock "wall-clock read time.Now"
+}
+
+// good uses an injected clock; no finding.
+func good(now func() time.Time) time.Time {
+	return now()
+}
+
+// allowed documents its wall-clock read.
+func allowed() time.Time {
+	//docs:allow clock fixture: deliberate wall-clock read with a reason
+	return time.Now()
+}

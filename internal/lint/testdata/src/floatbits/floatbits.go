@@ -1,0 +1,43 @@
+// Package floatbits exercises the raw-bits analyzer: a float formatted
+// through fmt verbs or strconv in a deterministic path is a finding; the
+// math.Float64bits encoding is the blessed form.
+package floatbits
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Digest encodes the float as raw bits: clean.
+//
+//docs:deterministic
+func Digest(x float64) string {
+	return fmt.Sprintf("%016x", math.Float64bits(x))
+}
+
+// BadVerb formats the raw float.
+//
+//docs:deterministic
+func BadVerb(x float64) string {
+	return fmt.Sprintf("%v", x) // want floatbits "raw float formatted via fmt.Sprintf"
+}
+
+// BadSlice formats a whole float slice.
+//
+//docs:deterministic
+func BadSlice(xs []float64) string {
+	return fmt.Sprint(xs) // want floatbits "raw float formatted via fmt.Sprint"
+}
+
+// BadStrconv uses the shortest-representation formatter.
+//
+//docs:deterministic
+func BadStrconv(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64) // want floatbits "strconv.FormatFloat"
+}
+
+// unreachable formats a float but no deterministic root reaches it: clean.
+func unreachable(x float64) string {
+	return fmt.Sprintf("%g", x)
+}

@@ -1,0 +1,59 @@
+// Package lockorder exercises the lock-order analyzer: acquiring a lock
+// while holding one the declared order says must come after it is a
+// finding, whether the inversion is direct, annotated (//docs:holds), or
+// reached through the call graph.
+package lockorder
+
+import "sync"
+
+//docs:lockorder c.mu < r.mu
+
+type campaign struct{ mu sync.Mutex }
+
+type registry struct{ mu sync.Mutex }
+
+// good takes the locks in the declared order: clean.
+func good(c *campaign, r *registry) {
+	c.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// sequential releases r.mu before taking c.mu: the intervals do not
+// overlap, so this is clean too.
+func sequential(c *campaign, r *registry) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// inverted is the direct AB-BA: c.mu under r.mu.
+func inverted(c *campaign, r *registry) {
+	r.mu.Lock()
+	c.mu.Lock() // want lockorder "acquires c.mu while holding r.mu"
+	c.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// callback is documented to run with r.mu held (a hook invoked under the
+// registry lock); taking c.mu inside it is the same inversion.
+//
+//docs:holds r.mu
+func callback(c *campaign) {
+	c.mu.Lock() // want lockorder "acquires c.mu while holding r.mu"
+	c.mu.Unlock()
+}
+
+// outer propagates its held set into helper through the call graph.
+func outer(c *campaign, r *registry) {
+	r.mu.Lock()
+	helper(c)
+	r.mu.Unlock()
+}
+
+func helper(c *campaign) {
+	c.mu.Lock() // want lockorder "acquires c.mu while holding r.mu"
+	c.mu.Unlock()
+}

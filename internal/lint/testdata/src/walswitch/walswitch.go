@@ -1,0 +1,50 @@
+// Package walswitch exercises the exhaustiveness analyzer: every switch
+// over a //docs:exhaustive type must name every constant; a default clause
+// does not excuse a missing one.
+package walswitch
+
+// Kind tags a record.
+//
+//docs:exhaustive
+type Kind uint8
+
+const (
+	KindA Kind = 1
+	KindB Kind = 2
+	KindC Kind = 3
+)
+
+// full handles every kind: clean.
+func full(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	case KindC:
+		return 3
+	}
+	return 0
+}
+
+// partial misses KindC; the default clause does not count.
+func partial(k Kind) int {
+	switch k { // want walswitch "misses KindC"
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// other switches over a plain int, not the exhaustive type: clean.
+func other(n int) int {
+	switch n {
+	case 1:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -100,14 +100,17 @@ func CheckDistribution(p []float64, tol float64) error {
 			return fmt.Errorf("mathx: entry %d is NaN", i)
 		}
 		if x < -tol {
+			//docs:allow floatbits error text is human-facing; never encoded or digested
 			return fmt.Errorf("mathx: entry %d = %g is negative", i, x)
 		}
 		if x > 1+tol {
+			//docs:allow floatbits error text is human-facing; never encoded or digested
 			return fmt.Errorf("mathx: entry %d = %g exceeds 1", i, x)
 		}
 		sum += x
 	}
 	if math.Abs(sum-1) > tol {
+		//docs:allow floatbits error text is human-facing; never encoded or digested
 		return fmt.Errorf("mathx: entries sum to %g, want 1", sum)
 	}
 	return nil

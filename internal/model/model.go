@@ -11,6 +11,7 @@ package model
 
 import (
 	"fmt"
+	"sort"
 
 	"docs/internal/mathx"
 )
@@ -102,6 +103,7 @@ func (q QualityVector) Validate(m int) error {
 	}
 	for k, x := range q {
 		if x < -Tolerance || x > 1+Tolerance || x != x {
+			//docs:allow floatbits error text is human-facing; never encoded or digested
 			return fmt.Errorf("model: quality[%d] = %g outside [0,1]", k, x)
 		}
 	}
@@ -212,23 +214,26 @@ func (s *AnswerSet) ForTask(i int) []Answer { return s.byTask[i] }
 // The returned slice must not be modified.
 func (s *AnswerSet) ForWorker(w string) []Answer { return s.byWorker[w] }
 
-// Workers returns the distinct worker IDs that have answered, in
-// unspecified order.
+// Workers returns the distinct worker IDs that have answered, in sorted
+// order. Sorted here — not in callers — so map iteration order can never
+// leak into inference accumulation order through a caller that forgets.
 func (s *AnswerSet) Workers() []string {
 	ws := make([]string, 0, len(s.byWorker))
 	for w := range s.byWorker {
 		ws = append(ws, w)
 	}
+	sort.Strings(ws)
 	return ws
 }
 
 // Tasks returns the distinct task IDs that have received answers, in
-// unspecified order.
+// sorted order (see Workers for why the sort lives here).
 func (s *AnswerSet) Tasks() []int {
 	ts := make([]int, 0, len(s.byTask))
 	for t := range s.byTask {
 		ts = append(ts, t)
 	}
+	sort.Ints(ts)
 	return ts
 }
 

@@ -196,7 +196,10 @@ type campaign struct {
 	// that may install or remove the serving core. It doubles as the
 	// single-flight wake guard — a stampede of cold requests queues here
 	// and every waiter but the first finds the campaign live. Lock order:
-	// c.mu may be taken before r.mu; never the reverse.
+	// c.mu may be taken before r.mu; never the reverse. docs-lint enforces
+	// that order from the declaration below.
+	//
+	//docs:lockorder c.mu < r.mu
 	mu sync.Mutex
 
 	// sys is the serving core, nil while hibernated or archived. Atomic
@@ -333,6 +336,7 @@ func (r *Registry) now() time.Time {
 	if r.cfg.Clock != nil {
 		return r.cfg.Clock()
 	}
+	//docs:allow clock injection-point default; every other registry read goes through r.now()
 	return time.Now()
 }
 

@@ -187,7 +187,12 @@ func FloatsMatrix(m [][]uint64) [][]float64 {
 	return out
 }
 
-// Encode renders the state as a complete snapshot file image.
+// Encode renders the state as a complete snapshot file image. Snapshots
+// are compared bit-for-bit across boots, so Encode is a docs-lint
+// determinism root (json.Marshal of the State struct is deterministic:
+// fields in declaration order, floats already converted to raw bits).
+//
+//docs:deterministic
 func Encode(st *State) ([]byte, error) {
 	payload, err := json.Marshal(st)
 	if err != nil {

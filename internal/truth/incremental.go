@@ -420,20 +420,26 @@ func (inc *Incremental) Reseed(tasks []*model.Task, res *Result, answers *model.
 	for idx, t := range tasks {
 		pos[t.ID] = idx
 	}
+	type taskEntry struct {
+		id int
+		it *incTask
+	}
 	inc.mu.RLock()
-	all := make([]*incTask, 0, len(inc.tasks))
-	ids := make([]int, 0, len(inc.tasks))
+	entries := make([]taskEntry, 0, len(inc.tasks))
 	for id, it := range inc.tasks {
-		all = append(all, it)
-		ids = append(ids, id)
+		entries = append(entries, taskEntry{id, it})
 	}
 	inc.mu.RUnlock()
-	for n, it := range all {
-		i, ok := pos[ids[n]]
+	// Sorted so the per-view epochs assigned below are a deterministic
+	// function of the task set, not of map iteration order.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	for _, e := range entries {
+		it := e.it
+		i, ok := pos[e.id]
 		if !ok {
 			continue
 		}
-		snap := answers.ForTask(ids[n])
+		snap := answers.ForTask(e.id)
 		it.mu.Lock()
 		if len(it.answers) > len(snap) {
 			it.mu.Unlock()
@@ -448,8 +454,13 @@ func (inc *Incremental) Reseed(tasks []*model.Task, res *Result, answers *model.
 		it.mu.Unlock()
 	}
 	session := SessionStats(tasks, answers, res, inc.m)
-	for w, st := range session {
-		st := st
+	sessionWorkers := make([]string, 0, len(session))
+	for w := range session {
+		sessionWorkers = append(sessionWorkers, w)
+	}
+	sort.Strings(sessionWorkers)
+	for _, w := range sessionWorkers {
+		st := session[w]
 		inc.withWorker(w, func(cur *Stats) {
 			for k := 0; k < inc.m; k++ {
 				if st.U[k] > 0 {

@@ -36,6 +36,7 @@ func (s *Stats) Validate(m int) error {
 	}
 	for k, u := range s.U {
 		if u < 0 || u != u {
+			//docs:allow floatbits error text is human-facing; never encoded or digested
 			return fmt.Errorf("truth: stats weight[%d] = %g is negative", k, u)
 		}
 	}

@@ -134,7 +134,15 @@ func Infer(tasks []*model.Task, answers *model.AnswerSet, m int, opt Options) (*
 		}
 	}
 
-	for id, truth := range opt.Pinned {
+	// Validate pinned truths in sorted ID order so the first-reported error
+	// is deterministic (a map-order range here would pick an arbitrary one).
+	pinnedIDs := make([]int, 0, len(opt.Pinned))
+	for id := range opt.Pinned {
+		pinnedIDs = append(pinnedIDs, id)
+	}
+	sort.Ints(pinnedIDs)
+	for _, id := range pinnedIDs {
+		truth := opt.Pinned[id]
 		i, ok := pos[id]
 		if !ok {
 			return nil, fmt.Errorf("truth: pinned truth for unknown task %d", id)

@@ -7,6 +7,14 @@ import (
 )
 
 // Kind tags what a record carries.
+//
+// The //docs:exhaustive directive makes docs-lint reject any switch over
+// Kind that does not handle every constant below: adding a record kind
+// fails the lint gate until the encoder, the decoder, and every replay
+// consumer have an explicit case for it, so a new kind can never be
+// silently skipped by one of them.
+//
+//docs:exhaustive
 type Kind uint8
 
 const (
@@ -61,6 +69,8 @@ const maxStringLen = MaxPayload
 // KindPublish: len(blob) uvarint | blob bytes
 // KindBatch:   len(blob) uvarint | blob bytes (a wire batch body, see wire.go)
 // KindSeed:    len(worker) uvarint | worker bytes | len(blob) uvarint | blob bytes
+//
+//docs:deterministic
 func (r Record) Encode() []byte {
 	return r.encode(nil)
 }

@@ -34,6 +34,8 @@ const BatchOverhead = len("DBB1")
 // EncodeBatch appends the wire encoding of a batch of answers to dst.
 // Only the Worker/Task/Choice fields of each item are encoded; Seq and
 // Kind are derived from the item's position (callers need not set them).
+//
+//docs:deterministic
 func EncodeBatch(dst []byte, items []Record) []byte {
 	dst = append(dst, batchMagic...)
 	var payload []byte

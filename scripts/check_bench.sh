@@ -11,6 +11,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Preflight: benchmark numbers from a tree that violates the determinism
+# or lock-order contracts are not worth measuring. docs-lint findings
+# print as file:line: analyzer: message and abort the run.
+echo "check_bench: preflight docs-lint ./..."
+go run ./cmd/docs-lint ./...
+
 baseline_file=bench/baseline.txt
 threshold=${BENCH_GUARD_THRESHOLD:-1.25}
 iters=1490
